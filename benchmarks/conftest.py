@@ -1,0 +1,74 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark prints the same rows/series its paper table or figure
+reports (live, bypassing capture) and writes them to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report_table(capsys):
+    """Print a rendered table live and persist it under results/."""
+
+    def _report(name: str, table: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+        with capsys.disabled():
+            print()
+            print(table)
+
+    return _report
+
+
+def make_unicast_trace(snr_db, n_pings=12, interval=14e-3, seed=100,
+                       duration=None, payload=500):
+    """The Section 5.1.2 workload: unicast pings with SIFS-spaced ACKs."""
+    from repro import Scenario, WifiPingSession
+
+    duration = duration if duration is not None else n_pings * interval + 5e-3
+    scenario = Scenario(duration=duration, seed=seed)
+    scenario.add(
+        WifiPingSession(
+            n_pings=n_pings, snr_db=snr_db, interval=interval,
+            payload_size=payload, seed=seed + 1,
+        )
+    )
+    return scenario.render()
+
+
+def make_broadcast_trace(snr_db, n_packets=20, seed=200, payload=500):
+    """The Section 5.1.3 workload: a broadcast flood at DIFS + k x slot."""
+    from repro import Scenario, WifiBroadcastFlood
+
+    # worst-case spacing: airtime + DIFS + 64 slots
+    per_packet = (192 + (payload + 28) * 8) * 1e-6 + 50e-6 + 64 * 20e-6
+    scenario = Scenario(duration=n_packets * per_packet + 5e-3, seed=seed)
+    scenario.add(
+        WifiBroadcastFlood(
+            n_packets=n_packets, snr_db=snr_db, payload_size=payload,
+            seed=seed + 1,
+        )
+    )
+    return scenario.render()
+
+
+def make_l2ping_trace(snr_db, n_pings=100, interval_slots=10, seed=300):
+    """The Section 5.1.4 workload: l2ping DH5 stream over the hop sequence."""
+    from repro import BluetoothL2PingSession, Scenario
+
+    duration = (n_pings * interval_slots + 12) * 625e-6
+    scenario = Scenario(duration=duration, seed=seed)
+    scenario.add(
+        BluetoothL2PingSession(
+            n_pings=n_pings, snr_db=snr_db, interval_slots=interval_slots,
+        )
+    )
+    return scenario.render()

@@ -1,0 +1,65 @@
+"""Extension — multi-core speedup estimate (Section 2.2).
+
+The paper measured on a single core because 2009 GNU Radio had no
+multithreading, noting the architecture's "inherent parallelism".  This
+benchmark runs the standard mixed workload single-threaded (as the paper
+did), then reports the parallel-schedule estimate for 1/2/4/8 workers:
+the per-protocol analyzers parallelize, the shared detection stage is the
+Amdahl serial prefix.
+"""
+
+import pytest
+
+from repro import BluetoothL2PingSession, RFDumpMonitor, Scenario, WifiPingSession
+from repro.analysis import render_summary
+from repro.core.parallelism import estimate_parallel_speedup
+
+
+def test_extension_parallelism(report_table, benchmark):
+    scenario = Scenario(duration=0.3, seed=1900)
+    scenario.add(WifiPingSession(n_pings=8, snr_db=20.0, interval=36e-3))
+    scenario.add(
+        BluetoothL2PingSession(n_pings=40, snr_db=20.0, interval_slots=6)
+    )
+    trace = scenario.render()
+    state = {}
+
+    def run_experiment():
+        monitor = RFDumpMonitor(
+            protocols=("wifi", "bluetooth"), noise_floor=trace.noise_power
+        )
+        state["report"] = monitor.process(trace.buffer)
+
+    benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report = state["report"]
+
+    rows = []
+    for workers in (1, 2, 4, 8):
+        by_block = estimate_parallel_speedup(report, workers=workers)
+        by_range = estimate_parallel_speedup(
+            report, workers=workers, granularity="range"
+        )
+        rows.append(
+            {
+                "workers": workers,
+                "serial CPU/RT": round(by_block.serial_seconds / trace.duration, 2),
+                "speedup (per analyzer)": round(by_block.speedup, 2),
+                "speedup (per range)": round(by_range.speedup, 2),
+                "Amdahl limit": round(by_block.amdahl_limit, 2),
+            }
+        )
+    report_table(
+        "extension_parallelism",
+        render_summary(
+            "Extension: estimated multi-core speedup of the Figure 2 pipeline",
+            rows,
+            ["workers", "serial CPU/RT", "speedup (per analyzer)",
+             "speedup (per range)", "Amdahl limit"],
+        ),
+    )
+
+    one = estimate_parallel_speedup(report, workers=1)
+    many = estimate_parallel_speedup(report, workers=8, granularity="range")
+    assert one.speedup == pytest.approx(1.0, abs=0.01)
+    assert many.speedup > 1.3
+    assert many.speedup <= many.amdahl_limit + 1e-9

@@ -1,0 +1,73 @@
+"""Figure 6 — 802.11 unicast microbenchmark: packet miss rate vs SNR.
+
+Paper: both the SIFS-timing and DBPSK-phase detectors achieve ~zero miss
+rate above ~9 dB SNR; below that threshold the miss rate rises rapidly
+(the peak detector's 4 dB energy threshold stops firing).  We sweep SNR
+and reproduce the cliff's position and the near-zero plateau.
+"""
+
+import pytest
+
+from repro.analysis import render_summary
+from repro.analysis.stats import packet_miss_rate
+from repro.core.detectors import DbpskPhaseDetector, WifiSifsTimingDetector
+from repro.core.pipeline import RFDumpMonitor
+
+from conftest import make_unicast_trace
+
+SNRS_DB = [0.0, 3.0, 6.0, 9.0, 12.0, 15.0, 20.0, 25.0]
+
+
+def _miss_rates(snr_db):
+    trace = make_unicast_trace(snr_db, n_pings=12, seed=600 + int(snr_db))
+    monitor = RFDumpMonitor(
+        protocols=("wifi",),
+        detectors=[WifiSifsTimingDetector(), DbpskPhaseDetector()],
+        demodulate=False,
+        noise_floor=trace.noise_power,
+    )
+    report = monitor.process(trace.buffer)
+    truth = trace.ground_truth
+    by_detector = {}
+    for name in ("WifiSifsTimingDetector", "DbpskPhaseDetector"):
+        found = [c for c in report.classifications if c.detector == name]
+        by_detector[name] = packet_miss_rate(truth, found, "wifi")
+    return by_detector
+
+
+def test_fig6(report_table, benchmark):
+    results = {}
+
+    def run_experiment():
+        for snr in SNRS_DB:
+            results[snr] = _miss_rates(snr)
+
+    benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "SNR (dB)": snr,
+            "SIFS timing miss": round(results[snr]["WifiSifsTimingDetector"], 4),
+            "DBPSK phase miss": round(results[snr]["DbpskPhaseDetector"], 4),
+        }
+        for snr in SNRS_DB
+    ]
+    report_table(
+        "fig6",
+        render_summary(
+            "Figure 6: 802.11 unicast packet miss rate vs SNR",
+            rows,
+            ["SNR (dB)", "SIFS timing miss", "DBPSK phase miss"],
+        ),
+    )
+
+    # plateau: ~zero misses for SNR > 9 dB (paper Figure 6)
+    for snr in (12.0, 15.0, 20.0, 25.0):
+        assert results[snr]["WifiSifsTimingDetector"] <= 0.05, snr
+        assert results[snr]["DbpskPhaseDetector"] <= 0.05, snr
+    # cliff: far below the energy threshold everything is missed
+    assert results[0.0]["WifiSifsTimingDetector"] >= 0.8
+    assert results[0.0]["DbpskPhaseDetector"] >= 0.8
+    # monotone-ish: low-SNR misses exceed high-SNR misses
+    for name in ("WifiSifsTimingDetector", "DbpskPhaseDetector"):
+        assert results[3.0][name] >= results[20.0][name]

@@ -1,0 +1,111 @@
+"""Figure 9 — CPU time / real time vs medium utilization, 9 architectures.
+
+Paper: the naive architecture is flat at ~7x real time regardless of
+utilization; naive-with-energy-detection scales with utilization and
+approaches naive when the ether is busy; RFDump (timing / phase / both)
+is 2-3x cheaper than energy detection and 3-10x cheaper than naive; the
+detection stages alone ("no demodulation") run far faster than real time.
+
+Workload: 802.11 (1 Mbps) unicast pings with varying inter-ping spacing,
+demodulators for 802.11 plus the in-band Bluetooth channels — exactly the
+Section 5.2 setup, including the quirk that some ping spacings match
+Bluetooth slots and drag the Bluetooth demodulators into the RFDump cost.
+"""
+
+import time
+
+import pytest
+
+from repro import EnergyNaiveMonitor, NaiveMonitor, RFDumpMonitor
+from repro.analysis import render_summary
+
+from conftest import make_unicast_trace
+
+UTILIZATIONS = [0.1, 0.3, 0.5, 0.8]
+
+#: one ping exchange's airtime at 1 Mbps / 500 B (seconds)
+_EXCHANGE_AIR = 2 * ((192 + 528 * 8) * 1e-6 + 10e-6 + (192 + 14 * 8) * 1e-6)
+
+CONFIGS = [
+    ("naive", lambda fs, cf: NaiveMonitor(fs, cf)),
+    ("naive + energy", lambda fs, cf: EnergyNaiveMonitor(fs, cf)),
+    ("energy only (no demod)", lambda fs, cf: EnergyNaiveMonitor(fs, cf, demodulate=False)),
+    ("rfdump timing", lambda fs, cf: RFDumpMonitor(fs, cf, kinds=("timing",))),
+    ("rfdump phase", lambda fs, cf: RFDumpMonitor(fs, cf, kinds=("phase",))),
+    ("rfdump timing+phase", lambda fs, cf: RFDumpMonitor(fs, cf)),
+    ("rfdump timing (no demod)", lambda fs, cf: RFDumpMonitor(fs, cf, kinds=("timing",), demodulate=False)),
+    ("rfdump phase (no demod)", lambda fs, cf: RFDumpMonitor(fs, cf, kinds=("phase",), demodulate=False)),
+    ("rfdump t+p (no demod)", lambda fs, cf: RFDumpMonitor(fs, cf, demodulate=False)),
+]
+
+
+def _trace_at_utilization(util):
+    interval = _EXCHANGE_AIR / util
+    n_pings = max(int(0.15 / interval), 3)
+    return make_unicast_trace(
+        20.0, n_pings=n_pings, interval=interval,
+        duration=n_pings * interval + 2e-3, seed=1000 + int(util * 100),
+    )
+
+
+def _measure(monitor, trace):
+    start = time.perf_counter()
+    monitor.process(trace.buffer)
+    return (time.perf_counter() - start) / trace.duration
+
+
+def test_fig9(report_table, benchmark):
+    results = {}
+
+    def run_experiment():
+        for util in UTILIZATIONS:
+            trace = _trace_at_utilization(util)
+            actual = trace.ground_truth.busy_fraction()
+            row = {}
+            for name, factory in CONFIGS:
+                monitor = factory(trace.sample_rate, trace.center_freq)
+                row[name] = _measure(monitor, trace)
+            results[util] = (actual, row)
+
+    benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for util in UTILIZATIONS:
+        actual, row = results[util]
+        entry = {"util (%)": round(actual * 100, 1)}
+        entry.update({name: round(v, 2) for name, v in row.items()})
+        rows.append(entry)
+    report_table(
+        "fig9",
+        render_summary(
+            "Figure 9: CPU time / real time vs medium utilization",
+            rows,
+            ["util (%)"] + [name for name, _ in CONFIGS],
+        ),
+    )
+
+    # Assertions compare wall-clock measurements; thresholds carry slack
+    # so a loaded CI machine does not flake them.
+    for util in UTILIZATIONS:
+        _, row = results[util]
+        # naive is the most expensive full pipeline
+        assert row["naive"] >= row["naive + energy"] * 0.95
+        assert row["naive"] > row["rfdump timing+phase"]
+        # detection-only configurations are dramatically cheaper
+        assert row["rfdump timing (no demod)"] < 0.35 * row["naive"]
+        assert row["energy only (no demod)"] < row["naive + energy"]
+
+    # naive is ~flat with utilization; energy-filtered cost grows
+    lo_naive = results[UTILIZATIONS[0]][1]["naive"]
+    hi_naive = results[UTILIZATIONS[-1]][1]["naive"]
+    assert hi_naive < 3.0 * lo_naive
+    lo_energy = results[UTILIZATIONS[0]][1]["naive + energy"]
+    hi_energy = results[UTILIZATIONS[-1]][1]["naive + energy"]
+    assert hi_energy > 1.5 * lo_energy
+    # at high utilization the energy filter buys little over naive
+    assert hi_energy > 0.5 * hi_naive
+    # RFDump with timing is cheaper than naive+energy (factor ~2 in paper)
+    assert (
+        results[UTILIZATIONS[1]][1]["rfdump timing"]
+        < results[UTILIZATIONS[1]][1]["naive + energy"]
+    )

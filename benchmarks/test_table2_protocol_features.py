@@ -1,0 +1,61 @@
+"""Table 2 — relevant features of the 2.4 GHz ISM protocols.
+
+A static table in the paper; here it is rendered from the live protocol
+registry that the detectors actually consume, so the benchmark doubles as
+a consistency check between the registry and the detector constants.
+"""
+
+from repro.analysis import render_summary
+from repro.constants import (
+    PROTOCOL_FEATURES,
+    WIFI_DIFS,
+    WIFI_SIFS,
+    WIFI_SLOT_TIME,
+    features_for,
+)
+from repro.core.detectors import (
+    BluetoothTimingDetector,
+    WifiSifsTimingDetector,
+    ZigbeeTimingDetector,
+)
+
+
+def _fmt_time(value):
+    return f"{value * 1e6:.0f} us" if value is not None else "-"
+
+
+def test_table2(report_table, benchmark):
+    def build_rows():
+        rows = []
+        for key, row in PROTOCOL_FEATURES.items():
+            rows.append(
+                {
+                    "Protocol": row.name,
+                    "Slot": _fmt_time(row.slot_time),
+                    "IFS": _fmt_time(row.ifs),
+                    "Modulation": "/".join(m.value for m in row.modulation),
+                    "Spreading": row.spreading.value,
+                    "Width (MHz)": row.channel_width / 1e6,
+                }
+            )
+        return rows
+
+    rows = benchmark(build_rows)
+    report_table(
+        "table2",
+        render_summary(
+            "Table 2: detector-relevant features (2.4 GHz ISM band)",
+            rows,
+            ["Protocol", "Slot", "IFS", "Modulation", "Spreading", "Width (MHz)"],
+        ),
+    )
+
+    # consistency: the values the detectors key on are the table's values
+    assert features_for("802.11b-1").ifs == WIFI_SIFS
+    assert features_for("802.11b-1").slot_time == WIFI_SLOT_TIME
+    assert WIFI_DIFS == WIFI_SIFS + 2 * WIFI_SLOT_TIME
+    assert features_for("bluetooth").slot_time == 625e-6
+    # and the detectors use them
+    assert BluetoothTimingDetector().max_duration == 5 * 625e-6
+    assert WifiSifsTimingDetector().tolerance < WIFI_SIFS
+    assert ZigbeeTimingDetector()._fixed_gaps["SIFS"] == features_for("zigbee").ifs

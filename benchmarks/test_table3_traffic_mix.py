@@ -1,0 +1,136 @@
+"""Table 3 — traffic mix: simultaneous 802.11b + Bluetooth transmitters.
+
+Paper (1000 wifi packets + 1000 l2pings, SNR comfortable):
+
+    Detector  miss 802.11b  miss BT   FP 802.11b  FP BT
+    Timing    0.018         0.024     0.0007      0.007
+    Phase     0.018         0.012     0.01        0.0002
+
+Observations to reproduce: (a) small residual miss rates dominated by
+collisions — discounting collided packets both detectors are near zero;
+(b) the timing detector's *Bluetooth* false positives come from periodic
+ICMP pings whose 20 ms spacing is a multiple of the 625 us slot.
+"""
+
+import pytest
+
+from repro import BluetoothL2PingSession, Scenario, WifiPingSession
+from repro.analysis import render_summary
+from repro.analysis.stats import false_positive_sample_rate, match_detections
+from repro.core.pipeline import RFDumpMonitor
+
+PAPER = {
+    "Timing": {"wifi_miss": 0.018, "bt_miss": 0.024, "wifi_fp": 0.0007, "bt_fp": 0.007},
+    "Phase": {"wifi_miss": 0.018, "bt_miss": 0.012, "wifi_fp": 0.01, "bt_fp": 0.0002},
+}
+
+
+@pytest.fixture(scope="module")
+def mix_trace():
+    scenario = Scenario(duration=1.5, seed=900)
+    # 60 ms ping interval: deliberately a multiple of the Bluetooth slot
+    # (the paper's periodic ICMP pings "sometimes had a timing similar to
+    # that of Bluetooth"), at a modest medium utilization so collisions
+    # stay a small fraction as in the paper's testbed.  500-byte payloads
+    # give 4.9 ms data packets — longer than 5 Bluetooth slots, so only
+    # the SIFS-spaced ACKs can masquerade as Bluetooth.
+    scenario.add(
+        WifiPingSession(
+            n_pings=24, snr_db=20.0, interval=60e-3, payload_size=500,
+            seed=901,
+        )
+    )
+    scenario.add(
+        BluetoothL2PingSession(n_pings=195, snr_db=20.0, interval_slots=12)
+    )
+    return scenario.render()
+
+
+def _evaluate(trace, kinds):
+    monitor = RFDumpMonitor(
+        protocols=("wifi", "bluetooth"),
+        kinds=kinds,
+        center_freq=trace.center_freq,
+        demodulate=False,
+        noise_floor=trace.noise_power,
+    )
+    report = monitor.process(trace.buffer)
+    truth = trace.ground_truth
+    out = {}
+    for protocol, tag in (("wifi", "wifi"), ("bluetooth", "bt")):
+        result = match_detections(
+            truth, report.classifications_for(protocol), protocol
+        )
+        out[f"{tag}_miss"] = result.miss_rate
+        non_collided = [
+            t for t in result.missed if not truth.collided(t)
+        ]
+        out[f"{tag}_miss_excl_collisions"] = len(non_collided) / max(
+            len(result.found) + len(result.missed), 1
+        )
+        out[f"{tag}_fp"] = false_positive_sample_rate(
+            truth,
+            report.forwarded_ranges(protocol),
+            report.total_samples,
+            protocol,
+        )
+    return out
+
+
+def test_table3(mix_trace, report_table, benchmark):
+    results = {}
+
+    def run_experiment():
+        results["Timing"] = _evaluate(mix_trace, ("timing",))
+        results["Phase"] = _evaluate(mix_trace, ("phase",))
+
+    benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for detector in ("Timing", "Phase"):
+        r = results[detector]
+        rows.append(
+            {
+                "Detector": detector,
+                "miss 802.11b": round(r["wifi_miss"], 4),
+                "miss BT": round(r["bt_miss"], 4),
+                "FP 802.11b": round(r["wifi_fp"], 5),
+                "FP BT": round(r["bt_fp"], 5),
+                "miss 802.11b (no coll.)": round(r["wifi_miss_excl_collisions"], 4),
+                "miss BT (no coll.)": round(r["bt_miss_excl_collisions"], 4),
+            }
+        )
+    paper_rows = [
+        {
+            "Detector": f"{k} (paper)",
+            "miss 802.11b": v["wifi_miss"],
+            "miss BT": v["bt_miss"],
+            "FP 802.11b": v["wifi_fp"],
+            "FP BT": v["bt_fp"],
+        }
+        for k, v in PAPER.items()
+    ]
+    report_table(
+        "table3",
+        render_summary(
+            "Table 3: traffic mix results (miss rate / false-positive sample rate)",
+            rows + paper_rows,
+            ["Detector", "miss 802.11b", "miss BT", "FP 802.11b", "FP BT",
+             "miss 802.11b (no coll.)", "miss BT (no coll.)"],
+        ),
+    )
+
+    for detector in ("Timing", "Phase"):
+        r = results[detector]
+        # residual miss rates are dominated by collisions; discounting
+        # them both detectors are near zero (the paper's observation)
+        assert r["wifi_miss"] <= 0.15
+        assert r["bt_miss"] <= 0.40
+        assert r["wifi_miss_excl_collisions"] <= 0.05
+        assert r["bt_miss_excl_collisions"] <= 0.15
+        # false-positive sample rates stay small
+        assert r["wifi_fp"] <= 0.05
+        assert r["bt_fp"] <= 0.05
+    # the paper's asymmetry: periodic pings give the *timing* detector a
+    # higher Bluetooth false-positive rate than the phase detector
+    assert results["Timing"]["bt_fp"] > results["Phase"]["bt_fp"]

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Band scanner: one radio surveying several 8 MHz slices of the ISM band.
+
+Section 3.1 notes that cheap energy/peak detection matters most "when
+scanning, e.g. a single radio looks at multiple frequency bands over
+time, since efficiency is then a concern even for idle bands".  This
+example retunes across three centers while a Bluetooth piconet hops and a
+Wi-Fi station pings, and prints the per-band census a site survey wants.
+
+Run:  python examples/band_scanner.py
+"""
+
+from repro import BluetoothL2PingSession, Scenario, WifiPingSession, render_summary
+from repro.core.scanning import ScanningMonitor
+from repro.emulator.scanning import ScanPlan, render_scan
+
+
+def main():
+    scenario = Scenario(duration=0.3, seed=13)
+    # the Wi-Fi network lives on channel 6 (2.437 GHz); the Bluetooth
+    # piconet hops across all 79 channels
+    scenario.add(
+        WifiPingSession(n_pings=8, snr_db=20.0, interval=35e-3, channel=6)
+    )
+    scenario.add(
+        BluetoothL2PingSession(n_pings=40, snr_db=20.0, interval_slots=6)
+    )
+
+    plan = ScanPlan(
+        centers=[2.412e9, 2.437e9, 2.462e9],  # 802.11 channels 1 / 6 / 11
+        dwell=0.02,
+    )
+    windows = render_scan(scenario, plan)
+    print(f"scanning {len(plan.centers)} bands, {len(windows)} dwells of "
+          f"{plan.dwell * 1e3:.0f} ms")
+
+    monitor = ScanningMonitor(protocols=("wifi", "bluetooth"))
+    monitor.scan(windows)
+
+    rows = monitor.summary_rows()
+    print()
+    print(render_summary(
+        "Per-band census",
+        rows,
+        ["center (GHz)", "dwells", "occupancy (%)", "peaks", "classified"],
+    ))
+    print("\nWi-Fi shows up only in the channel-6 dwells; the hopping "
+          "piconet contributes a little everywhere.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,329 @@
+"""Demodulating stream decoders for the analysis stage.
+
+Each decoder's :meth:`scan` takes a :class:`~repro.dsp.samples.SampleBuffer`
+(the whole trace for the naive architectures, or one dispatched range for
+RFDump) and returns every packet it can decode inside it, as
+:class:`PacketRecord` objects with absolute sample positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.constants import DEFAULT_CENTER_FREQ
+from repro.dsp.samples import SampleBuffer
+from repro.emulator.channel import apply_freq_offset
+from repro.errors import DecodeError
+from repro.phy import plcp
+from repro.phy.bluetooth import BluetoothDemodulator, PREAMBLE_BITS, sync_word
+from repro.phy.bluetooth_fh import channel_freq, channels_in_band
+from repro.phy.wifi import WifiDemodulator
+from repro.phy.zigbee import ZigbeeDemodulator
+from repro.util.bits import descramble_stream
+from repro.phy import dsss
+
+
+@dataclass
+class PacketRecord:
+    """One decoded packet, protocol-agnostic envelope."""
+
+    protocol: str
+    start_sample: int
+    end_sample: int
+    ok: bool
+    decoder: str
+    payload_size: int = 0
+    rate_mbps: Optional[float] = None
+    channel: Optional[int] = None
+    decoded: object = None
+    info: Dict = field(default_factory=dict)
+
+    def start_time(self, sample_rate: float) -> float:
+        return self.start_sample / sample_rate
+
+
+def _dedup_records(records: List[PacketRecord], min_spacing: int) -> List[PacketRecord]:
+    """Collapse records whose starts are within ``min_spacing`` samples."""
+    records.sort(key=lambda r: r.start_sample)
+    out: List[PacketRecord] = []
+    for rec in records:
+        if out and rec.start_sample - out[-1].start_sample < min_spacing:
+            if rec.ok and not out[-1].ok:
+                out[-1] = rec
+            continue
+        out.append(rec)
+    return out
+
+
+class WifiStreamDecoder:
+    """Finds and decodes every 802.11b packet in a sample range.
+
+    The scan correlates all Barker chip-phase templates over the input
+    (the dominant cost, proportional to input length), extracts
+    differential bits at each of the 8 symbol alignments, descrambles,
+    locates SFDs, and runs the full demodulator on each candidate.
+    """
+
+    #: samples of slack kept before a candidate's nominal preamble start
+    _LEAD = 64
+
+    def __init__(self, sample_rate: float, decode_payload: bool = True,
+                 max_packet_us: float = 5000.0):
+        self.sample_rate = sample_rate
+        self.demodulator = WifiDemodulator(sample_rate, decode_payload=decode_payload)
+        self._sps = self.demodulator._sps
+        self._max_packet = int(max_packet_us * 1e-6 * sample_rate)
+
+    def _candidate_starts(self, samples: np.ndarray) -> List[int]:
+        """Sample indices where a PLCP preamble plausibly starts."""
+        sps = self._sps
+        # pick the template with the greatest total correlation energy
+        best_corr, best_energy = None, -1.0
+        for template in self.demodulator._templates:
+            corr = np.convolve(samples, template[::-1], mode="valid")
+            energy = float(np.sum(np.abs(corr) ** 2))
+            if energy > best_energy:
+                best_corr, best_energy = corr, energy
+        if best_corr is None:
+            return []
+        candidates: List[int] = []
+        searches = (
+            (plcp.find_sfd, 144),        # long: SYNC(128) + SFD(16)
+            (plcp.find_short_sfd, 72),   # short: SYNC(56) + SFD(16)
+        )
+        for align in range(sps):
+            symbols = best_corr[align::sps]
+            jumps = dsss.differential_decisions(symbols)
+            if jumps.size == 0:
+                continue
+            bits = dsss.dbpsk_bits_from_jumps(jumps)
+            descrambled = descramble_stream(bits)
+            for finder, preamble_bits in searches:
+                pos = 0
+                while pos < descrambled.size:
+                    sfd_end = finder(descrambled[pos:], search_limit=None)
+                    if sfd_end < 0:
+                        break
+                    sfd_end += pos
+                    start = align + max(sfd_end - preamble_bits, 0) * sps
+                    candidates.append(start)
+                    pos = sfd_end + 1
+        return sorted(candidates)
+
+    def scan(self, buffer: SampleBuffer) -> List[PacketRecord]:
+        """Decode every 802.11b packet found in the buffer."""
+        samples = buffer.samples
+        records: List[PacketRecord] = []
+        for start in self._candidate_starts(samples):
+            lo = max(start - self._LEAD, 0)
+            hi = min(start + self._max_packet, samples.size)
+            try:
+                packet = self.demodulator.demodulate(samples[lo:hi])
+            except DecodeError:
+                continue
+            abs_start = buffer.start_sample + lo + packet.start_sample
+            plcp_us = 96 if packet.preamble == "short" else 192
+            airtime_us = plcp_us + packet.plcp_header.length_us
+            records.append(
+                PacketRecord(
+                    protocol="wifi",
+                    start_sample=abs_start,
+                    end_sample=abs_start + int(airtime_us * 1e-6 * self.sample_rate),
+                    ok=True,
+                    decoder=type(self).__name__,
+                    payload_size=len(packet.mpdu) or packet.plcp_header.mpdu_bytes,
+                    rate_mbps=packet.rate_mbps,
+                    decoded=packet,
+                    info={"header_only": packet.header_only,
+                          "fcs_ok": packet.fcs_ok,
+                          "preamble": packet.preamble},
+                )
+            )
+        # a packet preamble found at neighbouring alignments is one packet
+        return _dedup_records(records, min_spacing=96 * self._sps)
+
+
+class BluetoothStreamDecoder:
+    """Finds and decodes Bluetooth packets on every in-band hop channel.
+
+    One GFSK demodulation pass per channel — the paper's "8 Bluetooth
+    demodulators (one for each channel)".  A channel hint (from the phase
+    or frequency detector) restricts the scan to a single channel.
+    """
+
+    _LEAD = 96
+
+    def __init__(self, sample_rate: float, center_freq: float = DEFAULT_CENTER_FREQ,
+                 lap: int = 0x9E8B33, max_packet_us: float = 3200.0):
+        self.sample_rate = sample_rate
+        self.center_freq = center_freq
+        self.lap = lap
+        self.demodulator = BluetoothDemodulator(sample_rate, lap=lap)
+        self.channels = [int(c) for c in channels_in_band(center_freq, sample_rate)]
+        self._sync = sync_word(lap)
+        self._max_packet = int(max_packet_us * 1e-6 * sample_rate)
+
+    def _channel_offset(self, channel: int) -> float:
+        return channel_freq(channel) - self.center_freq
+
+    def _scan_channel(self, buffer: SampleBuffer, channel: int) -> List[PacketRecord]:
+        baseband = apply_freq_offset(
+            buffer.samples, -self._channel_offset(channel), self.sample_rate
+        )
+        modem = self.demodulator.modem
+        pattern = 2.0 * self._sync.astype(np.float64) - 1.0
+        records: List[PacketRecord] = []
+        decoded_starts: List[int] = []
+        guard = 64 * modem.sps
+        threshold = 2 * self.demodulator.SYNC_THRESHOLD - 64
+        disc = modem.discriminate(baseband)
+        for offset in range(modem.sps):
+            soft = modem.soft_bits(baseband, offset, disc)
+            if soft.size < pattern.size:
+                continue
+            corr = np.correlate(np.sign(soft), pattern, mode="valid")
+            for pos in np.flatnonzero(corr >= threshold):
+                start = offset + (int(pos) - PREAMBLE_BITS.size) * modem.sps
+                if any(abs(start - s) < guard for s in decoded_starts):
+                    continue
+                lo = max(start - self._LEAD, 0)
+                hi = min(start + self._max_packet, baseband.size)
+                try:
+                    packet = self.demodulator.demodulate(baseband[lo:hi])
+                except DecodeError:
+                    continue
+                decoded_starts.append(start)
+                abs_start = buffer.start_sample + lo + packet.start_sample
+                nbits = 72 + 54 + (16 + 8 * len(packet.payload) + 16 if packet.has_payload else 0)
+                records.append(
+                    PacketRecord(
+                        protocol="bluetooth",
+                        start_sample=abs_start,
+                        end_sample=abs_start + nbits * modem.sps,
+                        ok=True,
+                        decoder=type(self).__name__,
+                        payload_size=len(packet.payload),
+                        rate_mbps=1.0,
+                        channel=channel,
+                        decoded=packet,
+                        info={"ptype": packet.ptype, "clock": packet.clock},
+                    )
+                )
+        return records
+
+    def scan(self, buffer: SampleBuffer, channel_hint: Optional[int] = None) -> List[PacketRecord]:
+        """Decode Bluetooth packets; restrict to one channel when hinted."""
+        if channel_hint is not None and channel_hint in self.channels:
+            channels = [channel_hint]
+        else:
+            channels = self.channels
+        records: List[PacketRecord] = []
+        for channel in channels:
+            records.extend(self._scan_channel(buffer, channel))
+        return _dedup_records(records, min_spacing=64 * self.demodulator.modem.sps)
+
+
+class OfdmStreamDecoder:
+    """Finds and decodes OFDM frames in a sample range (future-work PHY)."""
+
+    _LEAD = 32
+
+    def __init__(self, sample_rate: float, max_packet_us: float = 4000.0):
+        from repro.phy.ofdm import OfdmModem, SYMBOL_LEN, _TRAINING
+
+        self.sample_rate = sample_rate
+        self.demodulator = OfdmModem(sample_rate)
+        self._symbol_len = SYMBOL_LEN
+        self._reference = self.demodulator._symbol_from_subcarriers(_TRAINING)
+        self._max_packet = int(max_packet_us * 1e-6 * sample_rate)
+
+    def scan(self, buffer: SampleBuffer) -> List[PacketRecord]:
+        samples = buffer.samples
+        corr = np.abs(
+            np.convolve(samples, self._reference[::-1].conj(), mode="valid")
+        )
+        if corr.size == 0:
+            return []
+        # the training symbol stands far above both noise and data-symbol
+        # cross-correlation; hits are clustered per preamble
+        threshold = max(0.6 * float(corr.max()), 8.0 * float(np.median(corr)))
+        hits = np.flatnonzero(corr > threshold)
+        records: List[PacketRecord] = []
+        skip_until = -1
+        for hit in hits:
+            if hit < skip_until:
+                continue
+            lo = max(int(hit) - self._LEAD, 0)
+            hi = min(int(hit) + self._max_packet, samples.size)
+            try:
+                packet = self.demodulator.demodulate(samples[lo:hi])
+            except DecodeError:
+                skip_until = int(hit) + 2 * self._symbol_len
+                continue
+            skip_until = (
+                lo + packet.start_sample + packet.n_symbols * self._symbol_len
+            )
+            abs_start = buffer.start_sample + lo + packet.start_sample
+            records.append(
+                PacketRecord(
+                    protocol="ofdm",
+                    start_sample=abs_start,
+                    end_sample=abs_start + packet.n_symbols * self._symbol_len,
+                    ok=True,
+                    decoder=type(self).__name__,
+                    payload_size=len(packet.payload),
+                    decoded=packet,
+                )
+            )
+        return _dedup_records(records, min_spacing=4 * self._symbol_len)
+
+
+class ZigbeeStreamDecoder:
+    """Finds and decodes 802.15.4 frames in a sample range."""
+
+    _LEAD = 64
+
+    def __init__(self, sample_rate: float, max_packet_us: float = 4500.0):
+        self.sample_rate = sample_rate
+        self.demodulator = ZigbeeDemodulator(sample_rate)
+        self._max_packet = int(max_packet_us * 1e-6 * sample_rate)
+
+    def scan(self, buffer: SampleBuffer) -> List[PacketRecord]:
+        samples = buffer.samples
+        sps = self.demodulator.sps
+        template = self.demodulator._templates[0]
+        corr = np.abs(np.convolve(samples, template[::-1].conj(), mode="valid"))
+        if corr.size == 0:
+            return []
+        # preamble symbols stand well above the correlation noise floor
+        threshold = max(4.0 * float(np.median(corr)), 1e-12)
+        hits = np.flatnonzero(corr > threshold)
+        records: List[PacketRecord] = []
+        last = -10 * sps
+        for hit in hits:
+            if hit - last < 12 * sps:  # inside the previous frame's preamble
+                continue
+            lo = max(int(hit) - self._LEAD, 0)
+            hi = min(int(hit) + self._max_packet, samples.size)
+            try:
+                packet = self.demodulator.demodulate(samples[lo:hi])
+            except DecodeError:
+                continue
+            last = int(hit)
+            abs_start = buffer.start_sample + lo + packet.start_sample
+            nsymbols = (6 + len(packet.psdu) + 2) * 2
+            records.append(
+                PacketRecord(
+                    protocol="zigbee",
+                    start_sample=abs_start,
+                    end_sample=abs_start + nsymbols * sps,
+                    ok=True,
+                    decoder=type(self).__name__,
+                    payload_size=len(packet.psdu),
+                    decoded=packet,
+                )
+            )
+        return _dedup_records(records, min_spacing=12 * sps)

@@ -1,0 +1,128 @@
+"""Diagnostic analysis modules (Section 2.1: "Functionality Extensible").
+
+The architecture's analysis stage accepts arbitrary modules beyond
+demodulators — "diagnostic modules, deep packet inspection".  These are
+three such modules operating on monitor output:
+
+* :func:`station_traffic` — per-station packet/byte accounting from
+  decoded 802.11 MAC headers (who is talking, how much);
+* :func:`protocol_airtime` — per-protocol share of the ether from the
+  detection stage alone (no demodulation needed);
+* :func:`diagnose_interference` — the paper's motivating use case: "when
+  diagnosing Wi-Fi problems ... non-Wi-Fi users can reduce the network
+  capacity by reducing transmission opportunities".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+from repro.analysis.decoders import PacketRecord
+
+if TYPE_CHECKING:  # avoid a circular import; only needed for type hints
+    from repro.core.pipeline import MonitorReport
+
+
+@dataclass
+class StationStats:
+    """Traffic accounting for one 802.11 station (by transmitter MAC)."""
+
+    address: str
+    data_packets: int = 0
+    ack_packets: int = 0
+    beacons: int = 0
+    bytes_sent: int = 0
+    rates_seen: set = field(default_factory=set)
+
+
+def station_traffic(packets: Iterable[PacketRecord]) -> Dict[str, StationStats]:
+    """Per-station accounting from decoded Wi-Fi packets.
+
+    ACKs carry no transmitter address; they are attributed to the
+    *receiver* station named in the ACK (the station being acknowledged).
+    """
+    stations: Dict[str, StationStats] = {}
+
+    def stat_for(address: bytes) -> StationStats:
+        key = address.hex(":")
+        if key not in stations:
+            stations[key] = StationStats(address=key)
+        return stations[key]
+
+    for record in packets:
+        if record.protocol != "wifi" or record.decoded is None:
+            continue
+        mac = getattr(record.decoded, "mac", None)
+        if mac is None:
+            continue
+        if mac.is_ack:
+            stat_for(mac.addr1).ack_packets += 1
+            continue
+        stat = stat_for(mac.addr2)
+        if mac.is_beacon:
+            stat.beacons += 1
+        else:
+            stat.data_packets += 1
+        stat.bytes_sent += record.payload_size
+        if record.rate_mbps is not None:
+            stat.rates_seen.add(record.rate_mbps)
+    return stations
+
+
+def protocol_airtime(report: "MonitorReport") -> Dict[str, float]:
+    """Fraction of the trace each protocol's classified peaks occupy.
+
+    Computed from the detection stage alone, so it works in the cheap
+    ``demodulate=False`` configuration.  A peak classified by several of
+    one protocol's detectors counts once.
+    """
+    out: Dict[str, float] = {}
+    if report.total_samples == 0:
+        return out
+    for protocol in {c.protocol for c in report.classifications}:
+        peaks = {}
+        for c in report.classifications_for(protocol):
+            peaks[c.peak.index] = c.peak
+        covered = sum(p.length for p in peaks.values())
+        out[protocol] = covered / report.total_samples
+    return out
+
+
+@dataclass
+class InterferenceDiagnosis:
+    """Summary of non-Wi-Fi pressure on the monitored band."""
+
+    wifi_airtime: float
+    interferer_airtime: Dict[str, float]
+    #: fraction of time the band is occupied by anything at all
+    band_occupancy: float
+    #: unclassified (unknown-technology) airtime fraction
+    unknown_airtime: float
+
+    @property
+    def capacity_pressure(self) -> float:
+        """Total non-Wi-Fi airtime — transmission opportunities lost."""
+        return sum(self.interferer_airtime.values()) + self.unknown_airtime
+
+
+def diagnose_interference(report: "MonitorReport") -> InterferenceDiagnosis:
+    """Attribute band occupancy to Wi-Fi, named interferers, and unknowns."""
+    airtime = protocol_airtime(report)
+    wifi = airtime.pop("wifi", 0.0)
+
+    classified_peaks = {c.peak.index for c in report.classifications}
+    total_busy = 0
+    unknown = 0
+    if report.peaks is not None:
+        for peak in report.peaks:
+            total_busy += peak.length
+            if peak.index not in classified_peaks:
+                unknown += peak.length
+    total = max(report.total_samples, 1)
+    return InterferenceDiagnosis(
+        wifi_airtime=wifi,
+        interferer_airtime=airtime,
+        band_occupancy=total_busy / total,
+        unknown_airtime=unknown / total,
+    )

@@ -1,0 +1,140 @@
+"""Deep packet inspection: cross-layer analysis of decoded traffic.
+
+The paper's intro holds up tcpdump-style tooling because it "expose[s]
+the operation of a network in a detailed, cross-layer fashion", enabling
+users "to monitor and analyze the interactions between different nodes,
+different protocols, different protocol layers and different
+applications".  This module climbs the stack from decoded 802.11 frames
+to the application-level ping exchanges inside them: pairing echo
+requests with replies and MAC ACKs, measuring RTTs and loss — the
+classic cross-layer diagnosis a monitoring tool exists to support.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.decoders import PacketRecord
+
+
+@dataclass
+class PingExchange:
+    """One ICMP-style echo exchange reconstructed from the ether."""
+
+    seq: int
+    request_time: Optional[float] = None
+    reply_time: Optional[float] = None
+    request_acked: bool = False
+    reply_acked: bool = False
+    size: int = 0
+
+    @property
+    def rtt(self) -> Optional[float]:
+        """Request-to-reply time, or None if either side is missing."""
+        if self.request_time is None or self.reply_time is None:
+            return None
+        return self.reply_time - self.request_time
+
+    @property
+    def complete(self) -> bool:
+        return self.rtt is not None
+
+
+def _parse_icmp(body: bytes):
+    """(kind, seq) from an emulated ICMP body, or None."""
+    if len(body) < 12:
+        return None
+    tag, seq = body[:8], struct.unpack("<I", body[8:12])[0]
+    if tag == b"ICMPEREQ":
+        return "request", seq
+    if tag == b"ICMPEREP":
+        return "reply", seq
+    return None
+
+
+def extract_ping_exchanges(
+    packets: Iterable[PacketRecord], sample_rate: float
+) -> Dict[int, PingExchange]:
+    """Reconstruct echo exchanges from decoded Wi-Fi packets.
+
+    MAC ACKs are attributed to the data packet immediately preceding them
+    (the SIFS relationship the timing detector also exploits).
+    """
+    exchanges: Dict[int, PingExchange] = {}
+    last_data: Optional[tuple] = None  # (kind, seq)
+    ordered = sorted(
+        (p for p in packets if p.protocol == "wifi" and p.decoded is not None),
+        key=lambda p: p.start_sample,
+    )
+    for record in ordered:
+        mac = getattr(record.decoded, "mac", None)
+        if mac is None:
+            continue
+        if mac.is_ack:
+            if last_data is not None:
+                kind, seq = last_data
+                ex = exchanges.get(seq)
+                if ex is not None:
+                    if kind == "request":
+                        ex.request_acked = True
+                    else:
+                        ex.reply_acked = True
+            continue
+        parsed = _parse_icmp(mac.body) if mac.is_data else None
+        if parsed is None:
+            last_data = None
+            continue
+        kind, seq = parsed
+        ex = exchanges.setdefault(seq, PingExchange(seq=seq))
+        t = record.start_sample / sample_rate
+        if kind == "request":
+            ex.request_time = t
+            ex.size = len(mac.body)
+        else:
+            ex.reply_time = t
+        last_data = (kind, seq)
+    return exchanges
+
+
+@dataclass
+class PingReport:
+    """Aggregate ping statistics, `ping`-style."""
+
+    exchanges: Dict[int, PingExchange] = field(default_factory=dict)
+
+    @property
+    def sent(self) -> int:
+        return sum(1 for e in self.exchanges.values() if e.request_time is not None)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for e in self.exchanges.values() if e.complete)
+
+    @property
+    def loss_rate(self) -> float:
+        if self.sent == 0:
+            return 0.0
+        return 1.0 - self.completed / self.sent
+
+    def rtts(self) -> List[float]:
+        return [e.rtt for e in self.exchanges.values() if e.rtt is not None]
+
+    def summary(self) -> str:
+        rtts = self.rtts()
+        lines = [
+            f"{self.sent} requests observed, {self.completed} exchanges "
+            f"completed, {self.loss_rate * 100:.1f}% incomplete"
+        ]
+        if rtts:
+            lines.append(
+                f"rtt min/avg/max = {min(rtts) * 1e3:.3f}/"
+                f"{sum(rtts) / len(rtts) * 1e3:.3f}/{max(rtts) * 1e3:.3f} ms"
+            )
+        return "\n".join(lines)
+
+
+def ping_report(packets: Iterable[PacketRecord], sample_rate: float) -> PingReport:
+    """Convenience wrapper: exchanges -> aggregate report."""
+    return PingReport(exchanges=extract_ping_exchanges(packets, sample_rate))

@@ -1,0 +1,69 @@
+"""Human-readable output: the tcpdump-for-the-ether packet log."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analysis.decoders import PacketRecord
+
+
+def render_packet_log(records: Iterable[PacketRecord], sample_rate: float) -> str:
+    """One line per decoded packet, tcpdump-style, sorted by time."""
+    lines: List[str] = []
+    for rec in sorted(records, key=lambda r: r.start_sample):
+        t = rec.start_sample / sample_rate
+        fields = [f"{t * 1e3:11.3f} ms", f"{rec.protocol:9s}"]
+        if rec.rate_mbps is not None:
+            fields.append(f"{rec.rate_mbps:>4g} Mbps")
+        if rec.channel is not None:
+            fields.append(f"ch {rec.channel:2d}")
+        fields.append(f"{rec.payload_size:4d} B")
+        snr = rec.info.get("snr_db")
+        if snr is not None:
+            fields.append(f"{snr:5.1f} dB")
+        detail = _detail_for(rec)
+        if detail:
+            fields.append(detail)
+        lines.append("  ".join(fields))
+    return "\n".join(lines)
+
+
+def _detail_for(rec: PacketRecord) -> str:
+    decoded = rec.decoded
+    if rec.protocol == "wifi" and decoded is not None:
+        if getattr(decoded, "header_only", False):
+            return "[PLCP header only]"
+        mac = getattr(decoded, "mac", None)
+        if mac is None:
+            return "[bad FCS]"
+        if mac.is_ack:
+            return "ACK"
+        if mac.is_beacon:
+            return "beacon"
+        kind = "broadcast" if mac.is_broadcast else "data"
+        return f"{kind} seq={mac.seq}"
+    if rec.protocol == "bluetooth" and decoded is not None:
+        return f"DH type={decoded.ptype:#x} clk={decoded.clock}"
+    if rec.protocol == "zigbee" and decoded is not None:
+        return f"PSDU {len(decoded.psdu)} B"
+    return ""
+
+
+def render_summary(title: str, rows: List[dict], columns: List[str]) -> str:
+    """A fixed-width table; used by the benchmark harnesses to print the
+    same rows/series the paper's tables and figures report."""
+    widths = {c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) if rows else len(c)
+              for c in columns}
+    sep = "  "
+    header = sep.join(c.ljust(widths[c]) for c in columns)
+    ruler = sep.join("-" * widths[c] for c in columns)
+    body = [sep.join(_fmt(r.get(c)).ljust(widths[c]) for c in columns) for r in rows]
+    return "\n".join([title, header, ruler, *body])
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

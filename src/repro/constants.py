@@ -1,0 +1,305 @@
+"""Protocol constants for the 2.4 GHz ISM band (paper Table 2).
+
+This module is the single source of truth for the timing, modulation and
+channelization features that the fast detectors key on.  Each protocol is
+described by a :class:`ProtocolFeatures` record; the registry
+:data:`PROTOCOL_FEATURES` reproduces Table 2 of the paper and is what the
+``table2`` benchmark renders.
+
+All times are in seconds, frequencies in Hz, unless a name says otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Capture / front-end defaults (Section 4.1, 4.2)
+# ---------------------------------------------------------------------------
+
+#: Default complex sample rate of the monitored stream.  The USRP 1 was
+#: limited by USB to an 8 MHz complex bandwidth.
+DEFAULT_SAMPLE_RATE = 8_000_000.0
+
+#: Chunk size used when attaching metadata to the sample stream
+#: (Section 4.2: "a chunk size of 25 us (200 samples)").
+DEFAULT_CHUNK_SAMPLES = 200
+
+#: Energy averaging window used by the peak detector
+#: (Section 4.3: "an averaging window of 2.5 us (20 samples)").
+DEFAULT_ENERGY_WINDOW = 20
+
+#: Energy filter threshold above the noise floor, in dB (Section 4.3).
+DEFAULT_ENERGY_THRESHOLD_DB = 4.0
+
+#: Default center frequency of the monitored 8 MHz band.  Chosen so the
+#: eight 1 MHz sub-bands align exactly with Bluetooth channels 36..43 —
+#: "we have 8 Bluetooth channels in the 8 MHz band we are monitoring"
+#: (Section 4.6).
+DEFAULT_CENTER_FREQ = 2.4415e9
+
+
+class Modulation(enum.Enum):
+    """Modulation schemes distinguishable by the phase detectors."""
+
+    DBPSK = "DBPSK"
+    DQPSK = "DQPSK"
+    BPSK = "BPSK"
+    QPSK = "QPSK"
+    OQPSK = "OQPSK"
+    GFSK = "GFSK"
+    OFDM = "OFDM"
+    CCK = "CCK"
+    CW = "CW"  # continuous wave (e.g. microwave magnetron)
+
+
+class Spreading(enum.Enum):
+    """Spectrum spreading schemes."""
+
+    NONE = "none"
+    BARKER = "Barker"
+    CCK = "CCK"
+    FHSS = "FHSS"
+    DSSS = "DSSS"  # 802.15.4 32-chip PN spreading
+
+
+# ---------------------------------------------------------------------------
+# 802.11b/g (DSSS PHY)
+# ---------------------------------------------------------------------------
+
+#: Short interframe space: data -> MAC ACK gap (Figure 3).
+WIFI_SIFS = 10e-6
+
+#: Slot time for 802.11b.
+WIFI_SLOT_TIME = 20e-6
+
+#: Distributed interframe space: DIFS = SIFS + 2 * slot.
+WIFI_DIFS = WIFI_SIFS + 2 * WIFI_SLOT_TIME
+
+#: Contention-window bound used by the DIFS detector (Section 4.4:
+#: "We use a value of 64 for CW ... to bound our latency").
+WIFI_CW_MAX = 64
+
+#: 802.11b symbol rate (1 MSym/s for DBPSK/DQPSK rates).
+WIFI_SYMBOL_RATE = 1_000_000.0
+
+#: Barker chipping rate (11 Mchip/s) giving the 22 MHz channel width.
+WIFI_CHIP_RATE = 11_000_000.0
+
+#: 11-chip Barker sequence used to spread each 802.11b symbol.
+BARKER_SEQUENCE = (1, -1, 1, 1, -1, 1, 1, 1, -1, -1, -1)
+
+#: Channel width occupied by an 802.11b transmission.
+WIFI_CHANNEL_WIDTH = 22e6
+
+#: Center frequencies of 802.11 channels 1..11 (2.412 .. 2.462 GHz).
+WIFI_CHANNELS = tuple(2.412e9 + 5e6 * i for i in range(11))
+
+#: PLCP long preamble: 128 scrambled SYNC bits + 16-bit SFD, at 1 Mbps.
+WIFI_PLCP_SYNC_BITS = 128
+WIFI_PLCP_SFD = 0xF3A0  # transmitted LSB-first
+WIFI_PLCP_HEADER_BITS = 48  # SIGNAL(8) SERVICE(8) LENGTH(16) CRC(16)
+
+#: PLCP SIGNAL field values (rate in units of 100 kbps).
+WIFI_SIGNAL_1MBPS = 0x0A
+WIFI_SIGNAL_2MBPS = 0x14
+WIFI_SIGNAL_5_5MBPS = 0x37
+WIFI_SIGNAL_11MBPS = 0x6E
+
+#: Scrambler polynomial for 802.11b: s(z) = z^-4 + z^-7 (self-synchronizing).
+WIFI_SCRAMBLER_TAPS = (4, 7)
+
+# ---------------------------------------------------------------------------
+# Bluetooth (basic rate, GFSK)
+# ---------------------------------------------------------------------------
+
+#: Bluetooth TDD slot length: 625 us (1600 hops per second).
+BT_SLOT = 625e-6
+
+#: Bluetooth symbol rate (1 MSym/s GFSK).
+BT_SYMBOL_RATE = 1_000_000.0
+
+#: Number of RF channels (79 x 1 MHz starting at 2.402 GHz).
+BT_NUM_CHANNELS = 79
+BT_CHANNEL_WIDTH = 1e6
+BT_BASE_FREQ = 2.402e9
+
+#: GFSK modulation index range midpoint and BT product.
+BT_MODULATION_INDEX = 0.32
+BT_GAUSSIAN_BT = 0.5
+
+#: Access code length in bits (72 when followed by a header).
+BT_ACCESS_CODE_BITS = 72
+BT_SYNC_WORD_BITS = 64
+BT_HEADER_BITS = 54  # 18-bit header, 1/3 rate repetition FEC
+
+#: Maximum payload bytes for DH packets (1/3/5 slots).
+BT_DH1_MAX_PAYLOAD = 27
+BT_DH3_MAX_PAYLOAD = 183
+BT_DH5_MAX_PAYLOAD = 339
+
+# ---------------------------------------------------------------------------
+# 802.15.4 / ZigBee (2.4 GHz O-QPSK PHY)
+# ---------------------------------------------------------------------------
+
+#: Backoff period: 20 symbols = 320 us.
+ZIGBEE_BACKOFF_PERIOD = 320e-6
+
+#: Short / long interframe spaces (12 / 40 symbols).
+ZIGBEE_SIFS = 192e-6
+ZIGBEE_LIFS = 640e-6
+
+#: Turnaround time before a MAC ACK (12 symbols).
+ZIGBEE_T_ACK = 192e-6
+
+#: Symbol rate 62.5 ksym/s; each symbol is 32 chips at 2 Mchip/s.
+ZIGBEE_SYMBOL_RATE = 62_500.0
+ZIGBEE_CHIP_RATE = 2_000_000.0
+ZIGBEE_CHIPS_PER_SYMBOL = 32
+ZIGBEE_CHANNEL_WIDTH = 5e6
+
+#: Center frequencies of 802.15.4 channels 11..26.
+ZIGBEE_CHANNELS = tuple(2.405e9 + 5e6 * i for i in range(16))
+
+# ---------------------------------------------------------------------------
+# Residential microwave oven
+# ---------------------------------------------------------------------------
+
+#: Magnetron emission is gated by the AC mains half-cycle: at 60 Hz the
+#: envelope repeats every 16.67 ms (20 ms at 50 Hz).
+MICROWAVE_AC_PERIOD_60HZ = 1.0 / 60.0
+MICROWAVE_AC_PERIOD_50HZ = 1.0 / 50.0
+
+#: Emission occupies very roughly 10-75 MHz around 2.45 GHz (Table 2).
+MICROWAVE_BANDWIDTH_RANGE = (10e6, 75e6)
+MICROWAVE_DUTY_CYCLE = 0.5
+
+
+# ---------------------------------------------------------------------------
+# Protocol registry (paper Table 2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProtocolFeatures:
+    """Detector-relevant features of one wireless protocol variant.
+
+    This mirrors one row of the paper's Table 2.
+    """
+
+    name: str
+    #: canonical protocol family key used by detectors/dispatchers
+    family: str
+    bit_rate: Optional[float]  # bits/s of the payload, None if n/a
+    slot_time: Optional[float]
+    ifs: Optional[float]  # the characteristic short IFS
+    modulation: Tuple[Modulation, ...]
+    spreading: Spreading
+    channel_width: float
+    notes: str = ""
+    extra: dict = field(default_factory=dict)
+
+
+PROTOCOL_FEATURES = {
+    "802.11b-1": ProtocolFeatures(
+        name="802.11b (1 Mbps)",
+        family="wifi",
+        bit_rate=1e6,
+        slot_time=WIFI_SLOT_TIME,
+        ifs=WIFI_SIFS,
+        modulation=(Modulation.DBPSK,),
+        spreading=Spreading.BARKER,
+        channel_width=WIFI_CHANNEL_WIDTH,
+        notes="Preamble is sent using DBPSK",
+    ),
+    "802.11b-2": ProtocolFeatures(
+        name="802.11b (2 Mbps)",
+        family="wifi",
+        bit_rate=2e6,
+        slot_time=WIFI_SLOT_TIME,
+        ifs=WIFI_SIFS,
+        modulation=(Modulation.DBPSK, Modulation.DQPSK),
+        spreading=Spreading.BARKER,
+        channel_width=WIFI_CHANNEL_WIDTH,
+        notes="Preamble is sent using DBPSK",
+    ),
+    "802.11b-5.5": ProtocolFeatures(
+        name="802.11b (5.5 Mbps)",
+        family="wifi",
+        bit_rate=5.5e6,
+        slot_time=WIFI_SLOT_TIME,
+        ifs=WIFI_SIFS,
+        modulation=(Modulation.DBPSK, Modulation.DQPSK),
+        spreading=Spreading.CCK,
+        channel_width=WIFI_CHANNEL_WIDTH,
+    ),
+    "802.11b-11": ProtocolFeatures(
+        name="802.11b (11 Mbps)",
+        family="wifi",
+        bit_rate=11e6,
+        slot_time=WIFI_SLOT_TIME,
+        ifs=WIFI_SIFS,
+        modulation=(Modulation.DBPSK, Modulation.DQPSK),
+        spreading=Spreading.CCK,
+        channel_width=WIFI_CHANNEL_WIDTH,
+    ),
+    "802.11g": ProtocolFeatures(
+        name="802.11g",
+        family="wifi",
+        bit_rate=54e6,
+        slot_time=9e-6,
+        ifs=WIFI_SIFS,
+        modulation=(Modulation.OFDM,),
+        spreading=Spreading.NONE,
+        channel_width=20e6,
+        notes="CTS-to-self packets use one of the 802.11b rates",
+    ),
+    "bluetooth": ProtocolFeatures(
+        name="Bluetooth",
+        family="bluetooth",
+        bit_rate=1e6,
+        slot_time=BT_SLOT,
+        ifs=None,
+        modulation=(Modulation.GFSK,),
+        spreading=Spreading.FHSS,
+        channel_width=BT_CHANNEL_WIDTH,
+        extra={"num_channels": BT_NUM_CHANNELS},
+    ),
+    "zigbee": ProtocolFeatures(
+        name="802.15.4 (ZigBee)",
+        family="zigbee",
+        bit_rate=250e3,
+        slot_time=ZIGBEE_BACKOFF_PERIOD,
+        ifs=ZIGBEE_SIFS,
+        modulation=(Modulation.OQPSK,),
+        spreading=Spreading.DSSS,
+        channel_width=ZIGBEE_CHANNEL_WIDTH,
+        extra={"lifs": ZIGBEE_LIFS},
+    ),
+    "microwave": ProtocolFeatures(
+        name="Residential Microwave",
+        family="microwave",
+        bit_rate=None,
+        slot_time=None,
+        ifs=MICROWAVE_AC_PERIOD_60HZ,
+        modulation=(Modulation.CW,),
+        spreading=Spreading.NONE,
+        channel_width=30e6,
+        notes="AC cycle 16667/20000 us; 10-75 MHz wide",
+    ),
+}
+
+
+def features_for(key: str) -> ProtocolFeatures:
+    """Return the :class:`ProtocolFeatures` registered under ``key``.
+
+    Raises ``KeyError`` with the list of known keys on a miss, which turns
+    a typo into an actionable message.
+    """
+    try:
+        return PROTOCOL_FEATURES[key]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOL_FEATURES))
+        raise KeyError(f"unknown protocol {key!r}; known: {known}") from None

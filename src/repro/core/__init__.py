@@ -1,0 +1,32 @@
+"""The RFDump core: detection stage, dispatcher, monitors.
+
+This package implements the paper's primary contribution — the two-phase
+detection stage (protocol-agnostic peak detection, then protocol-specific
+timing/phase/frequency classifiers operating mostly on metadata) in front
+of the expensive demodulators, plus the naive baseline architectures the
+evaluation compares against.
+"""
+
+from repro.core.metadata import Peak, PeakHistory, ChunkMetadata
+from repro.core.peak_detector import PeakDetector
+from repro.core.pipeline import RFDumpMonitor, MonitorReport
+from repro.core.naive import NaiveMonitor, EnergyNaiveMonitor
+from repro.core.accounting import StageClock
+from repro.core.streaming import StreamingMonitor
+from repro.core.scanning import ScanningMonitor
+from repro.core.parallelism import estimate_parallel_speedup
+
+__all__ = [
+    "Peak",
+    "PeakHistory",
+    "ChunkMetadata",
+    "PeakDetector",
+    "RFDumpMonitor",
+    "MonitorReport",
+    "NaiveMonitor",
+    "EnergyNaiveMonitor",
+    "StageClock",
+    "StreamingMonitor",
+    "ScanningMonitor",
+    "estimate_parallel_speedup",
+]

@@ -1,0 +1,57 @@
+"""CPU-cost accounting per pipeline stage.
+
+The paper's efficiency results (Table 1, Figure 9) are CPU-time /
+real-time ratios.  :class:`StageClock` accumulates wall-clock time per
+named stage; dividing by the trace's real-time duration gives the same
+ratio for our stages.  A parallel *samples-touched* counter provides a
+deterministic cost model the test suite can assert on without timing
+flakiness.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class StageClock:
+    """Accumulates per-stage costs for one monitoring run."""
+
+    seconds: Dict[str, float] = field(default_factory=dict)
+    samples_touched: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time a stage; nestable across repeated invocations."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def touch(self, name: str, nsamples: int) -> None:
+        """Record that a stage read ``nsamples`` samples."""
+        self.samples_touched[name] = self.samples_touched.get(name, 0) + int(nsamples)
+
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def cpu_over_realtime(self, trace_duration: float, stage: str = None) -> float:
+        """CPU time / real time, for one stage or the whole run."""
+        if trace_duration <= 0:
+            raise ValueError("trace_duration must be positive")
+        spent = self.seconds.get(stage, 0.0) if stage else self.total_seconds()
+        return spent / trace_duration
+
+    def merged(self, other: "StageClock") -> "StageClock":
+        """A new clock summing this one and ``other``."""
+        out = StageClock(dict(self.seconds), dict(self.samples_touched))
+        for k, v in other.seconds.items():
+            out.seconds[k] = out.seconds.get(k, 0.0) + v
+        for k, v in other.samples_touched.items():
+            out.samples_touched[k] = out.samples_touched.get(k, 0) + v
+        return out

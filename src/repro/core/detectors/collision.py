@@ -1,0 +1,107 @@
+"""Collision detector — future work from Section 5.1.5.
+
+"As we have not incorporated collision detection in our detectors yet,
+these collisions appear as missed packets."  This module adds that
+capability: when two transmissions overlap, the peak detector fuses them
+into one peak, but the fused peak betrays itself in two ways the detector
+exploits:
+
+* a sustained step in received power where the second transmitter keys on
+  or the first keys off (independent transmitters rarely arrive at the
+  same level); and
+* an implausible duration for either candidate protocol.
+
+Collision classifications let the analysis stage discount fused peaks
+instead of scoring them as detector misses — exactly the accounting the
+paper performs by hand in Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.detectors.base import Classification, Detector
+from repro.core.peak_detector import PeakDetectionResult
+from repro.dsp.energy import moving_average_of
+from repro.dsp.samples import SampleBuffer
+
+
+class CollisionDetector(Detector):
+    """Flags peaks that look like two overlapping transmissions."""
+
+    protocol = "collision"
+    kind = "phase"  # reads samples, like the phase detectors
+
+    def __init__(
+        self,
+        step_db: float = 3.0,
+        window: int = 160,
+        min_segment: int = 400,
+        min_duration: float = 100e-6,
+        max_samples: int = 80_000,
+    ):
+        """``step_db`` is the sustained power step that marks a second
+        transmitter; ``min_segment`` (samples) is how long each side of
+        the step must hold its level to count as sustained."""
+        self.step_db = step_db
+        self.window = window
+        self.min_segment = min_segment
+        self.min_duration = min_duration
+        self.max_samples = max_samples
+
+    def _find_step(self, power_profile: np.ndarray) -> Optional[int]:
+        """Index of a sustained level shift, or None.
+
+        Compares the median level of a leading and a trailing block around
+        every candidate split point (coarse grid for cost).
+        """
+        n = power_profile.size
+        seg = self.min_segment
+        if n < 2 * seg:
+            return None
+        ratio_thresh = 10 ** (self.step_db / 10.0)
+        # coarse grid: power profiles are smooth at the averaging window
+        for split in range(seg, n - seg, seg // 2):
+            before = float(np.median(power_profile[split - seg : split]))
+            after = float(np.median(power_profile[split : split + seg]))
+            lo, hi = min(before, after), max(before, after)
+            if lo <= 0:
+                continue
+            if hi / lo >= ratio_thresh:
+                return split
+        return None
+
+    def classify(self, detection: PeakDetectionResult,
+                 buffer: SampleBuffer) -> List[Classification]:
+        if buffer is None:
+            raise ValueError("the collision detector needs the sample buffer")
+        fs = buffer.sample_rate
+        out: List[Classification] = []
+        for peak in detection.history:
+            if peak.length / fs < self.min_duration:
+                continue
+            hi = min(peak.end_sample, peak.start_sample + self.max_samples)
+            segment = buffer.slice(peak.start_sample, hi).samples
+            power = (segment.real.astype(np.float64) ** 2
+                     + segment.imag.astype(np.float64) ** 2)
+            profile = moving_average_of(power, self.window)
+            split = self._find_step(profile[self.window :])
+            if split is None:
+                continue
+            split += self.window
+            before = float(np.median(profile[max(split - self.min_segment, 0) : split]))
+            after = float(np.median(profile[split : split + self.min_segment]))
+            step_db = abs(10 * np.log10(max(after, 1e-30) / max(before, 1e-30)))
+            confidence = min(step_db / (2 * self.step_db), 1.0)
+            out.append(
+                Classification(
+                    peak, self.protocol, self.name, confidence,
+                    info={
+                        "step_sample": peak.start_sample + split,
+                        "step_db": step_db,
+                    },
+                )
+            )
+        return self._dedup(out)

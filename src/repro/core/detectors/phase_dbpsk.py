@@ -1,0 +1,175 @@
+"""DBPSK / Barker phase detector (802.11b).
+
+Section 4.5: the 22 MHz Barker-chipped signal captured at 8 Msps forces a
+"somewhat inelegant" solution — precompute the sequence of phase changes
+across the 8 samples of a symbol expected from Barker chipping, and
+correlate it against the incoming phase-change stream.  A peak is 802.11b
+when some (alignment, chip-phase) template correlates strongly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.detectors.base import Classification, Detector
+from repro.core.peak_detector import PeakDetectionResult
+from repro.dsp.samples import SampleBuffer
+from repro.phy.barker import phase_change_template, samples_per_symbol
+
+
+class DbpskPhaseDetector(Detector):
+    """Classifies peaks whose phase-change signs match Barker chipping."""
+
+    protocol = "wifi"
+    kind = "phase"
+
+    #: chip-phase grid to search (matches the demodulator's)
+    _PHASES = np.arange(0.0, 11.0 / 8.0, 1.0 / 8.0)
+
+    def __init__(self, threshold: float = 0.62, max_samples: int = 1536,
+                 min_duration: float = 150e-6, trim: bool = False,
+                 trim_window_symbols: int = 16):
+        """``trim=True`` restricts each classification to the *portion* of
+        the peak that actually carries DBPSK/Barker symbols — the whole
+        packet at 1 Mbps but only the PLCP preamble/header of CCK-rate
+        packets.  This is the behaviour behind Table 4's selectivity
+        numbers ("the headers of all the other packets")."""
+        self.threshold = threshold
+        self.max_samples = max_samples
+        self.min_duration = min_duration
+        self.trim = trim
+        self.trim_window_symbols = trim_window_symbols
+        self._sps = None
+        self._templates = None
+
+    def _prepare(self, sample_rate: float) -> None:
+        sps = samples_per_symbol(sample_rate)
+        if not float(sps).is_integer():
+            raise ValueError("sample_rate must be an integer multiple of 1 MSym/s")
+        self._sps = int(sps)
+        # in-symbol phase-change signs; the final transition of each symbol
+        # crosses the symbol boundary and depends on the data, so only the
+        # first sps-1 positions are predictable
+        self._templates = [
+            phase_change_template(sample_rate, phase) for phase in self._PHASES
+        ]
+
+    def _score(self, segment: np.ndarray) -> float:
+        """Best balanced sign-match over alignments and chip phases.
+
+        The score is min(fraction of predicted-keep transitions observed
+        positive, fraction of predicted-flip transitions observed
+        negative): a constant-phase signal (CW, GFSK) matches only one
+        polarity and scores ~0.5 at best, while Barker chipping matches
+        both and scores near 1 at reasonable SNR.
+        """
+        sps = self._sps
+        d = segment[1:] * np.conj(segment[:-1])
+        signs = np.sign(d.real)
+        nsym = signs.size // sps
+        if nsym < 8:
+            return -1.0
+        grid = signs[: nsym * sps].reshape(nsym, sps)
+        best = -1.0
+        cols = np.arange(sps - 1)
+        for template in self._templates:
+            keep = template > 0
+            flip = ~keep
+            if not keep.any() or not flip.any():
+                continue
+            for align in range(sps):
+                picked = grid[:, (cols + align) % sps]
+                frac_keep = float(np.mean(picked[:, keep] > 0))
+                frac_flip = float(np.mean(picked[:, flip] < 0))
+                score = min(frac_keep, frac_flip)
+                if score > best:
+                    best = score
+        return best
+
+    def _matched_symbols(self, segment: np.ndarray) -> int:
+        """Length (in symbols) of the DBPSK-matching prefix of a segment.
+
+        Re-scores per window of ``trim_window_symbols`` using the best
+        (template, alignment) and returns the number of symbols before the
+        first window that stops matching — the CCK payload of a 5.5/11 Mbps
+        packet fails immediately after the PLCP header.
+        """
+        sps = self._sps
+        d = segment[1:] * np.conj(segment[:-1])
+        signs = np.sign(d.real)
+        nsym = signs.size // sps
+        if nsym < 8:
+            return 0
+        grid = signs[: nsym * sps].reshape(nsym, sps)
+        cols = np.arange(sps - 1)
+
+        best = (None, 0, -1.0)
+        head = grid[: min(nsym, 128)]
+        for template in self._templates:
+            keep = template > 0
+            if not keep.any() or keep.all():
+                continue
+            for align in range(sps):
+                picked = head[:, (cols + align) % sps]
+                score = min(
+                    float(np.mean(picked[:, keep] > 0)),
+                    float(np.mean(picked[:, ~keep] < 0)),
+                )
+                if score > best[2]:
+                    best = (template, align, score)
+        template, align, score = best
+        if template is None or score < self.threshold:
+            return 0
+        keep = template > 0
+        picked = grid[:, (cols + align) % sps]
+        per_symbol = np.minimum(
+            (picked[:, keep] > 0).mean(axis=1),
+            (picked[:, ~keep] < 0).mean(axis=1),
+        )
+        window = self.trim_window_symbols
+        nwin = nsym // window
+        if nwin == 0:
+            return nsym
+        win_scores = per_symbol[: nwin * window].reshape(nwin, window).mean(axis=1)
+        bad = np.flatnonzero(win_scores < self.threshold)
+        if bad.size == 0:
+            return nsym
+        return int(bad[0]) * window
+
+    def classify(self, detection: PeakDetectionResult,
+                 buffer: SampleBuffer) -> List[Classification]:
+        if buffer is None:
+            raise ValueError("phase detectors need the sample buffer")
+        fs = buffer.sample_rate
+        if self._sps is None:
+            self._prepare(fs)
+        out: List[Classification] = []
+        for peak in detection.history:
+            if peak.length / fs < self.min_duration:
+                continue
+            hi = min(peak.end_sample, peak.start_sample + self.max_samples)
+            segment = buffer.slice(peak.start_sample, hi).samples
+            score = self._score(segment)
+            if score < self.threshold:
+                continue
+            # the balanced match fraction is itself a calibrated confidence
+            confidence = min(score, 1.0)
+            classified_peak = peak
+            info = {"barker_score": score, "modulation": "DBPSK"}
+            if self.trim:
+                full = buffer.slice(peak.start_sample, peak.end_sample).samples
+                nsym = self._matched_symbols(full)
+                trimmed_end = peak.start_sample + max(nsym, 8) * self._sps
+                if trimmed_end < peak.end_sample:
+                    classified_peak = replace(peak, end_sample=trimmed_end)
+                    info["trimmed"] = True
+            out.append(
+                Classification(
+                    classified_peak, self.protocol, self.name, confidence,
+                    info=info,
+                )
+            )
+        return self._dedup(out)

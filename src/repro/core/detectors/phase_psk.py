@@ -1,0 +1,78 @@
+"""Generic PSK constellation estimator (Figure 4).
+
+Samples each peak once per symbol (symbol rate is a parameter — it is
+itself an identifying feature of a protocol), computes symbol-to-symbol
+phase jumps, and estimates the constellation order from a phase histogram:
+~2 occupied clusters means DBPSK, ~4 means DQPSK/QPSK.  Differential
+schemes need no axis alignment since the jumps *are* the information.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.constants import WIFI_SYMBOL_RATE
+from repro.core.detectors.base import Classification, Detector
+from repro.core.peak_detector import PeakDetectionResult
+from repro.dsp.phase import count_constellation_points
+from repro.dsp.samples import SampleBuffer
+
+_MODULATION_NAME = {2: "DBPSK", 4: "DQPSK", 8: "D8PSK"}
+
+
+class PskConstellationDetector(Detector):
+    """Classifies peaks by estimated PSK constellation order."""
+
+    kind = "phase"
+    protocol = "psk"
+
+    def __init__(
+        self,
+        symbol_rate: float = WIFI_SYMBOL_RATE,
+        protocol_for_order: Optional[Dict[int, str]] = None,
+        max_symbols: int = 256,
+        nbins: int = 16,
+        occupancy_threshold: float = 0.08,
+    ):
+        self.symbol_rate = symbol_rate
+        self.protocol_for_order = protocol_for_order or {2: "wifi", 4: "wifi"}
+        self.max_symbols = max_symbols
+        self.nbins = nbins
+        self.occupancy_threshold = occupancy_threshold
+
+    def classify(self, detection: PeakDetectionResult,
+                 buffer: SampleBuffer) -> List[Classification]:
+        if buffer is None:
+            raise ValueError("phase detectors need the sample buffer")
+        fs = buffer.sample_rate
+        sps = fs / self.symbol_rate
+        if not float(sps).is_integer():
+            raise ValueError("sample rate must be an integer multiple of symbol rate")
+        sps = int(sps)
+        out: List[Classification] = []
+        for peak in detection.history:
+            hi = min(peak.end_sample, peak.start_sample + self.max_symbols * sps)
+            segment = buffer.slice(peak.start_sample, hi).samples
+            symbols = segment[sps // 2 :: sps]
+            if symbols.size < 16:
+                continue
+            jumps = np.angle(symbols[1:] * np.conj(symbols[:-1]))
+            order = count_constellation_points(
+                jumps, nbins=self.nbins,
+                occupancy_threshold=self.occupancy_threshold,
+            )
+            protocol = self.protocol_for_order.get(order)
+            if protocol is None:
+                continue
+            out.append(
+                Classification(
+                    peak, protocol, self.name, 0.6,
+                    info={
+                        "constellation_order": order,
+                        "modulation": _MODULATION_NAME.get(order, f"PSK-{order}"),
+                    },
+                )
+            )
+        return self._dedup(out)

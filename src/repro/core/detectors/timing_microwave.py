@@ -1,0 +1,59 @@
+"""Microwave-oven timing detector.
+
+Section 3.2: "A microwave timing block might look for peaks occurring at
+the rate of AC frequency (60 Hz, i.e. once every 16.67 ms) ... since the
+emitted signal from a residential microwave has constant power, we can use
+signal strength information to verify whether the amplitude of the signal
+is constant across peaks."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.constants import MICROWAVE_AC_PERIOD_50HZ, MICROWAVE_AC_PERIOD_60HZ
+from repro.core.detectors.base import Classification, Detector
+from repro.core.peak_detector import PeakDetectionResult
+from repro.dsp.samples import SampleBuffer
+
+
+class MicrowaveTimingDetector(Detector):
+    """Flags long peaks repeating at the AC mains period with flat power."""
+
+    protocol = "microwave"
+    kind = "timing"
+
+    def __init__(self, tolerance: float = 500e-6, min_duration: float = 3e-3,
+                 power_ratio_db: float = 3.0):
+        self.tolerance = tolerance
+        self.min_duration = min_duration
+        self.power_ratio = 10 ** (power_ratio_db / 10.0)
+        self._periods = (MICROWAVE_AC_PERIOD_60HZ, MICROWAVE_AC_PERIOD_50HZ)
+
+    def classify(self, detection: PeakDetectionResult,
+                 buffer: Optional[SampleBuffer] = None) -> List[Classification]:
+        history = detection.history
+        fs = history.sample_rate
+        out: List[Classification] = []
+        long_peaks = [p for p in history if p.length / fs >= self.min_duration]
+        for i, peak in enumerate(long_peaks[1:], start=1):
+            prev = long_peaks[i - 1]
+            spacing = (peak.start_sample - prev.start_sample) / fs
+            period = min(self._periods, key=lambda T: abs(spacing - T))
+            if abs(spacing - period) > self.tolerance:
+                continue
+            # constant-power check across consecutive peaks
+            ratio = max(peak.mean_power, prev.mean_power) / max(
+                min(peak.mean_power, prev.mean_power), 1e-30
+            )
+            if ratio > self.power_ratio:
+                continue
+            confidence = 1.0 - abs(spacing - period) / self.tolerance
+            info = {"period_ms": spacing * 1e3, "ac_hz": round(1.0 / period)}
+            out.append(Classification(prev, self.protocol, self.name,
+                                      confidence, info=info))
+            out.append(Classification(peak, self.protocol, self.name,
+                                      confidence, info=info))
+        return self._dedup(out)

@@ -1,0 +1,162 @@
+"""The baseline architectures RFDump is evaluated against (Figure 1).
+
+* :class:`NaiveMonitor` — every demodulator processes the entire sample
+  stream; cost is (roughly) constant regardless of medium utilization.
+* :class:`EnergyNaiveMonitor` — a chunk-level energy filter in front of
+  the same demodulators; cost scales with medium utilization and
+  approaches the naive cost as the ether gets busy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_CENTER_FREQ,
+    DEFAULT_CHUNK_SAMPLES,
+    DEFAULT_ENERGY_THRESHOLD_DB,
+    DEFAULT_SAMPLE_RATE,
+)
+from repro.analysis.decoders import (
+    BluetoothStreamDecoder,
+    PacketRecord,
+    WifiStreamDecoder,
+    ZigbeeStreamDecoder,
+)
+from repro.core.accounting import StageClock
+from repro.core.pipeline import MonitorReport
+from repro.dsp.energy import chunk_average_power
+from repro.dsp.samples import SampleBuffer
+from repro.util.db import db_to_linear
+
+
+class NaiveMonitor:
+    """Figure 1: the entire input stream goes to every demodulator."""
+
+    def __init__(
+        self,
+        sample_rate: float = DEFAULT_SAMPLE_RATE,
+        center_freq: float = DEFAULT_CENTER_FREQ,
+        protocols: Sequence[str] = ("wifi", "bluetooth"),
+        demodulate: bool = True,
+        decode_payload: bool = True,
+    ):
+        self.sample_rate = sample_rate
+        self.center_freq = center_freq
+        self.protocols = tuple(protocols)
+        self.demodulate = demodulate
+        self._decoders = {}
+        for protocol in self.protocols:
+            self._decoders[protocol] = self._make_decoder(protocol, decode_payload)
+
+    def _make_decoder(self, protocol: str, decode_payload: bool):
+        if protocol == "wifi":
+            return WifiStreamDecoder(self.sample_rate, decode_payload=decode_payload)
+        if protocol == "bluetooth":
+            return BluetoothStreamDecoder(self.sample_rate, self.center_freq)
+        if protocol == "zigbee":
+            return ZigbeeStreamDecoder(self.sample_rate)
+        raise ValueError(f"no demodulator for protocol {protocol!r}")
+
+    def _regions(self, buffer: SampleBuffer, clock: StageClock) -> List[Tuple[int, int]]:
+        """Sample ranges handed to every demodulator (here: everything)."""
+        return [(buffer.start_sample, buffer.end_sample)]
+
+    def process(self, buffer: SampleBuffer) -> MonitorReport:
+        clock = StageClock()
+        regions = self._regions(buffer, clock)
+        ranges = {
+            protocol: [
+                # the naive architectures forward regions to all protocols
+                _PlainRange(start, end) for start, end in regions
+            ]
+            for protocol in self.protocols
+        }
+        packets: List[PacketRecord] = []
+        if self.demodulate:
+            for protocol in self.protocols:
+                decoder = self._decoders[protocol]
+                with clock.stage("demodulation"):
+                    for start, end in regions:
+                        sub = buffer.slice(start, end)
+                        clock.touch("demodulation", len(sub))
+                        packets.extend(decoder.scan(sub))
+        return MonitorReport(
+            total_samples=len(buffer),
+            duration=buffer.duration,
+            peaks=None,
+            classifications=[],
+            ranges=ranges,
+            packets=packets,
+            clock=clock,
+        )
+
+
+class _PlainRange:
+    """Minimal stand-in for DispatchedRange in the baseline reports."""
+
+    def __init__(self, start_sample: int, end_sample: int):
+        self.start_sample = start_sample
+        self.end_sample = end_sample
+        self.channel = None
+        self.peak_indices: List[int] = []
+        self.confidence = 0.0
+
+    @property
+    def length(self) -> int:
+        return self.end_sample - self.start_sample
+
+
+class EnergyNaiveMonitor(NaiveMonitor):
+    """Naive + a chunk-level energy filter before the demodulators."""
+
+    def __init__(
+        self,
+        sample_rate: float = DEFAULT_SAMPLE_RATE,
+        center_freq: float = DEFAULT_CENTER_FREQ,
+        protocols: Sequence[str] = ("wifi", "bluetooth"),
+        demodulate: bool = True,
+        decode_payload: bool = True,
+        chunk_samples: int = DEFAULT_CHUNK_SAMPLES,
+        threshold_db: float = DEFAULT_ENERGY_THRESHOLD_DB,
+        noise_floor: Optional[float] = None,
+        margin_chunks: int = 1,
+    ):
+        super().__init__(sample_rate, center_freq, protocols, demodulate, decode_payload)
+        self.chunk_samples = chunk_samples
+        self.threshold_db = threshold_db
+        self.noise_floor = noise_floor
+        self.margin_chunks = margin_chunks
+
+    def _regions(self, buffer: SampleBuffer, clock: StageClock) -> List[Tuple[int, int]]:
+        with clock.stage("energy_filter"):
+            clock.touch("energy_filter", len(buffer))
+            powers = chunk_average_power(buffer.samples, self.chunk_samples)
+            floor = self.noise_floor
+            if floor is None:
+                floor = float(np.percentile(powers, 10.0))
+            threshold = floor * float(db_to_linear(self.threshold_db))
+            active = powers > threshold
+            # conservative filtering: keep a margin of chunks around every
+            # active chunk so packet edges survive (Section 3.1)
+            if self.margin_chunks > 0 and active.any():
+                padded = active.copy()
+                for shift in range(1, self.margin_chunks + 1):
+                    padded[shift:] |= active[:-shift]
+                    padded[:-shift] |= active[shift:]
+                active = padded
+            regions: List[Tuple[int, int]] = []
+            cs = self.chunk_samples
+            run_start = None
+            for i, on in enumerate(active):
+                if on and run_start is None:
+                    run_start = i
+                elif not on and run_start is not None:
+                    regions.append((run_start * cs, i * cs))
+                    run_start = None
+            if run_start is not None:
+                regions.append((run_start * cs, len(buffer)))
+        base = buffer.start_sample
+        return [(base + lo, base + hi) for lo, hi in regions]

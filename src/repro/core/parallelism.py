@@ -1,0 +1,108 @@
+"""Parallelism analysis — quantifying Section 2.2's unexploited speedup.
+
+"Note that the RFDump architecture in Figure 2 (similar to the naive
+architecture) has inherent parallelism that can be exploited using
+multi-threading.  This is, of course, important on today's multi-core
+CPUs.  Unfortunately, our platform (GNU Radio) currently does not support
+multi-threading, so the measurements in this paper only use a single
+core."
+
+Like the paper, this library measures on one core; this module estimates
+what a multithreaded deployment would gain.  The detection stage is a
+serial prefix (every detector reads the shared peak metadata), while the
+per-protocol analyzers are embarrassingly parallel — the makespan of
+scheduling them over k workers (LPT greedy) bounds the parallel time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.pipeline import MonitorReport
+
+
+def lpt_makespan(durations: List[float], workers: int) -> float:
+    """Makespan of the Longest-Processing-Time greedy schedule.
+
+    LPT is within 4/3 of optimal for identical machines — ample for an
+    estimate.  ``workers <= 0`` means unbounded (max of the durations).
+    """
+    if not durations:
+        return 0.0
+    if workers <= 0 or workers >= len(durations):
+        return max(durations)
+    loads = [0.0] * workers
+    for duration in sorted(durations, reverse=True):
+        loads[loads.index(min(loads))] += duration
+    return max(loads)
+
+
+@dataclass
+class ParallelismEstimate:
+    """Predicted multi-core behaviour of one monitoring run."""
+
+    serial_seconds: float
+    detection_seconds: float
+    demod_by_protocol: Dict[str, float] = field(default_factory=dict)
+    workers: int = 0  # 0 = unbounded
+
+    @property
+    def parallel_seconds(self) -> float:
+        return self.detection_seconds + lpt_makespan(
+            list(self.demod_by_protocol.values()), self.workers
+        )
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_seconds <= 0:
+            return 1.0
+        return self.serial_seconds / self.parallel_seconds
+
+    @property
+    def amdahl_limit(self) -> float:
+        """Speedup ceiling from the serial detection prefix alone."""
+        if self.detection_seconds <= 0:
+            return float("inf")
+        return self.serial_seconds / self.detection_seconds
+
+
+def estimate_parallel_speedup(
+    report: MonitorReport, workers: int = 0, granularity: str = "protocol"
+) -> ParallelismEstimate:
+    """Estimate the multithreaded runtime of a measured monitoring run.
+
+    The per-protocol demodulation times come from the report's own
+    accounting; everything else (peak detection, the fast detectors,
+    dispatch) is treated as the serial prefix.
+
+    ``granularity`` picks the work unit handed to a worker:
+
+    * ``"protocol"`` — one thread per analyzer block, the literal Figure 2
+      decomposition;
+    * ``"range"`` — dispatched ranges are independent, so they schedule
+      individually (each protocol's measured time is apportioned to its
+      ranges by sample count).
+    """
+    serial = report.clock.total_seconds()
+    demod_total = sum(report.demod_seconds_by_protocol.values())
+    detection = max(serial - demod_total, 0.0)
+    demod_units: Dict[str, float] = dict(report.demod_seconds_by_protocol)
+    if granularity == "range":
+        demod_units = {}
+        for protocol, seconds in report.demod_seconds_by_protocol.items():
+            ranges = report.ranges.get(protocol, [])
+            total = sum(r.length for r in ranges)
+            if total == 0 or not ranges:
+                demod_units[protocol] = seconds
+                continue
+            for i, rng in enumerate(ranges):
+                demod_units[f"{protocol}[{i}]"] = seconds * rng.length / total
+    elif granularity != "protocol":
+        raise ValueError("granularity must be 'protocol' or 'range'")
+    return ParallelismEstimate(
+        serial_seconds=serial,
+        detection_seconds=detection,
+        demod_by_protocol=demod_units,
+        workers=workers,
+    )

@@ -1,0 +1,201 @@
+"""Protocol-agnostic peak detection with integrated energy filtering.
+
+Section 4.3: the energy filter is folded into the peak detector so that
+timing information survives (chunks carry timestamps).  Per chunk, the
+average energy of the trailing window decides whether the chunk is worth
+examining; within active regions the start and end of each peak are
+located precisely using the moving-average energy plus an instantaneous
+magnitude threshold.
+
+The implementation is vectorized numpy — the equivalent of the paper's
+C++ GNU Radio block — but preserves the chunk/window semantics, and its
+measured cost per sample is what Table 1's "Peak/Energy detection" row
+reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_CHUNK_SAMPLES,
+    DEFAULT_ENERGY_THRESHOLD_DB,
+    DEFAULT_ENERGY_WINDOW,
+)
+from repro.core.metadata import ChunkMetadata, Peak, PeakHistory
+from repro.dsp.energy import chunk_average_of, chunk_average_power, moving_average_of
+from repro.dsp.samples import SampleBuffer
+from repro.util.db import db_to_linear
+
+
+@dataclass
+class PeakDetectorConfig:
+    """Tunable knobs of the peak detector (paper defaults)."""
+
+    chunk_samples: int = DEFAULT_CHUNK_SAMPLES
+    energy_window: int = DEFAULT_ENERGY_WINDOW
+    threshold_db: float = DEFAULT_ENERGY_THRESHOLD_DB
+    #: fraction of the averaged threshold the instantaneous magnitude must
+    #: reach when refining peak edges
+    instantaneous_factor: float = 0.5
+    #: gaps shorter than this (samples) do not split a peak — "do not
+    #: discard short bursts of low-energy samples between blocks of
+    #: interest" (Section 3.1)
+    min_gap: int = 24
+    #: peaks shorter than this (samples) are discarded as noise spikes —
+    #: 5 us is far below the shortest real transmission considered
+    min_length: int = 40
+
+    def __post_init__(self):
+        if self.chunk_samples <= 0 or self.energy_window <= 0:
+            raise ValueError("chunk and window sizes must be positive")
+        if self.energy_window > self.chunk_samples:
+            raise ValueError("energy window cannot exceed the chunk size")
+
+
+class PeakDetectionResult:
+    """Everything the protocol-specific detectors consume.
+
+    ``chunks`` (the per-chunk metadata records) are materialized lazily:
+    the timing detectors work on the peak history alone, so the common
+    path never pays for building thousands of chunk records.
+    """
+
+    def __init__(self, history: PeakHistory, noise_floor: float,
+                 threshold: float, total_samples: int,
+                 chunks: Optional[List[ChunkMetadata]] = None,
+                 chunk_builder=None):
+        self.history = history
+        self.noise_floor = noise_floor
+        self.threshold = threshold
+        self.total_samples = total_samples
+        self._chunks = chunks
+        self._chunk_builder = chunk_builder
+
+    @property
+    def chunks(self) -> List[ChunkMetadata]:
+        if self._chunks is None:
+            if self._chunk_builder is None:
+                self._chunks = []
+            else:
+                self._chunks = self._chunk_builder()
+        return self._chunks
+
+    @property
+    def peaks(self) -> List[Peak]:
+        return list(self.history)
+
+
+class PeakDetector:
+    """The protocol-agnostic detection stage."""
+
+    def __init__(self, config: PeakDetectorConfig = None):
+        self.config = config or PeakDetectorConfig()
+
+    def estimate_noise_floor(self, buffer: SampleBuffer) -> float:
+        """Noise floor as a low percentile of per-chunk powers."""
+        powers = chunk_average_power(buffer.samples, self.config.chunk_samples)
+        if powers.size == 0:
+            raise ValueError("empty buffer")
+        return float(np.percentile(powers, 10.0))
+
+    def detect(self, buffer: SampleBuffer, noise_floor: float = None) -> PeakDetectionResult:
+        """Find peaks and build chunk metadata for a buffer."""
+        cfg = self.config
+        samples = buffer.samples
+        # |x|^2 is needed by every sub-stage; compute it exactly once
+        power = (samples.real.astype(np.float64) ** 2
+                 + samples.imag.astype(np.float64) ** 2)
+        chunk_powers = chunk_average_of(power, cfg.chunk_samples)
+        if noise_floor is None:
+            if chunk_powers.size == 0:
+                raise ValueError("empty buffer")
+            noise_floor = float(np.percentile(chunk_powers, 10.0))
+        threshold = noise_floor * float(db_to_linear(cfg.threshold_db))
+
+        avg_power = moving_average_of(power, cfg.energy_window)
+        intervals = self._peak_intervals(power, avg_power, threshold)
+
+        history = PeakHistory(buffer.sample_rate)
+        for start, end in intervals:
+            seg = power[start:end]
+            history.append(
+                buffer.start_sample + start,
+                buffer.start_sample + end,
+                float(seg.mean()),
+                float(seg.max()),
+            )
+
+        return PeakDetectionResult(
+            history=history,
+            noise_floor=noise_floor,
+            threshold=threshold,
+            total_samples=len(samples),
+            chunk_builder=lambda: self._chunk_metadata(
+                buffer, chunk_powers, threshold, history
+            ),
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _peak_intervals(self, power: np.ndarray, avg_power: np.ndarray,
+                        threshold: float) -> List[Tuple[int, int]]:
+        """Run detection on the averaged energy, refined by magnitude."""
+        cfg = self.config
+        active = avg_power > threshold
+        # refine edges: also require the instantaneous magnitude-squared to
+        # clear a fraction of the threshold, so averaged tails don't smear
+        # peak boundaries by a full window
+        active &= power > cfg.instantaneous_factor * threshold
+
+        edges = np.diff(active.astype(np.int8))
+        starts = np.flatnonzero(edges == 1) + 1
+        ends = np.flatnonzero(edges == -1) + 1
+        if active.size and active[0]:
+            starts = np.concatenate([[0], starts])
+        if active.size and active[-1]:
+            ends = np.concatenate([ends, [active.size]])
+
+        intervals: List[Tuple[int, int]] = []
+        for start, end in zip(starts, ends):
+            if intervals and start - intervals[-1][1] < cfg.min_gap:
+                intervals[-1] = (intervals[-1][0], int(end))
+            else:
+                intervals.append((int(start), int(end)))
+        return [(s, e) for s, e in intervals if e - s >= cfg.min_length]
+
+    def _chunk_metadata(self, buffer: SampleBuffer, chunk_powers: np.ndarray,
+                        threshold: float, history: PeakHistory) -> List[ChunkMetadata]:
+        cfg = self.config
+        cs = cfg.chunk_samples
+        nchunks = chunk_powers.size
+        # vectorized peak -> chunk-range assignment (peaks are sorted and
+        # non-overlapping, so per-chunk index lists come from one pass)
+        peak_lists: List[List[int]] = [[] for _ in range(nchunks)]
+        starts = history.starts - buffer.start_sample
+        ends = history.ends - buffer.start_sample
+        first_chunk = np.maximum(starts // cs, 0)
+        last_chunk = np.minimum((ends - 1) // cs, nchunks - 1)
+        for k in range(len(history)):
+            for ci in range(int(first_chunk[k]), int(last_chunk[k]) + 1):
+                peak_lists[ci].append(k)
+        active = chunk_powers > threshold
+        chunks: List[ChunkMetadata] = []
+        for i in range(nchunks):
+            c_start = buffer.start_sample + i * cs
+            c_len = min(cs, buffer.end_sample - c_start)
+            chunks.append(
+                ChunkMetadata(
+                    start_sample=c_start,
+                    n_samples=int(c_len),
+                    mean_power=float(chunk_powers[i]),
+                    n_peaks=len(peak_lists[i]),
+                    active=bool(active[i]),
+                    peak_indices=peak_lists[i],
+                    history=history,
+                )
+            )
+        return chunks

@@ -1,0 +1,112 @@
+"""Scanning monitor: RFDump across a retune schedule.
+
+Processes the per-dwell windows a scanning radio captures (see
+:mod:`repro.emulator.scanning`), keeping one monitor per center frequency
+(detector channel maps are center-specific) and carrying each band's
+noise-floor estimate across visits.  Produces a per-band occupancy and
+classification summary — the "which bands are worth a closer look"
+output a scanning deployment wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.constants import DEFAULT_SAMPLE_RATE
+from repro.core.pipeline import MonitorReport, RFDumpMonitor
+
+
+@dataclass
+class BandSummary:
+    """Aggregated findings for one scanned center frequency."""
+
+    center_freq: float
+    dwell_time: float = 0.0
+    n_dwells: int = 0
+    n_peaks: int = 0
+    busy_samples: int = 0
+    total_samples: int = 0
+    classifications: Dict[str, int] = field(default_factory=dict)
+    noise_floor: float = None
+
+    @property
+    def occupancy(self) -> float:
+        if self.total_samples == 0:
+            return 0.0
+        return self.busy_samples / self.total_samples
+
+
+class ScanningMonitor:
+    """Runs the detection stage across scan windows, band by band."""
+
+    def __init__(
+        self,
+        sample_rate: float = DEFAULT_SAMPLE_RATE,
+        protocols: Sequence[str] = ("wifi", "bluetooth"),
+        kinds: Sequence[str] = ("timing", "phase"),
+        demodulate: bool = False,
+    ):
+        self.sample_rate = sample_rate
+        self.protocols = tuple(protocols)
+        self.kinds = tuple(kinds)
+        self.demodulate = demodulate
+        self._monitors: Dict[float, RFDumpMonitor] = {}
+        self.bands: Dict[float, BandSummary] = {}
+        self.reports: List[MonitorReport] = []
+
+    def _monitor_for(self, center_freq: float) -> RFDumpMonitor:
+        if center_freq not in self._monitors:
+            self._monitors[center_freq] = RFDumpMonitor(
+                sample_rate=self.sample_rate,
+                center_freq=center_freq,
+                protocols=self.protocols,
+                kinds=self.kinds,
+                demodulate=self.demodulate,
+            )
+        return self._monitors[center_freq]
+
+    def process_window(self, window) -> MonitorReport:
+        """Process one dwell's capture; updates the band summary."""
+        center = window.dwell.center_freq
+        monitor = self._monitor_for(center)
+        band = self.bands.setdefault(center, BandSummary(center_freq=center))
+        # carry the band's noise floor across visits
+        monitor.noise_floor = band.noise_floor
+        report = monitor.process(window.buffer)
+        band.noise_floor = report.noise_floor
+
+        band.n_dwells += 1
+        band.dwell_time += window.buffer.duration
+        band.total_samples += report.total_samples
+        if report.peaks is not None:
+            band.n_peaks += len(report.peaks)
+            band.busy_samples += sum(p.length for p in report.peaks)
+        for c in report.classifications:
+            band.classifications[c.protocol] = (
+                band.classifications.get(c.protocol, 0) + 1
+            )
+        self.reports.append(report)
+        return report
+
+    def scan(self, windows) -> "ScanningMonitor":
+        """Process every window of a rendered scan; returns self."""
+        for window in windows:
+            self.process_window(window)
+        return self
+
+    def summary_rows(self) -> List[dict]:
+        """Per-band rows for :func:`repro.analysis.render_summary`."""
+        rows = []
+        for center in sorted(self.bands):
+            band = self.bands[center]
+            rows.append(
+                {
+                    "center (GHz)": round(center / 1e9, 4),
+                    "dwells": band.n_dwells,
+                    "occupancy (%)": round(band.occupancy * 100, 2),
+                    "peaks": band.n_peaks,
+                    "classified": dict(sorted(band.classifications.items())),
+                }
+            )
+        return rows

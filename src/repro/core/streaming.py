@@ -1,0 +1,113 @@
+"""Streaming monitor: RFDump over an endless sample stream.
+
+The core monitor processes one finite buffer at a time; a real deployment
+consumes an unbounded stream in windows.  A packet that straddles a
+window boundary would be lost (its peak is truncated in both windows), so
+:class:`StreamingMonitor` carries a tail of each window into the next —
+sized to the longest transmission it must not split — and deduplicates
+the overlap region.  It also carries the noise-floor estimate forward,
+the way a long-running radio front end would.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.analysis.decoders import PacketRecord
+from repro.core.accounting import StageClock
+from repro.core.pipeline import MonitorReport, RFDumpMonitor
+from repro.dsp.samples import SampleBuffer
+
+
+class StreamingMonitor:
+    """Wraps an :class:`RFDumpMonitor` with window-overlap handling.
+
+    Parameters
+    ----------
+    monitor:
+        The underlying monitor (its ``noise_floor`` is managed here).
+    overlap:
+        Samples carried from the end of each window into the next; size it
+        to the longest packet plus margin (default 6 ms at 8 Msps — a
+        maximum-length 1 Mbps 802.11b frame).
+    """
+
+    def __init__(self, monitor: RFDumpMonitor, overlap: int = 48_000):
+        if overlap < 0:
+            raise ValueError("overlap must be non-negative")
+        self.monitor = monitor
+        self.overlap = overlap
+        self._tail: Optional[SampleBuffer] = None
+        self._emitted_to = 0  # absolute sample up to which output is final
+        self.packets: List[PacketRecord] = []
+        self.classifications = []
+        self.clock = StageClock()
+        self._noise_floor = monitor.noise_floor
+        self._deferred_packets: List[PacketRecord] = []
+        self._deferred_classifications: list = []
+
+    def _stitch(self, window: SampleBuffer) -> SampleBuffer:
+        if self._tail is None or len(self._tail) == 0:
+            return window
+        if self._tail.end_sample != window.start_sample:
+            raise ValueError(
+                f"window starts at {window.start_sample}, expected "
+                f"{self._tail.end_sample} (streams must be contiguous)"
+            )
+        samples = np.concatenate([self._tail.samples, window.samples])
+        return SampleBuffer(samples, window.timebase, self._tail.start_sample)
+
+    def process(self, window: SampleBuffer) -> MonitorReport:
+        """Process the next contiguous window; returns its report.
+
+        Packets and classifications are accumulated on the monitor
+        (deduplicated across overlaps); the per-window report is returned
+        for callers that want window-level detail.
+        """
+        stitched = self._stitch(window)
+        self.monitor.noise_floor = self._noise_floor
+        report = self.monitor.process(stitched)
+        self._noise_floor = report.noise_floor
+        self.clock = self.clock.merged(report.clock)
+
+        # Packets starting inside the carried tail will be seen again by
+        # the next window, so they are deferred: emitting them now would
+        # duplicate them.  flush() releases the final window's deferrals.
+        new_emitted_to = stitched.end_sample - self.overlap
+        self._deferred_packets = []
+        self._deferred_classifications = []
+        for packet in report.packets:
+            if packet.start_sample < self._emitted_to:
+                continue
+            if packet.start_sample < new_emitted_to:
+                self.packets.append(packet)
+            else:
+                self._deferred_packets.append(packet)
+        for c in report.classifications:
+            if c.peak.start_sample < self._emitted_to:
+                continue
+            if c.peak.start_sample < new_emitted_to:
+                self.classifications.append(c)
+            else:
+                self._deferred_classifications.append(c)
+
+        self._emitted_to = new_emitted_to
+        tail_start = max(new_emitted_to, stitched.start_sample)
+        self._tail = stitched.slice(tail_start, stitched.end_sample)
+        return report
+
+    def flush(self) -> "StreamingMonitor":
+        """Release results deferred from the final window's tail."""
+        self.packets.extend(self._deferred_packets)
+        self.classifications.extend(self._deferred_classifications)
+        self._deferred_packets = []
+        self._deferred_classifications = []
+        return self
+
+    def run(self, windows: Iterable[SampleBuffer]) -> "StreamingMonitor":
+        """Process every window of a stream, then flush; returns self."""
+        for window in windows:
+            self.process(window)
+        return self.flush()

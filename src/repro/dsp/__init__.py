@@ -1,0 +1,44 @@
+"""Signal-processing substrate: buffers, energy, phase, filters, FFT."""
+
+from repro.dsp.samples import SampleBuffer, iter_chunks
+from repro.dsp.energy import (
+    moving_average_power,
+    chunk_average_power,
+    NoiseFloorEstimator,
+)
+from repro.dsp.phase import (
+    instantaneous_phase,
+    phase_derivative,
+    phase_second_derivative,
+    phase_histogram,
+    estimate_cfo,
+    count_constellation_points,
+)
+from repro.dsp.filters import (
+    fir_lowpass,
+    gaussian_pulse,
+    filter_signal,
+)
+from repro.dsp.fftutil import channelize_power, spectrogram
+from repro.dsp.resample import fractional_indices, repeat_to_rate
+
+__all__ = [
+    "SampleBuffer",
+    "iter_chunks",
+    "moving_average_power",
+    "chunk_average_power",
+    "NoiseFloorEstimator",
+    "instantaneous_phase",
+    "phase_derivative",
+    "phase_second_derivative",
+    "phase_histogram",
+    "estimate_cfo",
+    "count_constellation_points",
+    "fir_lowpass",
+    "gaussian_pulse",
+    "filter_signal",
+    "channelize_power",
+    "spectrogram",
+    "fractional_indices",
+    "repeat_to_rate",
+]

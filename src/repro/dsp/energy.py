@@ -1,0 +1,112 @@
+"""Energy measurement and noise-floor tracking.
+
+The protocol-agnostic peak detector (Section 4.3) rests on two primitives:
+a moving-average of instantaneous power over a short window (default 20
+samples = 2.5 us), and a noise-floor estimate against which the 4 dB energy
+threshold is applied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_CHUNK_SAMPLES, DEFAULT_ENERGY_WINDOW
+
+
+def moving_average_of(power: np.ndarray, window: int) -> np.ndarray:
+    """Causal moving average of a precomputed power array."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    power = np.asarray(power)
+    if power.size == 0:
+        return power.astype(np.float64)
+    csum = np.cumsum(power, dtype=np.float64)
+    out = np.empty(power.size, dtype=np.float64)
+    head = min(window, power.size)
+    out[:head] = csum[:head] / np.arange(1, head + 1)
+    if power.size > window:
+        out[window:] = (csum[window:] - csum[:-window]) / window
+    return out
+
+
+def moving_average_power(samples: np.ndarray, window: int = DEFAULT_ENERGY_WINDOW) -> np.ndarray:
+    """Causal moving average of |x|^2 over ``window`` samples.
+
+    Output ``y[n]`` averages ``|x[n-window+1 .. n]|^2``; the first
+    ``window - 1`` outputs average over the shorter available prefix, so the
+    result has the same length as the input and no startup bias toward zero.
+    """
+    return moving_average_of(np.abs(np.asarray(samples)) ** 2, window)
+
+
+def chunk_average_of(power: np.ndarray, chunk_samples: int) -> np.ndarray:
+    """Per-chunk mean of a precomputed power array."""
+    if chunk_samples <= 0:
+        raise ValueError("chunk_samples must be positive")
+    power = np.asarray(power)
+    nfull = power.size // chunk_samples
+    out = []
+    if nfull:
+        out.append(power[: nfull * chunk_samples].reshape(nfull, chunk_samples).mean(axis=1))
+    tail = power[nfull * chunk_samples :]
+    if tail.size:
+        out.append(np.array([tail.mean()]))
+    if not out:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate(out)
+
+
+def chunk_average_power(
+    samples: np.ndarray, chunk_samples: int = DEFAULT_CHUNK_SAMPLES
+) -> np.ndarray:
+    """Mean |x|^2 per chunk; the tail partial chunk is averaged over its size."""
+    return chunk_average_of(np.abs(np.asarray(samples)) ** 2, chunk_samples)
+
+
+class NoiseFloorEstimator:
+    """Tracks the noise floor as a low percentile of chunk powers.
+
+    The ether is idle a reasonable fraction of the time even when busy, so a
+    low percentile of per-chunk average powers is a robust floor estimate.
+    The estimator is streaming: feed it chunk powers as they are computed
+    and read :attr:`noise_floor` at any point.
+    """
+
+    def __init__(self, percentile: float = 10.0, max_history: int = 4096):
+        if not 0 < percentile < 100:
+            raise ValueError("percentile must be in (0, 100)")
+        self._percentile = percentile
+        self._max_history = max_history
+        self._history = []
+        self._cached = None
+
+    def update(self, chunk_powers: np.ndarray) -> None:
+        """Fold a batch of per-chunk average powers into the estimate."""
+        arr = np.asarray(chunk_powers, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return
+        self._history.extend(arr.tolist())
+        if len(self._history) > self._max_history:
+            self._history = self._history[-self._max_history :]
+        self._cached = None
+
+    @property
+    def noise_floor(self) -> float:
+        """Current noise-floor power estimate (linear)."""
+        if not self._history:
+            raise RuntimeError("no chunk powers observed yet")
+        if self._cached is None:
+            self._cached = float(np.percentile(self._history, self._percentile))
+        return self._cached
+
+    @property
+    def n_observed(self) -> int:
+        return len(self._history)
+
+
+def estimate_noise_floor(samples: np.ndarray, chunk_samples: int = DEFAULT_CHUNK_SAMPLES,
+                         percentile: float = 10.0) -> float:
+    """One-shot noise-floor estimate over a whole buffer."""
+    est = NoiseFloorEstimator(percentile=percentile)
+    est.update(chunk_average_power(samples, chunk_samples))
+    return est.noise_floor

@@ -1,0 +1,55 @@
+"""Frequency-domain helpers for the frequency detector (Sections 3.4, 4.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def spectrogram(samples: np.ndarray, fft_size: int = 256, hop: int = None) -> np.ndarray:
+    """Power spectrogram with fftshifted bins.
+
+    Returns shape ``(n_frames, fft_size)``; frame ``i`` covers samples
+    ``[i*hop, i*hop + fft_size)``.  ``hop`` defaults to ``fft_size``
+    (slotted, non-overlapping windows — the cheap option the prototype
+    uses; a sliding window is the accuracy/cost knob Section 4.6 lists).
+    """
+    x = np.asarray(samples)
+    if fft_size <= 0:
+        raise ValueError("fft_size must be positive")
+    if hop is None:
+        hop = fft_size
+    if hop <= 0:
+        raise ValueError("hop must be positive")
+    nframes = max((x.size - fft_size) // hop + 1, 0)
+    if nframes == 0:
+        return np.zeros((0, fft_size))
+    idx = np.arange(fft_size)[None, :] + hop * np.arange(nframes)[:, None]
+    frames = x[idx]
+    spec = np.fft.fftshift(np.fft.fft(frames, axis=1), axes=1)
+    return np.abs(spec) ** 2 / fft_size
+
+
+def channelize_power(
+    samples: np.ndarray, nchannels: int, fft_size: int = 256, hop: int = None
+) -> np.ndarray:
+    """Per-frame power in ``nchannels`` equal sub-bands of the monitored band.
+
+    This is the 8-bin split the Bluetooth frequency detector uses: the 8 MHz
+    band holds 8 Bluetooth channels, so a transmission occupying exactly one
+    bin is Bluetooth-like, while 802.11 energy smears across all bins.
+    Returns shape ``(n_frames, nchannels)``.
+    """
+    if nchannels <= 0:
+        raise ValueError("nchannels must be positive")
+    if fft_size % nchannels != 0:
+        raise ValueError("fft_size must be a multiple of nchannels")
+    spec = spectrogram(samples, fft_size=fft_size, hop=hop)
+    if spec.shape[0] == 0:
+        return np.zeros((0, nchannels))
+    per_bin = fft_size // nchannels
+    return spec.reshape(spec.shape[0], nchannels, per_bin).sum(axis=2)
+
+
+def band_occupancy(channel_power: np.ndarray, threshold: float) -> np.ndarray:
+    """Boolean occupancy mask per frame/channel given an absolute threshold."""
+    return np.asarray(channel_power) > threshold

@@ -1,0 +1,93 @@
+"""Complex sample buffers and chunk iteration.
+
+The USRP delivers an unbroken stream of complex samples; RFDump attaches
+metadata at chunk granularity (default 200 samples = 25 us at 8 Msps).
+:class:`SampleBuffer` wraps a complex64 array together with its
+:class:`~repro.util.timebase.Timebase` so every consumer agrees on what
+"sample 12345" means in wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.constants import DEFAULT_CHUNK_SAMPLES, DEFAULT_SAMPLE_RATE
+from repro.util.timebase import Timebase
+
+
+@dataclass
+class SampleBuffer:
+    """A finite window of the monitored sample stream.
+
+    Attributes
+    ----------
+    samples:
+        complex64 array of IQ samples.
+    timebase:
+        Maps indices in ``samples`` (offset by ``start_sample``) to seconds.
+    start_sample:
+        Absolute index of ``samples[0]`` in the overall stream.
+    """
+
+    samples: np.ndarray
+    timebase: Timebase
+    start_sample: int = 0
+
+    def __post_init__(self):
+        self.samples = np.ascontiguousarray(self.samples, dtype=np.complex64)
+
+    @classmethod
+    def from_array(
+        cls,
+        samples,
+        sample_rate: float = DEFAULT_SAMPLE_RATE,
+        start_sample: int = 0,
+    ) -> "SampleBuffer":
+        """Wrap a raw array with a fresh timebase at ``sample_rate``."""
+        return cls(np.asarray(samples), Timebase(sample_rate), start_sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def sample_rate(self) -> float:
+        return self.timebase.sample_rate
+
+    @property
+    def duration(self) -> float:
+        """Real-time duration of the buffer in seconds."""
+        return self.timebase.duration(len(self.samples))
+
+    @property
+    def end_sample(self) -> int:
+        return self.start_sample + len(self.samples)
+
+    def slice(self, start: int, stop: int) -> "SampleBuffer":
+        """Sub-buffer covering absolute sample indices [start, stop)."""
+        lo = max(start - self.start_sample, 0)
+        hi = min(stop - self.start_sample, len(self.samples))
+        if hi < lo:
+            hi = lo
+        return SampleBuffer(self.samples[lo:hi], self.timebase, self.start_sample + lo)
+
+    def time_of(self, rel_index) -> float:
+        """Wall time of a relative index into this buffer."""
+        return float(self.timebase.to_time(self.start_sample + rel_index))
+
+
+def iter_chunks(
+    buffer: SampleBuffer, chunk_samples: int = DEFAULT_CHUNK_SAMPLES
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(absolute_start_sample, chunk_array)`` pairs.
+
+    The final chunk is yielded even if shorter than ``chunk_samples`` so no
+    samples are silently dropped at the end of a trace.
+    """
+    if chunk_samples <= 0:
+        raise ValueError("chunk_samples must be positive")
+    data = buffer.samples
+    for offset in range(0, len(data), chunk_samples):
+        yield buffer.start_sample + offset, data[offset : offset + chunk_samples]

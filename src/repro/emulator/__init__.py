@@ -1,0 +1,37 @@
+"""Wireless emulator testbed substitute.
+
+The paper evaluates RFDump against traces from the CMU wireless emulator,
+which provides controlled, repeatable workloads with known ground truth.
+This package reproduces that role in software: traffic generators schedule
+transmissions with protocol-correct MAC timing (SIFS/DIFS/backoff slots,
+Bluetooth TDD + hopping, microwave AC gating), and the scenario renderer
+synthesizes the complex baseband trace a monitor at a given center
+frequency would capture, alongside an exact ground-truth transmission log.
+"""
+
+from repro.emulator.groundtruth import GroundTruth, Transmission
+from repro.emulator.channel import ChannelImpairments, ChannelModel
+from repro.emulator.scenario import Scenario, RenderedTrace
+from repro.emulator.traffic import (
+    WifiPingSession,
+    WifiBroadcastFlood,
+    WifiBeaconSource,
+    BluetoothL2PingSession,
+    ZigbeePingSession,
+    MicrowaveSource,
+)
+
+__all__ = [
+    "GroundTruth",
+    "Transmission",
+    "ChannelModel",
+    "ChannelImpairments",
+    "Scenario",
+    "RenderedTrace",
+    "WifiPingSession",
+    "WifiBroadcastFlood",
+    "WifiBeaconSource",
+    "BluetoothL2PingSession",
+    "ZigbeePingSession",
+    "MicrowaveSource",
+]

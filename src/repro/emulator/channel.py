@@ -1,0 +1,131 @@
+"""Channel model: AWGN, per-source SNR scaling, frequency translation,
+and optional front-end/propagation impairments.
+
+The wireless emulator's core capability is control over the signal
+propagation environment; here that reduces to placing each transmission at
+a chosen SNR above a normalized noise floor and at the baseband frequency
+offset implied by its RF channel versus the monitor's center frequency.
+:class:`ChannelImpairments` adds the non-idealities a real capture
+carries — transmitter oscillator offsets, a multipath echo, receiver IQ
+imbalance and ADC quantization — for robustness (failure-injection)
+studies of the detectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.db import db_to_linear
+
+
+@dataclass
+class ChannelModel:
+    """Propagation model shared by all transmissions of a scenario.
+
+    ``noise_power`` is the per-complex-sample noise power the monitor sees
+    (the noise floor).  A transmission at ``snr_db`` is scaled so its mean
+    in-band power is ``noise_power * 10^(snr/10)``.
+    """
+
+    noise_power: float = 1.0
+
+    def __post_init__(self):
+        if self.noise_power <= 0:
+            raise ValueError("noise_power must be positive")
+
+    def amplitude_for_snr(self, snr_db: float, waveform_power: float = 1.0) -> float:
+        """Amplitude scale giving ``snr_db`` for a waveform of known power."""
+        target = self.noise_power * db_to_linear(snr_db)
+        return float(np.sqrt(target / waveform_power))
+
+    def awgn(self, nsamples: int, rng: np.random.Generator) -> np.ndarray:
+        """Complex white Gaussian noise of total power ``noise_power``."""
+        sigma = np.sqrt(self.noise_power / 2.0)
+        noise = rng.normal(scale=sigma, size=2 * nsamples).astype(np.float32)
+        return noise[0::2] + 1j * noise[1::2]
+
+
+@dataclass
+class ChannelImpairments:
+    """Optional non-idealities applied during trace rendering.
+
+    Parameters
+    ----------
+    cfo_std_hz:
+        Each transmission gets a random carrier-frequency offset drawn
+        from N(0, cfo_std_hz) — crystal tolerance (802.11 allows
+        +/-25 ppm ~ 60 kHz at 2.4 GHz).
+    multipath_delay / multipath_gain:
+        A single echo: ``y[n] = x[n] + g * x[n - d]`` (two-ray model).
+        ``multipath_gain`` is linear amplitude; 0 disables.
+    iq_gain_imbalance_db / iq_phase_deg:
+        Receiver IQ imbalance: the Q rail is scaled and rotated relative
+        to I (image rejection degradation).
+    adc_bits:
+        Uniform quantization of the final trace to an ADC of this many
+        bits (0 disables).  ``adc_full_scale`` sets the clip level in
+        linear amplitude; the USRP's 12-bit converters are the paper's
+        front end.
+    """
+
+    cfo_std_hz: float = 0.0
+    multipath_delay: int = 0
+    multipath_gain: float = 0.0
+    iq_gain_imbalance_db: float = 0.0
+    iq_phase_deg: float = 0.0
+    adc_bits: int = 0
+    adc_full_scale: float = 0.0
+
+    def random_cfo(self, rng: np.random.Generator) -> float:
+        if self.cfo_std_hz <= 0:
+            return 0.0
+        return float(rng.normal(scale=self.cfo_std_hz))
+
+    def apply_multipath(self, waveform: np.ndarray) -> np.ndarray:
+        if self.multipath_gain == 0.0 or self.multipath_delay <= 0:
+            return waveform
+        out = waveform.astype(np.complex64).copy()
+        d = self.multipath_delay
+        out[d:] += np.complex64(self.multipath_gain) * waveform[:-d]
+        return out
+
+    def apply_frontend(self, trace: np.ndarray) -> np.ndarray:
+        """Receiver-side impairments over the whole capture."""
+        out = trace
+        if self.iq_gain_imbalance_db != 0.0 or self.iq_phase_deg != 0.0:
+            gain = float(db_to_linear(self.iq_gain_imbalance_db)) ** 0.5
+            phase = np.deg2rad(self.iq_phase_deg)
+            i = out.real
+            q = gain * (out.imag * np.cos(phase) + out.real * np.sin(phase))
+            out = (i + 1j * q).astype(np.complex64)
+        if self.adc_bits > 0:
+            full_scale = self.adc_full_scale
+            if full_scale <= 0:
+                # auto-range: 1 dB of headroom over the observed extreme
+                full_scale = 1.12 * float(
+                    max(np.abs(out.real).max(), np.abs(out.imag).max(), 1e-12)
+                )
+            step = full_scale / (1 << (self.adc_bits - 1))
+            i = np.clip(out.real, -full_scale, full_scale - step)
+            q = np.clip(out.imag, -full_scale, full_scale - step)
+            out = (
+                np.round(i / step) * step + 1j * (np.round(q / step) * step)
+            ).astype(np.complex64)
+        return out
+
+
+def apply_freq_offset(waveform: np.ndarray, offset_hz: float, sample_rate: float,
+                      start_sample: int = 0) -> np.ndarray:
+    """Mix a baseband waveform up/down by ``offset_hz``.
+
+    ``start_sample`` keeps the mixer phase continuous when a long emission
+    is rendered in segments.
+    """
+    if offset_hz == 0.0:
+        return waveform
+    n = start_sample + np.arange(waveform.size, dtype=np.float64)
+    return (waveform * np.exp(2j * np.pi * offset_hz * n / sample_rate)).astype(
+        np.complex64
+    )

@@ -1,0 +1,99 @@
+"""Ground-truth transmission log for rendered scenarios.
+
+The emulator knows exactly what was transmitted when; the accuracy
+experiments (Figures 6-8, Table 3) score detector output against this log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.util.timebase import Timebase
+
+
+@dataclass
+class Transmission:
+    """One on-air transmission as scheduled by a traffic generator."""
+
+    start_time: float
+    end_time: float
+    protocol: str  # family key: "wifi", "bluetooth", "zigbee", "microwave"
+    source: str  # emitting node name
+    kind: str  # "data", "ack", "beacon", "l2ping", "burst", ...
+    rate_mbps: Optional[float] = None
+    channel: Optional[int] = None
+    freq_offset: float = 0.0
+    observable: bool = True  # lands inside the monitored band
+    snr_db: Optional[float] = None
+    payload_size: int = 0
+    meta: Dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def overlaps(self, start: float, end: float) -> bool:
+        return self.start_time < end and self.end_time > start
+
+
+@dataclass
+class GroundTruth:
+    """The complete transmission log of a rendered scenario."""
+
+    transmissions: List[Transmission]
+    timebase: Timebase
+    duration: float
+
+    def observable(self, protocol: str = None) -> List[Transmission]:
+        """Transmissions a monitor of this band could possibly have seen."""
+        return [
+            t
+            for t in self.transmissions
+            if t.observable and (protocol is None or t.protocol == protocol)
+        ]
+
+    def by_protocol(self, protocol: str) -> List[Transmission]:
+        return [t for t in self.transmissions if t.protocol == protocol]
+
+    def collided(self, tx: Transmission) -> bool:
+        """Whether ``tx`` overlaps any *other* observable transmission."""
+        return any(
+            o is not tx and o.observable and o.overlaps(tx.start_time, tx.end_time)
+            for o in self.transmissions
+        )
+
+    def busy_fraction(self) -> float:
+        """Fraction of the trace covered by observable transmissions."""
+        if self.duration <= 0:
+            return 0.0
+        events = []
+        for t in self.observable():
+            events.append((max(t.start_time, 0.0), 1))
+            events.append((min(t.end_time, self.duration), -1))
+        events.sort()
+        covered = 0.0
+        depth = 0
+        last = 0.0
+        for time, delta in events:
+            if depth > 0:
+                covered += time - last
+            depth += delta
+            last = time
+        return covered / self.duration
+
+    def sample_mask(self, nsamples: int, protocol: str = None):
+        """Boolean array marking samples inside observable transmissions.
+
+        With ``protocol`` given, only that protocol's transmissions count —
+        the mask against which per-protocol forwarding false positives are
+        scored.
+        """
+        import numpy as np
+
+        mask = np.zeros(nsamples, dtype=bool)
+        for t in self.observable(protocol):
+            lo = int(self.timebase.to_samples(t.start_time))
+            hi = int(self.timebase.to_samples(t.end_time))
+            mask[max(lo, 0) : min(hi, nsamples)] = True
+        return mask

@@ -1,0 +1,236 @@
+"""Scenario assembly and IQ trace rendering.
+
+A :class:`Scenario` collects traffic sources, renders every scheduled
+transmission into a single complex baseband trace at the monitor's sample
+rate and center frequency, and returns it together with the exact
+:class:`~repro.emulator.groundtruth.GroundTruth` log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.constants import (
+    BT_CHANNEL_WIDTH,
+    DEFAULT_CENTER_FREQ,
+    DEFAULT_SAMPLE_RATE,
+)
+from repro.dsp.samples import SampleBuffer
+from repro.emulator.channel import (
+    ChannelImpairments,
+    ChannelModel,
+    apply_freq_offset,
+)
+from repro.emulator.groundtruth import GroundTruth, Transmission
+from repro.emulator.traffic import TrafficSource, TxEvent
+from repro.phy.bluetooth import BluetoothModulator
+from repro.phy.bluetooth_fh import channel_freq
+from repro.phy.wifi import WifiModulator
+from repro.phy.zigbee import ZigbeeModulator
+from repro.util.timebase import Timebase
+
+
+class RenderContext:
+    """Shared modulators handed to TxEvent render callbacks.
+
+    Modulators are built lazily so a scenario only pays for (and only
+    needs rate support from) the protocols it actually transmits — e.g. a
+    22 Msps "USRP2-mode" capture cannot host the ZigBee modulator, which
+    needs an even number of samples per chip.
+    """
+
+    def __init__(self, sample_rate: float):
+        self.sample_rate = sample_rate
+        self._wifi = None
+        self._zigbee = None
+        self._ofdm = None
+        self._bt_modulators: Dict[int, BluetoothModulator] = {}
+
+    @property
+    def wifi_modulator(self) -> WifiModulator:
+        if self._wifi is None:
+            self._wifi = WifiModulator(self.sample_rate)
+        return self._wifi
+
+    @property
+    def zigbee_modulator(self) -> ZigbeeModulator:
+        if self._zigbee is None:
+            self._zigbee = ZigbeeModulator(self.sample_rate)
+        return self._zigbee
+
+    @property
+    def ofdm_modulator(self):
+        if self._ofdm is None:
+            from repro.phy.ofdm import OfdmModem
+
+            self._ofdm = OfdmModem(self.sample_rate)
+        return self._ofdm
+
+    def bluetooth_modulator(self, lap: int) -> BluetoothModulator:
+        if lap not in self._bt_modulators:
+            self._bt_modulators[lap] = BluetoothModulator(self.sample_rate, lap=lap)
+        return self._bt_modulators[lap]
+
+
+@dataclass
+class RenderedTrace:
+    """A rendered scenario: the IQ trace plus its ground truth."""
+
+    buffer: SampleBuffer
+    ground_truth: GroundTruth
+    center_freq: float
+    noise_power: float
+
+    @property
+    def samples(self) -> np.ndarray:
+        return self.buffer.samples
+
+    @property
+    def sample_rate(self) -> float:
+        return self.buffer.sample_rate
+
+    @property
+    def duration(self) -> float:
+        return self.buffer.duration
+
+
+class Scenario:
+    """A controlled, repeatable wireless workload.
+
+    Parameters
+    ----------
+    duration:
+        Trace length in seconds.  Transmissions extending past the end are
+        truncated (and marked so in ground truth metadata).
+    sample_rate / center_freq:
+        The monitor's capture configuration; together they define which
+        Bluetooth hop channels are observable.
+    noise_power:
+        Noise floor (linear power per complex sample).
+    seed:
+        Seed for the noise generator.
+    """
+
+    def __init__(
+        self,
+        duration: float,
+        sample_rate: float = DEFAULT_SAMPLE_RATE,
+        center_freq: float = DEFAULT_CENTER_FREQ,
+        noise_power: float = 1.0,
+        seed: int = 0,
+        impairments: "ChannelImpairments" = None,
+    ):
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.duration = duration
+        self.sample_rate = sample_rate
+        self.center_freq = center_freq
+        self.channel = ChannelModel(noise_power)
+        self.seed = seed
+        self.impairments = impairments
+        self._sources: List[TrafficSource] = []
+
+    def add(self, source: TrafficSource) -> "Scenario":
+        """Register a traffic source; returns self for chaining."""
+        self._sources.append(source)
+        return self
+
+    # -- rendering -----------------------------------------------------------
+
+    def _event_offset(self, event: TxEvent):
+        """(freq offset, observable) of an event for this monitor band."""
+        if event.protocol == "bluetooth":
+            offset = channel_freq(event.channel) - self.center_freq
+            visible = abs(offset) <= (self.sample_rate - BT_CHANNEL_WIDTH) / 2
+            return offset, visible
+        if event.rf_freq is not None:
+            # an absolutely-pinned transmission (e.g. Wi-Fi on channel 6):
+            # observable when the monitor's window sits fully inside the
+            # signal's 22 MHz extent; otherwise the monitor catches at most
+            # a band edge, which we neither render nor score
+            offset = event.rf_freq - self.center_freq
+            from repro.constants import WIFI_CHANNEL_WIDTH
+
+            visible = abs(offset) <= (WIFI_CHANNEL_WIDTH - self.sample_rate) / 2
+            return offset, visible
+        # Unpinned Wi-Fi / ZigBee / microwave render at band center (the
+        # monitor is assumed tuned to the channel under study, as in the
+        # paper's USRP setup); their energy always lands in band.
+        return 0.0, True
+
+    def render(self, include_noise: bool = True) -> RenderedTrace:
+        """Render the scenario into an IQ trace plus ground truth."""
+        nsamples = int(round(self.duration * self.sample_rate))
+        timebase = Timebase(self.sample_rate)
+        rng = np.random.default_rng(self.seed)
+        ctx = RenderContext(self.sample_rate)
+
+        if include_noise:
+            trace = self.channel.awgn(nsamples, rng).astype(np.complex64)
+        else:
+            trace = np.zeros(nsamples, dtype=np.complex64)
+
+        events: List[TxEvent] = []
+        for source in self._sources:
+            events.extend(source.events())
+        events.sort(key=lambda e: e.time)
+
+        log: List[Transmission] = []
+        for event in events:
+            if event.time >= self.duration:
+                continue
+            offset, visible = self._event_offset(event)
+            truncated = event.end_time > self.duration
+            if visible:
+                wave = np.asarray(event.render(ctx), dtype=np.complex64)
+                if self.impairments is not None:
+                    wave = self.impairments.apply_multipath(wave)
+                    offset += self.impairments.random_cfo(rng)
+                power = float(np.mean(np.abs(wave) ** 2))
+                amp = self.channel.amplitude_for_snr(event.snr_db, power)
+                wave = apply_freq_offset(wave * amp, offset, self.sample_rate)
+                if abs(offset) > 1e6 and event.protocol == "wifi":
+                    # an off-center wideband signal aliases when shifted at
+                    # the capture rate; band-limit to what the monitor's
+                    # front end would actually pass
+                    from repro.dsp.filters import filter_signal, fir_lowpass
+
+                    taps = fir_lowpass(
+                        0.45 * self.sample_rate, self.sample_rate, ntaps=63
+                    )
+                    wave = filter_signal(wave, taps).astype(np.complex64)
+                start = int(round(event.time * self.sample_rate))
+                stop = min(start + wave.size, nsamples)
+                if stop > start:
+                    trace[start:stop] += wave[: stop - start]
+            log.append(
+                Transmission(
+                    start_time=event.time,
+                    end_time=min(event.end_time, self.duration),
+                    protocol=event.protocol,
+                    source=event.source,
+                    kind=event.kind,
+                    rate_mbps=event.rate_mbps,
+                    channel=event.channel,
+                    freq_offset=offset,
+                    observable=visible and not truncated,
+                    snr_db=event.snr_db,
+                    payload_size=event.payload_size,
+                    meta={**event.meta, "truncated": truncated},
+                )
+            )
+
+        if self.impairments is not None:
+            trace = self.impairments.apply_frontend(trace)
+
+        buffer = SampleBuffer(trace, timebase)
+        truth = GroundTruth(log, timebase, self.duration)
+        return RenderedTrace(
+            buffer=buffer,
+            ground_truth=truth,
+            center_freq=self.center_freq,
+            noise_power=self.channel.noise_power,
+        )

@@ -1,0 +1,598 @@
+"""Traffic generators with protocol-correct MAC timing.
+
+Each generator turns a high-level workload description ("250 pings",
+"a broadcast flood", "an l2ping session") into a list of :class:`TxEvent`
+objects — the schedule the paper's emulator nodes would have produced.
+Waveforms are rendered lazily by the :class:`~repro.emulator.scenario.Scenario`
+so generators stay cheap and trace synthesis happens in one place.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.constants import (
+    WIFI_CW_MAX,
+    WIFI_DIFS,
+    WIFI_SIFS,
+    WIFI_SLOT_TIME,
+    BT_SLOT,
+    ZIGBEE_LIFS,
+    ZIGBEE_T_ACK,
+)
+from repro.phy import bluetooth as bt
+from repro.phy import wifi_mac
+from repro.phy.bluetooth_fh import hop_channel
+from repro.phy.microwave import MicrowaveEmitter
+
+
+@dataclass
+class TxEvent:
+    """One scheduled transmission, waveform rendered on demand."""
+
+    time: float
+    duration: float
+    protocol: str
+    source: str
+    kind: str
+    snr_db: float
+    render: Callable  # render(ctx) -> complex64 unit-power waveform
+    channel: Optional[int] = None  # protocol channel index (BT/ZigBee/Wi-Fi)
+    rate_mbps: Optional[float] = None
+    payload_size: int = 0
+    #: absolute RF center of the transmission; None means "at whatever
+    #: center the monitor is tuned to" (the single-channel testbed setup)
+    rf_freq: Optional[float] = None
+    meta: Dict = field(default_factory=dict)
+
+    @property
+    def end_time(self) -> float:
+        return self.time + self.duration
+
+
+class TrafficSource:
+    """Base class: a traffic source yields scheduled TxEvents."""
+
+    def events(self) -> List[TxEvent]:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# 802.11
+# ---------------------------------------------------------------------------
+
+#: PLCP long preamble + header airtime in seconds.
+_PLCP_US = 192e-6
+
+
+def _wifi_airtime(mpdu_bytes: int, rate_mbps: float) -> float:
+    return _PLCP_US + mpdu_bytes * 8 / (rate_mbps * 1e6)
+
+
+def _wifi_render(mpdu: bytes, rate: float):
+    def render(ctx):
+        return ctx.wifi_modulator.modulate(mpdu, rate)
+
+    return render
+
+
+def _wifi_rf_freq(channel: Optional[int]) -> Optional[float]:
+    """Absolute center of an 802.11 channel number (1..11), or None."""
+    if channel is None:
+        return None
+    from repro.constants import WIFI_CHANNELS
+
+    if not 1 <= channel <= len(WIFI_CHANNELS):
+        raise ValueError(f"802.11 channel must be 1..{len(WIFI_CHANNELS)}")
+    return WIFI_CHANNELS[channel - 1]
+
+
+class WifiPingSession(TrafficSource):
+    """ICMP-echo-style unicast exchange (Section 5.1.2).
+
+    Each ping produces four transmissions: echo request, SIFS-spaced MAC
+    ACK, echo reply (after DIFS + random backoff at the replier), and its
+    SIFS-spaced ACK.  ``channel`` pins the session to an absolute 802.11
+    channel (1..11); the default None transmits at whatever center the
+    monitor is tuned to — the paper's single-channel testbed setup.
+    """
+
+    def __init__(
+        self,
+        src: str = "node-a",
+        dst: str = "node-b",
+        n_pings: int = 250,
+        payload_size: int = 500,
+        interval: float = 20e-3,
+        rate_mbps: float = 1.0,
+        snr_db: float = 20.0,
+        start: float = 1e-3,
+        seed: int = 1,
+        channel: Optional[int] = None,
+        rts_cts: bool = False,
+    ):
+        self.src, self.dst = src, dst
+        self.n_pings = n_pings
+        self.payload_size = payload_size
+        self.interval = interval
+        self.rate_mbps = rate_mbps
+        self.snr_db = snr_db
+        self.start = start
+        self.channel = channel
+        self.rts_cts = rts_cts
+        self._rng = np.random.default_rng(seed)
+
+    def events(self) -> List[TxEvent]:
+        out = []
+        ack_len = 14
+        ack_air = _wifi_airtime(ack_len, self.rate_mbps)
+        for i in range(self.n_pings):
+            t = self.start + i * self.interval
+            for direction, kind in (("request", "data"), ("reply", "data")):
+                payload = wifi_mac.build_icmp_payload(
+                    "echo-request" if direction == "request" else "echo-reply",
+                    i,
+                    self.payload_size,
+                )
+                if direction == "request":
+                    mpdu = wifi_mac.build_data_frame(self.src, self.dst, payload, seq=i)
+                    sender, receiver = self.src, self.dst
+                else:
+                    mpdu = wifi_mac.build_data_frame(self.dst, self.src, payload, seq=i)
+                    sender, receiver = self.dst, self.src
+                air = _wifi_airtime(len(mpdu), self.rate_mbps)
+                rf_freq = _wifi_rf_freq(self.channel)
+                if self.rts_cts:
+                    rts = wifi_mac.build_rts_frame(receiver, sender)
+                    cts = wifi_mac.build_cts_frame(sender)
+                    rts_air = _wifi_airtime(len(rts), self.rate_mbps)
+                    cts_air = _wifi_airtime(len(cts), self.rate_mbps)
+                    out.append(TxEvent(
+                        time=t, duration=rts_air, protocol="wifi",
+                        source=sender, kind="rts", snr_db=self.snr_db,
+                        rate_mbps=self.rate_mbps, payload_size=len(rts),
+                        render=_wifi_render(rts, self.rate_mbps),
+                        channel=self.channel, rf_freq=rf_freq,
+                        meta={"seq": i},
+                    ))
+                    t += rts_air + WIFI_SIFS
+                    out.append(TxEvent(
+                        time=t, duration=cts_air, protocol="wifi",
+                        source=receiver, kind="cts", snr_db=self.snr_db,
+                        rate_mbps=self.rate_mbps, payload_size=len(cts),
+                        render=_wifi_render(cts, self.rate_mbps),
+                        channel=self.channel, rf_freq=rf_freq,
+                        meta={"seq": i},
+                    ))
+                    t += cts_air + WIFI_SIFS
+                out.append(
+                    TxEvent(
+                        time=t, duration=air, protocol="wifi", source=sender,
+                        kind=kind, snr_db=self.snr_db, rate_mbps=self.rate_mbps,
+                        payload_size=len(mpdu), render=_wifi_render(mpdu, self.rate_mbps),
+                        channel=self.channel, rf_freq=rf_freq,
+                        meta={"seq": i, "direction": direction},
+                    )
+                )
+                t += air + WIFI_SIFS
+                ack = wifi_mac.build_ack_frame(sender)
+                out.append(
+                    TxEvent(
+                        time=t, duration=ack_air, protocol="wifi", source=receiver,
+                        kind="ack", snr_db=self.snr_db, rate_mbps=self.rate_mbps,
+                        payload_size=ack_len, render=_wifi_render(ack, self.rate_mbps),
+                        channel=self.channel, rf_freq=rf_freq,
+                        meta={"seq": i, "acks": direction},
+                    )
+                )
+                t += ack_air
+                if direction == "request":
+                    backoff = int(self._rng.integers(0, 8))
+                    t += WIFI_DIFS + backoff * WIFI_SLOT_TIME
+        return out
+
+    def exchange_airtime(self) -> float:
+        """Airtime of one full ping exchange (for sizing intervals)."""
+        mpdu = 24 + self.payload_size + 4
+        data_air = _wifi_airtime(mpdu, self.rate_mbps)
+        ack_air = _wifi_airtime(14, self.rate_mbps)
+        return 2 * (data_air + WIFI_SIFS + ack_air) + WIFI_DIFS + 8 * WIFI_SLOT_TIME
+
+
+class WifiBroadcastFlood(TrafficSource):
+    """Broadcast flood: packets spaced DIFS + k x slot (Section 5.1.3)."""
+
+    def __init__(
+        self,
+        src: str = "node-a",
+        n_packets: int = 4000,
+        payload_size: int = 500,
+        rate_mbps: float = 1.0,
+        cw: int = WIFI_CW_MAX,
+        snr_db: float = 20.0,
+        start: float = 1e-3,
+        seed: int = 2,
+    ):
+        self.src = src
+        self.n_packets = n_packets
+        self.payload_size = payload_size
+        self.rate_mbps = rate_mbps
+        self.cw = cw
+        self.snr_db = snr_db
+        self.start = start
+        self._rng = np.random.default_rng(seed)
+
+    def events(self) -> List[TxEvent]:
+        out = []
+        t = self.start
+        for i in range(self.n_packets):
+            payload = wifi_mac.build_icmp_payload("echo-request", i, self.payload_size)
+            mpdu = wifi_mac.build_data_frame(self.src, wifi_mac.BROADCAST, payload, seq=i)
+            air = _wifi_airtime(len(mpdu), self.rate_mbps)
+            out.append(
+                TxEvent(
+                    time=t, duration=air, protocol="wifi", source=self.src,
+                    kind="broadcast", snr_db=self.snr_db, rate_mbps=self.rate_mbps,
+                    payload_size=len(mpdu), render=_wifi_render(mpdu, self.rate_mbps),
+                    meta={"seq": i},
+                )
+            )
+            k = int(self._rng.integers(0, self.cw + 1))
+            t += air + WIFI_DIFS + k * WIFI_SLOT_TIME
+        return out
+
+
+class WifiBeaconSource(TrafficSource):
+    """An access point beaconing every 102.4 ms at 1 Mbps."""
+
+    def __init__(self, src: str = "ap", duration: float = 1.0,
+                 interval: float = 102.4e-3, snr_db: float = 20.0,
+                 ssid: bytes = b"rfdump", start: float = 0.5e-3,
+                 channel: Optional[int] = None):
+        self.src = src
+        self.duration = duration
+        self.interval = interval
+        self.snr_db = snr_db
+        self.ssid = ssid
+        self.start = start
+        self.channel = channel
+
+    def events(self) -> List[TxEvent]:
+        out = []
+        for i, t in enumerate(
+            np.arange(self.start, self.duration, self.interval)
+        ):
+            mpdu = wifi_mac.build_beacon_frame(self.src, seq=i, ssid=self.ssid)
+            air = _wifi_airtime(len(mpdu), 1.0)
+            out.append(
+                TxEvent(
+                    time=float(t), duration=air, protocol="wifi", source=self.src,
+                    kind="beacon", snr_db=self.snr_db, rate_mbps=1.0,
+                    payload_size=len(mpdu), render=_wifi_render(mpdu, 1.0),
+                    channel=self.channel, rf_freq=_wifi_rf_freq(self.channel),
+                    meta={"seq": i},
+                )
+            )
+        return out
+
+
+class CampusTraffic(TrafficSource):
+    """Uncontrolled "real-world" 802.11 traffic (the Table 4 workload).
+
+    A mix modelled on a campus building: beacons and broadcast ARPs at
+    1 Mbps, unicast data mostly at the CCK rates with SIFS-spaced ACKs,
+    Poisson arrivals.  Most packets are *not* 1 Mbps, so an ideal DBPSK
+    filter passes only a few percent of the trace — the selectivity the
+    real-world experiment measures.
+    """
+
+    #: default rate mix for unicast data (roughly a 2009 campus WLAN)
+    RATE_MIX = ((11.0, 0.55), (5.5, 0.22), (2.0, 0.15), (1.0, 0.08))
+
+    def __init__(
+        self,
+        duration: float = 1.0,
+        data_rate_per_s: float = 70.0,
+        payload_mean: int = 400,
+        ack_rate_mbps: float = 2.0,
+        broadcast_rate_per_s: float = 8.0,
+        beacon_interval: float = 102.4e-3,
+        snr_db: float = 20.0,
+        seed: int = 17,
+    ):
+        self.duration = duration
+        self.data_rate_per_s = data_rate_per_s
+        self.payload_mean = payload_mean
+        self.ack_rate_mbps = ack_rate_mbps
+        self.broadcast_rate_per_s = broadcast_rate_per_s
+        self.beacon_interval = beacon_interval
+        self.snr_db = snr_db
+        self.seed = seed
+
+    def _data_events(self, rng) -> List[TxEvent]:
+        out = []
+        rates, weights = zip(*self.RATE_MIX)
+        t = float(rng.exponential(1.0 / self.data_rate_per_s))
+        seq = 0
+        while t < self.duration:
+            rate = float(rng.choice(rates, p=weights))
+            size = max(int(rng.exponential(self.payload_mean)), 28)
+            payload = bytes((seq + j) & 0xFF for j in range(size))
+            mpdu = wifi_mac.build_data_frame("sta-%d" % (seq % 7), "ap",
+                                             payload, seq=seq)
+            air = _wifi_airtime(len(mpdu), rate)
+            out.append(
+                TxEvent(
+                    time=t, duration=air, protocol="wifi", source="sta",
+                    kind="data", snr_db=self.snr_db, rate_mbps=rate,
+                    payload_size=len(mpdu), render=_wifi_render(mpdu, rate),
+                    meta={"seq": seq},
+                )
+            )
+            ack = wifi_mac.build_ack_frame("sta-%d" % (seq % 7))
+            ack_air = _wifi_airtime(len(ack), self.ack_rate_mbps)
+            out.append(
+                TxEvent(
+                    time=t + air + WIFI_SIFS, duration=ack_air,
+                    protocol="wifi", source="ap", kind="ack",
+                    snr_db=self.snr_db, rate_mbps=self.ack_rate_mbps,
+                    payload_size=len(ack),
+                    render=_wifi_render(ack, self.ack_rate_mbps),
+                    meta={"seq": seq},
+                )
+            )
+            t += air + WIFI_SIFS + ack_air
+            t += float(rng.exponential(1.0 / self.data_rate_per_s))
+            seq += 1
+        return out
+
+    def _broadcast_events(self, rng) -> List[TxEvent]:
+        out = []
+        t = float(rng.exponential(1.0 / self.broadcast_rate_per_s))
+        i = 0
+        while t < self.duration:
+            mpdu = wifi_mac.build_data_frame(
+                "sta-%d" % (i % 7), wifi_mac.BROADCAST, b"ARP?" * 10, seq=i
+            )
+            air = _wifi_airtime(len(mpdu), 1.0)
+            out.append(
+                TxEvent(
+                    time=t, duration=air, protocol="wifi", source="sta",
+                    kind="broadcast", snr_db=self.snr_db, rate_mbps=1.0,
+                    payload_size=len(mpdu), render=_wifi_render(mpdu, 1.0),
+                    meta={"seq": i},
+                )
+            )
+            t += air + float(rng.exponential(1.0 / self.broadcast_rate_per_s))
+            i += 1
+        return out
+
+    def events(self) -> List[TxEvent]:
+        rng = np.random.default_rng(self.seed)
+        out = WifiBeaconSource(
+            duration=self.duration, interval=self.beacon_interval,
+            snr_db=self.snr_db,
+        ).events()
+        out.extend(self._data_events(rng))
+        out.extend(self._broadcast_events(rng))
+        # drop overlapping events: a single channel is CSMA-arbitrated, so
+        # simultaneous transmissions would not occur in a healthy WLAN
+        out.sort(key=lambda e: e.time)
+        kept: List[TxEvent] = []
+        for event in out:
+            if kept and event.time < kept[-1].end_time + WIFI_SIFS - 1e-9:
+                continue
+            kept.append(event)
+        return kept
+
+
+# ---------------------------------------------------------------------------
+# Bluetooth
+# ---------------------------------------------------------------------------
+
+
+class BluetoothL2PingSession(TrafficSource):
+    """l2ping-style DH5 exchange over the TDD hop sequence (Section 5.1.4).
+
+    Packet sizes cycle over [size_min, size_max] so a decoded packet's size
+    identifies its sequence number, reproducing the paper's ground-truth
+    technique.  Channels follow the hop kernel; the scenario marks packets
+    on out-of-band channels unobservable.
+    """
+
+    #: DH5 exchanges occupy 5 slots + the reply's 5 slots; leave one pair
+    #: of guard slots by default.
+    def __init__(
+        self,
+        master: str = "bt-master",
+        slave: str = "bt-slave",
+        n_pings: int = 100,
+        size_min: int = 225,
+        size_max: int = 339,
+        address: int = 0x2A96EF,
+        start_clock: int = 0,
+        interval_slots: int = 12,
+        snr_db: float = 20.0,
+        start: float = 2e-3,
+        lap: int = 0x9E8B33,
+    ):
+        if interval_slots % 2:
+            raise ValueError("interval_slots must be even (master starts even slots)")
+        self.master, self.slave = master, slave
+        self.n_pings = n_pings
+        self.size_min, self.size_max = size_min, size_max
+        self.address = address
+        self.start_clock = start_clock
+        self.interval_slots = interval_slots
+        self.snr_db = snr_db
+        self.start = start
+        self.lap = lap
+
+    def _packet_event(self, slot: int, source: str, size: int, seq: int, kind: str):
+        clock = (self.start_clock + slot) & 0xFFFFFFFF
+        channel = hop_channel(self.address, clock)
+        data = bytes((seq + j) & 0xFF for j in range(size))
+        airtime = (72 + 54 + 16 + 8 * size + 16) / 1e6
+
+        def render(ctx, _data=data, _clock=clock):
+            return ctx.bluetooth_modulator(self.lap).modulate(
+                bt.TYPE_DH5, _data, _clock, seqn=seq & 1
+            )
+
+        return TxEvent(
+            time=self.start + slot * BT_SLOT, duration=airtime,
+            protocol="bluetooth", source=source, kind=kind, snr_db=self.snr_db,
+            channel=channel, rate_mbps=1.0, payload_size=size, render=render,
+            meta={"seq": seq, "clock": clock, "size": size},
+        )
+
+    def events(self) -> List[TxEvent]:
+        out = []
+        span = self.size_max - self.size_min + 1
+        for i in range(self.n_pings):
+            size = self.size_min + (i % span)
+            slot = i * self.interval_slots
+            out.append(self._packet_event(slot, self.master, size, i, "l2ping"))
+            out.append(self._packet_event(slot + 5, self.slave, size, i, "l2ping-echo"))
+        return out
+
+
+class OfdmBurstSource(TrafficSource):
+    """OFDM data bursts (the 802.11g future-work extension).
+
+    The OFDM modem scales its subcarrier spacing to the monitor's capture
+    rate (see :mod:`repro.phy.ofdm`), so the airtime of a burst depends on
+    the sample rate; pass the scenario's rate if it differs from the
+    default.
+    """
+
+    def __init__(self, src: str = "g-node", n_packets: int = 20,
+                 payload_size: int = 200, interval: float = 8e-3,
+                 snr_db: float = 20.0, start: float = 1.5e-3,
+                 sample_rate: float = None):
+        from repro.constants import DEFAULT_SAMPLE_RATE
+        from repro.phy.ofdm import OfdmModem
+
+        self.src = src
+        self.n_packets = n_packets
+        self.payload_size = payload_size
+        self.interval = interval
+        self.snr_db = snr_db
+        self.start = start
+        self._modem = OfdmModem(sample_rate or DEFAULT_SAMPLE_RATE)
+
+    def events(self) -> List[TxEvent]:
+        out = []
+        air = self._modem.airtime(self.payload_size)
+        for i in range(self.n_packets):
+            payload = bytes((i * 3 + j) & 0xFF for j in range(self.payload_size))
+
+            def render(ctx, _payload=payload):
+                return ctx.ofdm_modulator.modulate(_payload)
+
+            out.append(
+                TxEvent(
+                    time=self.start + i * self.interval, duration=air,
+                    protocol="ofdm", source=self.src, kind="data",
+                    snr_db=self.snr_db, payload_size=self.payload_size,
+                    render=render, meta={"seq": i},
+                )
+            )
+        return out
+
+
+# ---------------------------------------------------------------------------
+# ZigBee
+# ---------------------------------------------------------------------------
+
+
+class ZigbeePingSession(TrafficSource):
+    """802.15.4 data + MAC-ACK exchanges spaced by LIFS."""
+
+    def __init__(self, src: str = "zb-a", n_packets: int = 50,
+                 payload_size: int = 40, interval: float = 10e-3,
+                 snr_db: float = 20.0, start: float = 3e-3):
+        self.src = src
+        self.n_packets = n_packets
+        self.payload_size = payload_size
+        self.interval = max(interval, ZIGBEE_LIFS)
+        self.snr_db = snr_db
+        self.start = start
+
+    def events(self) -> List[TxEvent]:
+        from repro.constants import ZIGBEE_SYMBOL_RATE
+
+        out = []
+        for i in range(self.n_packets):
+            t = self.start + i * self.interval
+            psdu = bytes([0x41, 0x88, i & 0xFF]) + bytes(
+                (i + j) & 0xFF for j in range(self.payload_size)
+            )
+            air = (6 + len(psdu) + 2) * 2 / ZIGBEE_SYMBOL_RATE
+
+            def render(ctx, _psdu=psdu):
+                return ctx.zigbee_modulator.modulate(_psdu)
+
+            out.append(
+                TxEvent(
+                    time=t, duration=air, protocol="zigbee", source=self.src,
+                    kind="data", snr_db=self.snr_db, payload_size=len(psdu),
+                    render=render, meta={"seq": i},
+                )
+            )
+            ack_psdu = bytes([0x02, 0x00, i & 0xFF])
+            ack_air = (6 + len(ack_psdu) + 2) * 2 / ZIGBEE_SYMBOL_RATE
+
+            def render_ack(ctx, _psdu=ack_psdu):
+                return ctx.zigbee_modulator.modulate(_psdu)
+
+            out.append(
+                TxEvent(
+                    time=t + air + ZIGBEE_T_ACK, duration=ack_air,
+                    protocol="zigbee", source="zb-peer", kind="ack",
+                    snr_db=self.snr_db, payload_size=len(ack_psdu),
+                    render=render_ack, meta={"seq": i},
+                )
+            )
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Microwave
+# ---------------------------------------------------------------------------
+
+
+class MicrowaveSource(TrafficSource):
+    """A running microwave oven: one TxEvent per magnetron burst."""
+
+    def __init__(self, source: str = "microwave", start: float = 0.0,
+                 duration: float = 0.1, snr_db: float = 15.0,
+                 emitter: MicrowaveEmitter = None):
+        self.source = source
+        self.start = start
+        self.duration = duration
+        self.snr_db = snr_db
+        self.emitter = emitter or MicrowaveEmitter()
+
+    def events(self) -> List[TxEvent]:
+        out = []
+        for i, (t0, t1) in enumerate(
+            self.emitter.burst_intervals(self.duration)
+        ):
+            burst_len = t1 - t0
+
+            def render(ctx, _len=burst_len):
+                return self.emitter.render(_len, ctx.sample_rate)
+
+            out.append(
+                TxEvent(
+                    time=self.start + t0, duration=burst_len,
+                    protocol="microwave", source=self.source, kind="burst",
+                    snr_db=self.snr_db, render=render, meta={"burst": i},
+                )
+            )
+        return out

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the RFDump reproduction.
+
+Every error raised on purpose by this package derives from
+:class:`RFDumpError` so callers can catch package failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class RFDumpError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(RFDumpError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class TraceFormatError(RFDumpError):
+    """A trace file is malformed or its sidecar metadata is inconsistent."""
+
+
+class DecodeError(RFDumpError):
+    """A demodulator could not decode a candidate transmission.
+
+    Demodulators raise this (or return ``None``) when a forwarded block of
+    samples turns out not to contain a valid packet for their protocol.
+    In the RFDump architecture this is an *expected* outcome: the fast
+    detection stage is allowed to produce false positives, and the
+    demodulator is the final arbiter.
+    """
+
+
+class SyncError(DecodeError):
+    """No preamble / access-code synchronization point was found."""
+
+
+class ChecksumError(DecodeError):
+    """A frame was demodulated but its integrity check failed."""
+
+    def __init__(self, message: str, expected: int = None, actual: int = None):
+        super().__init__(message)
+        self.expected = expected
+        self.actual = actual
+
+
+class FlowGraphError(RFDumpError):
+    """The flowgraph is malformed (cycle, dangling port, type mismatch)."""
+
+
+class SchedulerError(FlowGraphError):
+    """The scheduler could not make progress executing a flowgraph."""

@@ -1,0 +1,70 @@
+"""Block base classes for the flowgraph framework."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List
+
+
+class Block:
+    """A processing stage in a flowgraph.
+
+    Subclasses implement :meth:`work`, which consumes one input item and
+    returns an iterable of output items (possibly empty — blocks may
+    buffer internally and emit later).  :meth:`finish` is called once when
+    the upstream is exhausted, to flush buffered state.
+    """
+
+    def __init__(self, name: str = None):
+        self.name = name or type(self).__name__
+
+    def start(self) -> None:
+        """Reset per-run state before a stream begins."""
+
+    def work(self, item: Any) -> Iterable[Any]:
+        """Process one input item, yielding zero or more output items."""
+        raise NotImplementedError
+
+    def finish(self) -> Iterable[Any]:
+        """Flush buffered state at end of stream."""
+        return ()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SourceBlock(Block):
+    """A stream origin: produces items instead of consuming them."""
+
+    def items(self) -> Iterable[Any]:
+        """Yield the finite stream this source produces."""
+        raise NotImplementedError
+
+    def work(self, item: Any) -> Iterable[Any]:
+        raise TypeError(f"source block {self.name!r} cannot consume items")
+
+
+class SinkBlock(Block):
+    """A stream terminus: consumes items and produces nothing."""
+
+    def work(self, item: Any) -> Iterable[Any]:
+        self.consume(item)
+        return ()
+
+    def consume(self, item: Any) -> None:
+        raise NotImplementedError
+
+
+class FunctionBlock(Block):
+    """Wrap a plain function ``item -> item | list | None`` as a block."""
+
+    def __init__(self, func: Callable[[Any], Any], name: str = None):
+        super().__init__(name or getattr(func, "__name__", "function"))
+        self._func = func
+
+    def work(self, item: Any) -> List[Any]:
+        result = self._func(item)
+        if result is None:
+            return []
+        if isinstance(result, list):
+            return result
+        return [result]

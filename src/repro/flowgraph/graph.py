@@ -1,0 +1,118 @@
+"""FlowGraph wiring and the deterministic single-threaded scheduler."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Set
+
+from repro.errors import FlowGraphError, SchedulerError
+from repro.flowgraph.block import Block, SourceBlock
+
+
+class FlowGraph:
+    """A DAG of blocks streaming items from sources to sinks.
+
+    Mirrors the GNU Radio model the paper's prototype used: connect blocks,
+    then :meth:`run`.  The scheduler is single-threaded and deterministic —
+    items propagate depth-first in connection order — which matches the
+    paper's measurement setup (GNU Radio had no multithreading in 2009).
+    """
+
+    def __init__(self):
+        self._edges: Dict[Block, List[Block]] = {}
+        self._blocks: List[Block] = []
+
+    def add(self, block: Block) -> Block:
+        if block not in self._blocks:
+            self._blocks.append(block)
+            self._edges.setdefault(block, [])
+        return block
+
+    def connect(self, src: Block, dst: Block) -> "FlowGraph":
+        """Add an edge src -> dst; both blocks are registered implicitly."""
+        self.add(src)
+        self.add(dst)
+        if isinstance(dst, SourceBlock):
+            raise FlowGraphError(f"cannot connect into source block {dst.name!r}")
+        self._edges[src].append(dst)
+        self._check_acyclic()
+        return self
+
+    def chain(self, *blocks: Block) -> "FlowGraph":
+        """Connect blocks in sequence: a -> b -> c ..."""
+        for src, dst in zip(blocks, blocks[1:]):
+            self.connect(src, dst)
+        return self
+
+    @property
+    def blocks(self) -> List[Block]:
+        return list(self._blocks)
+
+    def successors(self, block: Block) -> List[Block]:
+        return list(self._edges.get(block, []))
+
+    def _check_acyclic(self) -> None:
+        seen: Set[Block] = set()
+        stack: Set[Block] = set()
+
+        def visit(node: Block):
+            if node in stack:
+                raise FlowGraphError("flowgraph contains a cycle")
+            if node in seen:
+                return
+            stack.add(node)
+            for nxt in self._edges.get(node, []):
+                visit(nxt)
+            stack.discard(node)
+            seen.add(node)
+
+        for block in self._blocks:
+            visit(block)
+
+    def _topological(self) -> List[Block]:
+        order: List[Block] = []
+        indegree = {b: 0 for b in self._blocks}
+        for src, dsts in self._edges.items():
+            for dst in dsts:
+                indegree[dst] += 1
+        ready = deque(b for b in self._blocks if indegree[b] == 0)
+        while ready:
+            node = ready.popleft()
+            order.append(node)
+            for nxt in self._edges.get(node, []):
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(self._blocks):
+            raise FlowGraphError("flowgraph contains a cycle")
+        return order
+
+    # -- execution -----------------------------------------------------------
+
+    def _propagate(self, block: Block, item: Any) -> None:
+        outputs = block.work(item)
+        if outputs is None:
+            return
+        for out in outputs:
+            for nxt in self._edges.get(block, []):
+                self._propagate(nxt, out)
+
+    def run(self) -> None:
+        """Stream every source to exhaustion, then flush all blocks."""
+        sources = [b for b in self._blocks if isinstance(b, SourceBlock)]
+        if not sources:
+            raise SchedulerError("flowgraph has no source block")
+        order = self._topological()
+        for block in order:
+            block.start()
+        for source in sources:
+            for item in source.items():
+                for nxt in self._edges.get(source, []):
+                    self._propagate(nxt, item)
+        # flush in topological order so downstream blocks see upstream tails
+        for block in order:
+            if isinstance(block, SourceBlock):
+                continue
+            for out in block.finish():
+                for nxt in self._edges.get(block, []):
+                    self._propagate(nxt, out)

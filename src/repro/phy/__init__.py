@@ -1,0 +1,36 @@
+"""Physical-layer implementations for the 2.4 GHz ISM protocols.
+
+Each protocol provides a modulator (bits/bytes -> complex baseband at the
+capture rate) used by the emulator to render traces, and a demodulator
+(complex baseband -> decoded packet) used by the analysis stage.  The
+demodulators are deliberately *complete* receive chains — their cost
+relative to the fast detectors is the quantity the paper's architecture
+exploits.
+"""
+
+from repro.phy.wifi import WifiModulator, WifiDemodulator, WifiPacket
+from repro.phy.wifi_mac import MacFrame, build_data_frame, build_ack_frame, parse_mac_frame
+from repro.phy.bluetooth import (
+    BluetoothModulator,
+    BluetoothDemodulator,
+    BluetoothPacket,
+)
+from repro.phy.zigbee import ZigbeeModulator, ZigbeeDemodulator, ZigbeePacket
+from repro.phy.microwave import MicrowaveEmitter
+
+__all__ = [
+    "WifiModulator",
+    "WifiDemodulator",
+    "WifiPacket",
+    "MacFrame",
+    "build_data_frame",
+    "build_ack_frame",
+    "parse_mac_frame",
+    "BluetoothModulator",
+    "BluetoothDemodulator",
+    "BluetoothPacket",
+    "ZigbeeModulator",
+    "ZigbeeDemodulator",
+    "ZigbeePacket",
+    "MicrowaveEmitter",
+]

@@ -1,0 +1,53 @@
+"""Bluetooth frequency-hop channel selection.
+
+The real selection kernel is a bit-sliced permutation of the master's
+address and clock (Bluetooth spec Part B, 11.2).  The monitoring system
+never needs to *predict* hops — it observes whatever lands in its 8 MHz
+window — so we substitute a deterministic pseudo-random kernel with the
+properties that matter here: uniform coverage of all 79 channels, a fixed
+(address, clock) -> channel mapping shared by emulator and ground truth,
+and decorrelated consecutive hops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import BT_BASE_FREQ, BT_CHANNEL_WIDTH, BT_NUM_CHANNELS
+
+
+def hop_channel(address: int, clock: int) -> int:
+    """Channel index (0..78) for a master ``address`` at slot ``clock``.
+
+    A splitmix-style integer hash — deterministic, uniform, and avalanching
+    in both arguments.
+    """
+    x = ((address & 0xFFFFFFFF) << 32) ^ (clock & 0xFFFFFFFF)
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    return int(x % BT_NUM_CHANNELS)
+
+
+def hop_sequence(address: int, start_clock: int, nslots: int) -> np.ndarray:
+    """Channel indices for ``nslots`` consecutive slots."""
+    return np.array(
+        [hop_channel(address, start_clock + i) for i in range(nslots)], dtype=np.int64
+    )
+
+
+def channel_freq(channel: int) -> float:
+    """Center frequency in Hz of Bluetooth channel ``channel``."""
+    if not 0 <= channel < BT_NUM_CHANNELS:
+        raise ValueError(f"Bluetooth channel must be 0..78, got {channel}")
+    return BT_BASE_FREQ + channel * BT_CHANNEL_WIDTH
+
+
+def channels_in_band(center_freq: float, bandwidth: float) -> np.ndarray:
+    """Bluetooth channel indices whose centers fall inside the monitored band."""
+    lo = center_freq - bandwidth / 2
+    hi = center_freq + bandwidth / 2
+    freqs = BT_BASE_FREQ + BT_CHANNEL_WIDTH * np.arange(BT_NUM_CHANNELS)
+    # keep a half-channel guard so a packet's 1 MHz width stays in band
+    mask = (freqs >= lo + BT_CHANNEL_WIDTH / 2) & (freqs <= hi - BT_CHANNEL_WIDTH / 2)
+    return np.flatnonzero(mask)

@@ -1,0 +1,83 @@
+"""Forward error correction used by Bluetooth baseband packets.
+
+* rate 1/3: each bit transmitted three times, majority-decoded — protects
+  the 18-bit packet header;
+* rate 2/3: shortened (15,10) Hamming code, generator
+  g(D) = D^5 + D^4 + D^2 + 1 — protects DM payloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DecodeError
+
+#: generator polynomial for the (15,10) shortened Hamming code, as a bit
+#: vector of D^0..D^5 coefficients: 1 + D^2 + D^4 + D^5.
+_G1510 = 0b110101
+
+
+def repeat3_encode(bits: np.ndarray) -> np.ndarray:
+    """Rate-1/3 repetition encode: b -> b b b (bitwise interleaved)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    return np.repeat(bits, 3)
+
+
+def repeat3_decode(coded: np.ndarray) -> np.ndarray:
+    """Majority decode a rate-1/3 repetition stream."""
+    coded = np.asarray(coded, dtype=np.uint8)
+    if coded.size % 3 != 0:
+        raise DecodeError(f"repetition stream length {coded.size} not divisible by 3")
+    groups = coded.reshape(-1, 3)
+    return (groups.sum(axis=1) >= 2).astype(np.uint8)
+
+
+def _poly_mod(dividend: int, nbits: int) -> int:
+    """Remainder of dividend / g(D) over GF(2), dividend has nbits bits."""
+    g = _G1510
+    gdeg = 5
+    for shift in range(nbits - 1, gdeg - 1, -1):
+        if dividend & (1 << shift):
+            dividend ^= g << (shift - gdeg)
+    return dividend & 0x1F
+
+
+def hamming1510_encode(bits: np.ndarray) -> np.ndarray:
+    """Rate-2/3 encode: each 10 info bits -> 15-bit systematic codeword.
+
+    Input length must be a multiple of 10 (the transmitter zero-pads per
+    the Bluetooth spec; callers handle padding).
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 10 != 0:
+        raise ValueError("rate-2/3 FEC consumes bits 10 at a time")
+    out = []
+    for i in range(0, bits.size, 10):
+        block = bits[i : i + 10]
+        info = int(sum(int(b) << (9 - j) for j, b in enumerate(block)))
+        parity = _poly_mod(info << 5, 15)
+        word = (info << 5) | parity
+        out.append([(word >> (14 - k)) & 1 for k in range(15)])
+    return np.array(out, dtype=np.uint8).ravel()
+
+
+def hamming1510_decode(coded: np.ndarray) -> np.ndarray:
+    """Rate-2/3 decode with single-bit error correction per codeword."""
+    coded = np.asarray(coded, dtype=np.uint8)
+    if coded.size % 15 != 0:
+        raise DecodeError(f"rate-2/3 stream length {coded.size} not divisible by 15")
+    # syndrome of a single-bit error at position k (MSB-first)
+    syndromes = {_poly_mod(1 << (14 - k), 15): k for k in range(15)}
+    out = []
+    for i in range(0, coded.size, 15):
+        block = coded[i : i + 15]
+        word = int(sum(int(b) << (14 - j) for j, b in enumerate(block)))
+        syn = _poly_mod(word, 15)
+        if syn != 0:
+            pos = syndromes.get(syn)
+            if pos is None:
+                raise DecodeError("uncorrectable rate-2/3 FEC block")
+            word ^= 1 << (14 - pos)
+        info = word >> 5
+        out.append([(info >> (9 - k)) & 1 for k in range(10)])
+    return np.array(out, dtype=np.uint8).ravel()

@@ -1,0 +1,128 @@
+"""GFSK modulation and discriminator demodulation (Bluetooth basic rate).
+
+GFSK is a continuous-phase scheme: bits map to +/- frequency deviations,
+shaped by a Gaussian pulse (BT = 0.5), and integrated into phase.  The
+receive side is an FM discriminator — exactly the per-sample phase
+derivative the GFSK fast detector also computes, followed by symbol-timing
+selection and hard decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import BT_GAUSSIAN_BT, BT_MODULATION_INDEX, BT_SYMBOL_RATE
+from repro.dsp.filters import fir_lowpass, filter_signal, gaussian_pulse
+from repro.dsp.phase import phase_derivative
+
+
+class GfskModem:
+    """Modulator/demodulator pair at a fixed capture rate.
+
+    The receive path applies a channel-selection low-pass before the FM
+    discriminator (``channel_filter``): the monitored band is much wider
+    than the 1 MHz GFSK signal, and discriminating against full-band noise
+    costs ~9 dB of sensitivity.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float,
+        symbol_rate: float = BT_SYMBOL_RATE,
+        modulation_index: float = BT_MODULATION_INDEX,
+        bt: float = BT_GAUSSIAN_BT,
+        channel_filter: bool = True,
+    ):
+        sps = sample_rate / symbol_rate
+        if not float(sps).is_integer() or sps < 2:
+            raise ValueError(
+                f"sample_rate must be an integer multiple >=2 of {symbol_rate}"
+            )
+        self.sample_rate = sample_rate
+        self.symbol_rate = symbol_rate
+        self.sps = int(sps)
+        self.h = modulation_index
+        self._pulse = gaussian_pulse(bt, self.sps)
+        self._chan_taps = None
+        if channel_filter and sample_rate > 1.5 * symbol_rate:
+            self._chan_taps = fir_lowpass(0.6 * symbol_rate, sample_rate, ntaps=33)
+
+    # -- transmit ----------------------------------------------------------
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        """Unit-amplitude GFSK waveform for a bit stream."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        nrz = 2.0 * bits - 1.0
+        freq = np.repeat(nrz, self.sps)
+        shaped = np.convolve(freq, self._pulse, mode="same")
+        # phase step per sample: pi * h * f / sps
+        phase = np.cumsum(np.pi * self.h * shaped / self.sps)
+        return np.exp(1j * phase).astype(np.complex64)
+
+    def duration(self, nbits: int) -> float:
+        return nbits / self.symbol_rate
+
+    # -- receive -----------------------------------------------------------
+
+    def discriminate(self, samples: np.ndarray) -> np.ndarray:
+        """Per-sample frequency estimate with the packet-mean removed.
+
+        Removing the mean cancels the carrier-frequency offset contributed
+        by the (known or unknown) channel center, leaving +/- deviations.
+        """
+        if self._chan_taps is not None:
+            samples = filter_signal(samples, self._chan_taps)
+        d1 = phase_derivative(samples)
+        if d1.size == 0:
+            return d1
+        # pad to the input length so the final symbol keeps a full window
+        d1 = np.concatenate([d1, d1[-1:]])
+        return d1 - np.mean(d1)
+
+    def soft_bits(self, samples: np.ndarray, offset: int = 0,
+                  disc: np.ndarray = None) -> np.ndarray:
+        """Per-symbol mean frequency at a given sample offset (soft values).
+
+        Pass a precomputed ``disc`` (from :meth:`discriminate`) when
+        evaluating several offsets of the same samples.
+        """
+        if disc is None:
+            disc = self.discriminate(samples)
+        usable = disc.size - offset
+        nsym = usable // self.sps
+        if nsym <= 0:
+            return np.zeros(0)
+        block = disc[offset : offset + nsym * self.sps].reshape(nsym, self.sps)
+        # average the central half of each symbol to dodge ISI at edges
+        lo = self.sps // 4
+        hi = self.sps - lo
+        return block[:, lo:hi].mean(axis=1)
+
+    def demodulate(self, samples: np.ndarray, offset: int = 0,
+                   disc: np.ndarray = None) -> np.ndarray:
+        """Hard bit decisions at a given symbol-timing offset."""
+        return (self.soft_bits(samples, offset, disc) > 0).astype(np.uint8)
+
+    def best_offset(self, samples: np.ndarray, sync_bits: np.ndarray,
+                    disc: np.ndarray = None):
+        """Pick the symbol-timing offset maximizing sync-word correlation.
+
+        Returns ``(offset, bit_position, score)`` where ``bit_position`` is
+        the index of the first sync bit within the offset's bit stream and
+        ``score`` is the correlation peak in [..len(sync)].
+        """
+        if disc is None:
+            disc = self.discriminate(samples)
+        pattern = 2.0 * np.asarray(sync_bits, dtype=np.float64) - 1.0
+        best = (0, -1, -np.inf)
+        for offset in range(self.sps):
+            soft = self.soft_bits(samples, offset, disc)
+            if soft.size < pattern.size:
+                continue
+            hard = np.sign(soft)
+            corr = np.correlate(hard, pattern, mode="valid")
+            pos = int(np.argmax(corr))
+            score = float(corr[pos])
+            if score > best[2]:
+                best = (offset, pos, score)
+        return best

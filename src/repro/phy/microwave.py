@@ -1,0 +1,83 @@
+"""Residential microwave-oven interference model.
+
+A magnetron emits an (approximately) constant-power, slowly frequency-
+sweeping carrier, but only during the half of each AC mains cycle where the
+supply voltage is high enough — so the emission appears as bursts repeating
+at the AC period (16.67 ms at 60 Hz) with roughly 50% duty cycle.  The
+microwave timing detector keys on exactly this periodicity plus the
+constant envelope (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.constants import MICROWAVE_DUTY_CYCLE
+
+
+@dataclass
+class MicrowaveEmitter:
+    """Synthesizes gated swept-CW microwave emissions.
+
+    Parameters
+    ----------
+    ac_hz:
+        Mains frequency (60 Hz US, 50 Hz EU).
+    duty_cycle:
+        Fraction of each AC period the magnetron emits.
+    sweep_low_hz / sweep_high_hz:
+        Baseband frequency extent of the slow sweep within the monitored
+        band (the real sweep covers tens of MHz; only the in-band part of
+        it is visible to an 8 MHz monitor).
+    """
+
+    ac_hz: float = 60.0
+    duty_cycle: float = MICROWAVE_DUTY_CYCLE
+    sweep_low_hz: float = -2.5e6
+    sweep_high_hz: float = 2.5e6
+
+    def __post_init__(self):
+        if self.ac_hz <= 0:
+            raise ValueError("ac_hz must be positive")
+        if not 0 < self.duty_cycle < 1:
+            raise ValueError("duty_cycle must be in (0, 1)")
+
+    @property
+    def period(self) -> float:
+        return 1.0 / self.ac_hz
+
+    def burst_intervals(self, duration: float, start_time: float = 0.0) -> List[Tuple[float, float]]:
+        """(start, end) times in seconds of every burst within ``duration``."""
+        intervals = []
+        on_time = self.duty_cycle * self.period
+        t = start_time
+        while t < duration - 1e-9:
+            end = min(t + on_time, duration)
+            if end - max(t, 0.0) > 1e-9:
+                intervals.append((max(t, 0.0), end))
+            t += self.period
+        return intervals
+
+    def render(self, duration: float, sample_rate: float, amplitude: float = 1.0,
+               start_time: float = 0.0) -> np.ndarray:
+        """Complex64 waveform of all bursts over ``duration`` seconds.
+
+        The instantaneous frequency sweeps linearly across
+        [sweep_low_hz, sweep_high_hz] within each burst.
+        """
+        n = int(round(duration * sample_rate))
+        wave = np.zeros(n, dtype=np.complex64)
+        for t0, t1 in self.burst_intervals(duration, start_time):
+            i0, i1 = int(round(t0 * sample_rate)), int(round(t1 * sample_rate))
+            i1 = min(i1, n)
+            if i1 <= i0:
+                continue
+            m = i1 - i0
+            frac = np.arange(m) / max(m - 1, 1)
+            freq = self.sweep_low_hz + (self.sweep_high_hz - self.sweep_low_hz) * frac
+            phase = 2 * np.pi * np.cumsum(freq) / sample_rate
+            wave[i0:i1] = amplitude * np.exp(1j * phase).astype(np.complex64)
+        return wave

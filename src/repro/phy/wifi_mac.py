@@ -1,0 +1,176 @@
+"""802.11 MAC frame construction and parsing (data, ACK, beacon).
+
+Only the pieces the monitoring pipeline needs: enough framing to produce
+realistic MPDUs with valid FCS, and a parser the analysis stage uses to
+verify that a demodulated candidate really is an 802.11 frame.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ChecksumError, DecodeError
+from repro.util.bits import crc32_802
+
+#: Frame-control constants (little-endian u16 values).
+FC_DATA = 0x0008
+FC_ACK = 0x00D4
+FC_RTS = 0x00B4
+FC_CTS = 0x00C4
+FC_BEACON = 0x0080
+
+TYPE_MGMT, TYPE_CTRL, TYPE_DATA = 0, 1, 2
+
+BROADCAST = b"\xff\xff\xff\xff\xff\xff"
+
+
+def _mac(addr) -> bytes:
+    """Normalize an address: bytes, an int station id, or a node name."""
+    if isinstance(addr, bytes):
+        if len(addr) != 6:
+            raise ValueError("MAC address must be 6 bytes")
+        return addr
+    if isinstance(addr, str):
+        import zlib
+
+        addr = zlib.crc32(addr.encode()) & 0xFFFF
+    return b"\x02\x00\x00\x00" + struct.pack(">H", int(addr) & 0xFFFF)
+
+
+@dataclass(frozen=True)
+class MacFrame:
+    """A parsed 802.11 MAC frame."""
+
+    frame_control: int
+    duration: int
+    addr1: bytes
+    addr2: Optional[bytes]
+    addr3: Optional[bytes]
+    seq: Optional[int]
+    body: bytes
+    fcs_ok: bool
+
+    @property
+    def ftype(self) -> int:
+        return (self.frame_control >> 2) & 0x3
+
+    @property
+    def subtype(self) -> int:
+        return (self.frame_control >> 4) & 0xF
+
+    @property
+    def is_ack(self) -> bool:
+        return self.frame_control & 0xFC == FC_ACK
+
+    @property
+    def is_rts(self) -> bool:
+        return self.frame_control & 0xFC == FC_RTS
+
+    @property
+    def is_cts(self) -> bool:
+        return self.frame_control & 0xFC == FC_CTS
+
+    @property
+    def is_data(self) -> bool:
+        return self.ftype == TYPE_DATA
+
+    @property
+    def is_beacon(self) -> bool:
+        return self.frame_control & 0xFC == FC_BEACON
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.addr1 == BROADCAST
+
+
+def _with_fcs(frame: bytes) -> bytes:
+    return frame + struct.pack("<I", crc32_802(frame))
+
+
+def build_data_frame(
+    src,
+    dst,
+    payload: bytes,
+    seq: int = 0,
+    duration: int = 0,
+    bssid=0xFFFE,
+) -> bytes:
+    """A data MPDU: 24-byte header + payload + FCS."""
+    header = struct.pack("<HH", FC_DATA, duration)
+    header += _mac(dst) + _mac(src) + _mac(bssid)
+    header += struct.pack("<H", (seq & 0xFFF) << 4)
+    return _with_fcs(header + bytes(payload))
+
+
+def build_ack_frame(receiver, duration: int = 0) -> bytes:
+    """A 14-byte ACK control frame."""
+    return _with_fcs(struct.pack("<HH", FC_ACK, duration) + _mac(receiver))
+
+
+def build_rts_frame(receiver, transmitter, duration: int = 0) -> bytes:
+    """A 20-byte RTS control frame (RA + TA)."""
+    return _with_fcs(
+        struct.pack("<HH", FC_RTS, duration) + _mac(receiver) + _mac(transmitter)
+    )
+
+
+def build_cts_frame(receiver, duration: int = 0) -> bytes:
+    """A 14-byte CTS control frame.
+
+    Also the shape of the CTS-to-self protection frames 802.11g stations
+    emit at an 802.11b rate (Table 2's footnote b).
+    """
+    return _with_fcs(struct.pack("<HH", FC_CTS, duration) + _mac(receiver))
+
+
+def build_beacon_frame(src, seq: int = 0, ssid: bytes = b"rfdump", interval_tu: int = 100) -> bytes:
+    """A minimal beacon: mgmt header + timestamp/interval/capability + SSID IE."""
+    header = struct.pack("<HH", FC_BEACON, 0)
+    header += BROADCAST + _mac(src) + _mac(src)
+    header += struct.pack("<H", (seq & 0xFFF) << 4)
+    body = struct.pack("<QHH", 0, interval_tu, 0x0401)
+    body += bytes([0, len(ssid)]) + bytes(ssid)
+    return _with_fcs(header + body)
+
+
+def build_icmp_payload(kind: str, seq: int, size: int) -> bytes:
+    """A recognizable stand-in for an ICMP echo packet body.
+
+    The emulator does not model IP; it only needs payloads of controlled
+    size whose identity survives a decode round trip for ground-truth
+    matching.
+    """
+    tag = {"echo-request": b"ICMPEREQ", "echo-reply": b"ICMPEREP"}[kind]
+    head = tag + struct.pack("<I", seq & 0xFFFFFFFF)
+    if size < len(head):
+        raise ValueError(f"size must be >= {len(head)}")
+    filler = bytes((seq + i) & 0xFF for i in range(size - len(head)))
+    return head + filler
+
+
+def parse_mac_frame(mpdu: bytes) -> MacFrame:
+    """Parse an MPDU, verifying the FCS.
+
+    Raises :class:`DecodeError` when the frame is structurally invalid and
+    :class:`ChecksumError` when framing is plausible but the FCS fails.
+    """
+    data = bytes(mpdu)
+    if len(data) < 14:
+        raise DecodeError(f"MPDU too short ({len(data)} bytes)")
+    body, fcs_raw = data[:-4], data[-4:]
+    fcs_ok = struct.unpack("<I", fcs_raw)[0] == crc32_802(body)
+    if not fcs_ok:
+        raise ChecksumError("802.11 FCS mismatch")
+    frame_control, duration = struct.unpack_from("<HH", body, 0)
+    ftype = (frame_control >> 2) & 0x3
+    if ftype == TYPE_CTRL:
+        subtype = (frame_control >> 4) & 0xF
+        addr2 = body[10:16] if subtype == 0xB and len(body) >= 16 else None
+        return MacFrame(frame_control, duration, body[4:10], addr2, None, None, b"", fcs_ok)
+    if len(body) < 24:
+        raise DecodeError("non-control frame shorter than a MAC header")
+    addr1, addr2, addr3 = body[4:10], body[10:16], body[16:22]
+    seq = struct.unpack_from("<H", body, 22)[0] >> 4
+    return MacFrame(frame_control, duration, addr1, addr2, addr3, seq, body[24:], fcs_ok)

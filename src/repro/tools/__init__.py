@@ -1,0 +1,12 @@
+"""Command-line front ends: the tcpdump-of-the-ether experience.
+
+* ``python -m repro.tools.rfdump capture.iq`` — monitor a recorded trace
+  and print the decoded packet log (plus detection statistics).
+* ``python -m repro.tools.rfrecord out.iq --preset mix`` — render a
+  canned emulator scenario to a trace file for later analysis.
+
+The submodules are intentionally not imported here so ``python -m``
+execution stays clean.
+"""
+
+__all__ = ["rfdump", "rfrecord"]

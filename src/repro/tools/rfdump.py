@@ -1,0 +1,120 @@
+"""``rfdump`` — monitor a recorded IQ trace and print what is in the ether.
+
+Usage::
+
+    python -m repro.tools.rfdump capture.iq
+    python -m repro.tools.rfdump capture.iq --protocols wifi,bluetooth \
+        --detectors timing,phase --window-ms 100 --summary
+
+The trace must have been written by :mod:`repro.trace` (raw complex64 +
+JSON sidecar).  The monitor streams the file in windows, so traces larger
+than memory are fine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+from repro.analysis import render_packet_log, render_summary
+from repro.core.pipeline import RFDumpMonitor
+from repro.core.streaming import StreamingMonitor
+from repro.errors import TraceFormatError
+from repro.trace import TraceReader
+from repro.trace.io import read_meta
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rfdump",
+        description="monitor the wireless ether from a recorded IQ trace",
+    )
+    parser.add_argument("trace", help="path to a .iq trace (with JSON sidecar)")
+    parser.add_argument(
+        "--protocols", default="wifi,bluetooth",
+        help="comma-separated protocol families to monitor",
+    )
+    parser.add_argument(
+        "--detectors", default="timing,phase",
+        help="fast-detector kinds to run (timing,phase)",
+    )
+    parser.add_argument(
+        "--no-demod", action="store_true",
+        help="stop after the detection stage (classification only)",
+    )
+    parser.add_argument(
+        "--window-ms", type=float, default=200.0,
+        help="streaming window size in milliseconds",
+    )
+    parser.add_argument(
+        "--summary", action="store_true",
+        help="print per-protocol statistics instead of the packet log",
+    )
+    return parser
+
+
+def run(args) -> int:
+    meta = read_meta(args.trace)
+    protocols = tuple(p.strip() for p in args.protocols.split(",") if p.strip())
+    kinds = tuple(k.strip() for k in args.detectors.split(",") if k.strip())
+
+    monitor = RFDumpMonitor(
+        sample_rate=meta.sample_rate,
+        center_freq=meta.center_freq,
+        protocols=protocols,
+        kinds=kinds,
+        demodulate=not args.no_demod,
+    )
+    window = max(int(args.window_ms * 1e-3 * meta.sample_rate), 1)
+    reader = TraceReader(args.trace, window_samples=window)
+    streaming = StreamingMonitor(monitor)
+
+    peaks = 0
+    duration = meta.nsamples / meta.sample_rate
+    for buf in reader:
+        report = streaming.process(buf)
+        peaks += len(report.peaks)
+    streaming.flush()
+    packets = streaming.packets
+    classified = Counter(c.protocol for c in streaming.classifications)
+    clock = streaming.clock
+
+    if args.summary:
+        rows = []
+        for protocol in protocols:
+            decoded = [p for p in packets if p.protocol == protocol]
+            rows.append(
+                {
+                    "protocol": protocol,
+                    "classifications": classified.get(protocol, 0),
+                    "decoded packets": len(decoded),
+                    "decoded bytes": sum(p.payload_size for p in decoded),
+                }
+            )
+        print(render_summary(
+            f"{args.trace}: {duration * 1e3:.1f} ms, {peaks} peaks",
+            rows,
+            ["protocol", "classifications", "decoded packets", "decoded bytes"],
+        ))
+        if clock is not None:
+            print(f"processing cost: {clock.cpu_over_realtime(duration):.2f}x real time")
+    else:
+        print(render_packet_log(packets, meta.sample_rate))
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return run(args)
+    except (FileNotFoundError, TraceFormatError) as exc:
+        print(f"rfdump: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # output piped into e.g. `head`; not an error
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

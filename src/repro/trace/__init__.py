@@ -1,0 +1,19 @@
+"""Trace file I/O.
+
+RFDump's evaluation runs entirely off recorded traces — "files that store
+the streams of samples recorded by the USRP" (Section 5).  A trace here is
+a raw complex64 file plus a JSON sidecar (``<name>.json``) recording the
+sample rate, center frequency and free-form metadata.
+"""
+
+from repro.trace.format import TraceMeta, sidecar_path
+from repro.trace.io import read_trace, write_trace, TraceReader, TraceWriter
+
+__all__ = [
+    "TraceMeta",
+    "sidecar_path",
+    "read_trace",
+    "write_trace",
+    "TraceReader",
+    "TraceWriter",
+]

@@ -1,0 +1,53 @@
+"""Trace container format: raw complex64 samples + JSON sidecar."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict
+
+from repro.constants import DEFAULT_CENTER_FREQ, DEFAULT_SAMPLE_RATE
+from repro.errors import TraceFormatError
+
+#: magic value stored in every sidecar, bumped on incompatible changes
+FORMAT_VERSION = 1
+
+
+@dataclass
+class TraceMeta:
+    """Sidecar metadata for a raw IQ trace."""
+
+    sample_rate: float = DEFAULT_SAMPLE_RATE
+    center_freq: float = DEFAULT_CENTER_FREQ
+    nsamples: int = 0
+    description: str = ""
+    extra: Dict = field(default_factory=dict)
+    version: int = FORMAT_VERSION
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceMeta":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"sidecar is not valid JSON: {exc}") from exc
+        version = data.get("version")
+        if version != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace format version {version!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise TraceFormatError(f"unknown sidecar fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+def sidecar_path(trace_path) -> Path:
+    """The JSON sidecar path for a trace file."""
+    path = Path(trace_path)
+    return path.with_suffix(path.suffix + ".json")

@@ -1,0 +1,34 @@
+"""Shared low-level utilities: dB math, bit twiddling, CRCs, time bases."""
+
+from repro.util.db import db_to_linear, linear_to_db, power_db, snr_db
+from repro.util.bits import (
+    bits_to_bytes,
+    bytes_to_bits,
+    crc16_ccitt,
+    crc32_802,
+    bt_hec,
+    bt_crc,
+    Scrambler80211,
+    BluetoothWhitener,
+    pack_uint,
+    unpack_uint,
+)
+from repro.util.timebase import Timebase
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "power_db",
+    "snr_db",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "crc16_ccitt",
+    "crc32_802",
+    "bt_hec",
+    "bt_crc",
+    "Scrambler80211",
+    "BluetoothWhitener",
+    "pack_uint",
+    "unpack_uint",
+    "Timebase",
+]

@@ -1,0 +1,211 @@
+"""Bit manipulation, CRCs and the LFSRs used by the 2.4 GHz protocols.
+
+Bits are represented throughout as numpy ``uint8`` arrays of 0/1 values,
+least-significant-bit-first within each byte (the on-air order for both
+802.11 and Bluetooth).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+# ---------------------------------------------------------------------------
+# Bit <-> byte packing
+# ---------------------------------------------------------------------------
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Expand bytes into an LSB-first bit array (uint8 of 0/1)."""
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(arr, bitorder="little")
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack an LSB-first bit array back into bytes.
+
+    The bit count must be a multiple of 8.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 8 != 0:
+        raise ValueError(f"bit count {bits.size} is not a multiple of 8")
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
+def pack_uint(value: int, nbits: int) -> np.ndarray:
+    """Encode ``value`` as ``nbits`` LSB-first bits."""
+    if value < 0 or value >= (1 << nbits):
+        raise ValueError(f"value {value} does not fit in {nbits} bits")
+    return np.array([(value >> i) & 1 for i in range(nbits)], dtype=np.uint8)
+
+
+def unpack_uint(bits: np.ndarray) -> int:
+    """Decode LSB-first bits into an unsigned integer."""
+    bits = np.asarray(bits, dtype=np.uint64)
+    weights = np.left_shift(np.uint64(1), np.arange(bits.size, dtype=np.uint64))
+    return int(np.sum(bits * weights))
+
+
+# ---------------------------------------------------------------------------
+# CRCs
+# ---------------------------------------------------------------------------
+
+
+def _reflect(value: int, nbits: int) -> int:
+    out = 0
+    for i in range(nbits):
+        if value & (1 << i):
+            out |= 1 << (nbits - 1 - i)
+    return out
+
+
+def _crc_bits(bits: np.ndarray, poly: int, nbits: int, init: int) -> int:
+    """Bitwise CRC over an LSB-first bit stream (MSB-first register)."""
+    reg = init
+    top = 1 << (nbits - 1)
+    mask = (1 << nbits) - 1
+    for bit in np.asarray(bits, dtype=np.uint8):
+        fb = ((reg >> (nbits - 1)) & 1) ^ int(bit)
+        reg = (reg << 1) & mask
+        if fb:
+            reg ^= poly & mask
+    return reg & mask
+
+
+def crc16_ccitt(bits: np.ndarray, init: int = 0xFFFF, complement: bool = True) -> int:
+    """CRC-16-CCITT (x^16 + x^12 + x^5 + 1) over a bit stream.
+
+    With ``complement=True`` this matches the 802.11b PLCP header CRC,
+    which transmits the ones-complement of the shift register.
+    """
+    reg = _crc_bits(bits, 0x1021, 16, init)
+    return (reg ^ 0xFFFF) if complement else reg
+
+
+def bt_crc(bits: np.ndarray, uap: int = 0x00) -> int:
+    """Bluetooth payload CRC-16 (CCITT polynomial, UAP-derived init)."""
+    init = (uap & 0xFF) << 8
+    return _crc_bits(bits, 0x1021, 16, init)
+
+
+def bt_hec(header_bits: np.ndarray, uap: int = 0x00) -> int:
+    """Bluetooth 8-bit Header Error Check.
+
+    Generator g(D) = D^8 + D^7 + D^5 + D^2 + D + 1 (0xA7), register
+    initialised with the device UAP.
+    """
+    return _crc_bits(header_bits, 0xA7, 8, uap & 0xFF)
+
+
+_CRC32_TABLE = None
+
+
+def _crc32_table() -> np.ndarray:
+    global _CRC32_TABLE
+    if _CRC32_TABLE is None:
+        poly = 0xEDB88320  # reflected 0x04C11DB7
+        table = np.zeros(256, dtype=np.uint32)
+        for i in range(256):
+            crc = i
+            for _ in range(8):
+                crc = (crc >> 1) ^ poly if (crc & 1) else (crc >> 1)
+            table[i] = crc
+        _CRC32_TABLE = table
+    return _CRC32_TABLE
+
+
+def crc32_802(data: bytes) -> int:
+    """IEEE 802 CRC-32 (the 802.11 MAC FCS) over bytes."""
+    table = _crc32_table()
+    crc = 0xFFFFFFFF
+    for byte in bytes(data):
+        crc = (crc >> 8) ^ int(table[(crc ^ byte) & 0xFF])
+    return crc ^ 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# LFSRs: 802.11b scrambler and Bluetooth whitening
+# ---------------------------------------------------------------------------
+
+
+class Scrambler80211:
+    """802.11b self-synchronizing scrambler, G(z) = z^-4 + z^-7.
+
+    The same structure scrambles at the transmitter and descrambles at the
+    receiver; descrambling self-synchronizes after 7 bits, which is why the
+    PLCP preamble carries 128 scrambled ones for the receiver to lock on.
+    """
+
+    #: Seed used for the long preamble per 802.11-1999 (0x1B, LSB = s[0]).
+    LONG_PREAMBLE_SEED = 0b1101100
+
+    def __init__(self, seed: int = LONG_PREAMBLE_SEED):
+        self._state = seed & 0x7F
+
+    def scramble(self, bits: np.ndarray) -> np.ndarray:
+        """Scramble a bit stream (updates internal state)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        out = np.empty_like(bits)
+        state = self._state
+        for i, bit in enumerate(bits):
+            fb = ((state >> 3) ^ (state >> 6)) & 1
+            scrambled = int(bit) ^ fb
+            out[i] = scrambled
+            state = ((state << 1) | scrambled) & 0x7F
+        self._state = state
+        return out
+
+    def descramble(self, bits: np.ndarray) -> np.ndarray:
+        """Descramble a received bit stream (updates internal state)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        out = np.empty_like(bits)
+        state = self._state
+        for i, bit in enumerate(bits):
+            fb = ((state >> 3) ^ (state >> 6)) & 1
+            out[i] = int(bit) ^ fb
+            state = ((state << 1) | int(bit)) & 0x7F
+        self._state = state
+        return out
+
+
+def descramble_stream(bits: np.ndarray) -> np.ndarray:
+    """Vectorized 802.11b descramble of a long received bit stream.
+
+    Because the scrambler is self-synchronizing, the descrambler output is
+    a pure feed-forward function of the received bits:
+    ``out[i] = in[i] ^ in[i-4] ^ in[i-7]`` (prior state assumed zero).  The
+    first 7 outputs are therefore unreliable, which the 128-bit SYNC field
+    absorbs.
+    """
+    b = np.asarray(bits, dtype=np.uint8)
+    out = b.copy()
+    if b.size > 4:
+        out[4:] ^= b[:-4]
+    if b.size > 7:
+        out[7:] ^= b[:-7]
+    return out
+
+
+class BluetoothWhitener:
+    """Bluetooth data whitening LFSR, polynomial x^7 + x^4 + 1.
+
+    Whitening and de-whitening are the same XOR operation; the register is
+    seeded from the master clock bits CLK[6:1] with bit 6 forced to 1.
+    """
+
+    def __init__(self, clock: int = 0):
+        self._state = ((clock & 0x3F) | 0x40) & 0x7F
+
+    def process(self, bits: np.ndarray) -> np.ndarray:
+        """XOR the whitening sequence onto ``bits`` (updates state)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        out = np.empty_like(bits)
+        state = self._state
+        for i, bit in enumerate(bits):
+            white = (state >> 6) & 1
+            out[i] = int(bit) ^ white
+            fb = white  # output bit feeds back via x^7 + x^4 + 1
+            state = ((state << 1) & 0x7F) | fb
+            state ^= fb << 4
+        self._state = state
+        return out

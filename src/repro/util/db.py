@@ -1,0 +1,40 @@
+"""Decibel / linear power conversions.
+
+All functions operate on *power* quantities (|x|^2), not amplitudes, and
+accept scalars or numpy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Floor used when converting zero/negative powers to dB, to keep plots and
+#: comparisons finite instead of emitting -inf.
+_POWER_FLOOR = 1e-30
+
+
+def db_to_linear(db):
+    """Convert a power ratio in dB to a linear ratio."""
+    return np.power(10.0, np.asarray(db, dtype=np.float64) / 10.0)
+
+
+def linear_to_db(linear):
+    """Convert a linear power ratio to dB, flooring non-positive values."""
+    arr = np.maximum(np.asarray(linear, dtype=np.float64), _POWER_FLOOR)
+    return 10.0 * np.log10(arr)
+
+
+def power_db(samples) -> float:
+    """Mean power of a block of complex samples, in dB (relative to 1.0)."""
+    samples = np.asarray(samples)
+    if samples.size == 0:
+        return float(linear_to_db(_POWER_FLOOR))
+    mean_power = float(np.mean(np.abs(samples) ** 2))
+    return float(linear_to_db(mean_power))
+
+
+def snr_db(signal_power: float, noise_power: float) -> float:
+    """Signal-to-noise ratio in dB given linear signal and noise powers."""
+    if noise_power <= 0:
+        raise ValueError("noise power must be positive")
+    return float(linear_to_db(signal_power / noise_power))

@@ -1,0 +1,49 @@
+"""Sample-index <-> wall-time conversion.
+
+A :class:`Timebase` pins a sample rate and an epoch so that every component
+(peak detector, timing detectors, ground truth scorer) converts between
+sample indices and seconds the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Timebase:
+    """An immutable sample clock.
+
+    Parameters
+    ----------
+    sample_rate:
+        Complex samples per second.
+    epoch:
+        Wall time (seconds) corresponding to sample index 0.
+    """
+
+    sample_rate: float
+    epoch: float = 0.0
+
+    def __post_init__(self):
+        if self.sample_rate <= 0:
+            raise ValueError("sample_rate must be positive")
+
+    def to_time(self, sample_index):
+        """Convert sample index (scalar or array) to seconds."""
+        return self.epoch + np.asarray(sample_index, dtype=np.float64) / self.sample_rate
+
+    def to_samples(self, time):
+        """Convert seconds to the nearest sample index (int64)."""
+        rel = np.asarray(time, dtype=np.float64) - self.epoch
+        return np.rint(rel * self.sample_rate).astype(np.int64)
+
+    def duration(self, nsamples: int) -> float:
+        """Duration in seconds of ``nsamples`` samples."""
+        return nsamples / self.sample_rate
+
+    def samples_for(self, duration: float) -> int:
+        """Number of samples spanning ``duration`` seconds (rounded)."""
+        return int(round(duration * self.sample_rate))

@@ -1,0 +1,78 @@
+"""Tests for the diagnostic analysis modules."""
+
+import pytest
+
+from repro import MicrowaveSource, RFDumpMonitor, Scenario, WifiPingSession
+from repro.analysis.diagnostics import (
+    diagnose_interference,
+    protocol_airtime,
+    station_traffic,
+)
+
+
+class TestStationTraffic:
+    def test_accounts_stations(self, wifi_report):
+        stations = station_traffic(wifi_report.packets)
+        # two stations exchange data; both also receive ACKs
+        data_senders = [s for s in stations.values() if s.data_packets > 0]
+        assert len(data_senders) == 2
+        for stat in data_senders:
+            assert stat.bytes_sent > 0
+            assert 1.0 in stat.rates_seen
+
+    def test_acks_attributed(self, wifi_report):
+        stations = station_traffic(wifi_report.packets)
+        assert sum(s.ack_packets for s in stations.values()) == len(
+            [p for p in wifi_report.packets if p.decoded.mac and p.decoded.mac.is_ack]
+        )
+
+    def test_empty(self):
+        assert station_traffic([]) == {}
+
+    def test_ignores_non_wifi(self, wifi_report):
+        from repro.analysis.decoders import PacketRecord
+
+        record = PacketRecord("bluetooth", 0, 100, True, "d")
+        assert station_traffic([record]) == {}
+
+
+class TestProtocolAirtime:
+    def test_matches_busy_fraction(self, wifi_trace, wifi_report):
+        airtime = protocol_airtime(wifi_report)
+        busy = wifi_trace.ground_truth.busy_fraction()
+        assert airtime["wifi"] == pytest.approx(busy, rel=0.2)
+
+    def test_no_double_counting(self, wifi_report):
+        # wifi peaks classified by both SIFS and DBPSK detectors count once
+        airtime = protocol_airtime(wifi_report)
+        assert airtime["wifi"] <= 1.0
+
+
+class TestInterferenceDiagnosis:
+    @pytest.fixture(scope="class")
+    def kitchen_report(self):
+        scenario = Scenario(duration=0.15, seed=77)
+        scenario.add(MicrowaveSource(duration=0.15, snr_db=12.0))
+        scenario.add(
+            WifiPingSession(n_pings=4, snr_db=20.0, payload_size=200,
+                            start=9e-3, interval=33.333e-3)
+        )
+        trace = scenario.render()
+        monitor = RFDumpMonitor(
+            protocols=("wifi", "microwave"), demodulate=False,
+            noise_floor=trace.noise_power,
+        )
+        return trace, monitor.process(trace.buffer)
+
+    def test_microwave_pressure_detected(self, kitchen_report):
+        trace, report = kitchen_report
+        diagnosis = diagnose_interference(report)
+        # the magnetron runs at ~50% duty cycle
+        assert diagnosis.interferer_airtime.get("microwave", 0) > 0.3
+        assert diagnosis.capacity_pressure > 0.3
+        assert diagnosis.wifi_airtime > 0.02
+
+    def test_occupancy_bounds(self, kitchen_report):
+        _, report = kitchen_report
+        diagnosis = diagnose_interference(report)
+        assert 0 <= diagnosis.unknown_airtime <= diagnosis.band_occupancy <= 1.0

@@ -1,0 +1,67 @@
+"""Tests for deep packet inspection (ping exchange reconstruction)."""
+
+import pytest
+
+from repro.analysis.inspection import extract_ping_exchanges, ping_report
+
+
+class TestPingExchanges:
+    def test_all_exchanges_reconstructed(self, wifi_report, wifi_trace):
+        exchanges = extract_ping_exchanges(
+            wifi_report.packets, wifi_trace.sample_rate
+        )
+        # the fixture runs 3 pings
+        assert len(exchanges) == 3
+        assert all(e.complete for e in exchanges.values())
+
+    def test_acks_attributed(self, wifi_report, wifi_trace):
+        exchanges = extract_ping_exchanges(
+            wifi_report.packets, wifi_trace.sample_rate
+        )
+        assert all(e.request_acked and e.reply_acked for e in exchanges.values())
+
+    def test_rtt_values_sane(self, wifi_report, wifi_trace):
+        exchanges = extract_ping_exchanges(
+            wifi_report.packets, wifi_trace.sample_rate
+        )
+        for e in exchanges.values():
+            # request airtime + SIFS + ACK + DIFS + backoff: 5-8 ms here
+            assert 4e-3 < e.rtt < 10e-3
+
+    def test_rtt_matches_ground_truth(self, wifi_report, wifi_trace):
+        exchanges = extract_ping_exchanges(
+            wifi_report.packets, wifi_trace.sample_rate
+        )
+        truth = wifi_trace.ground_truth.by_protocol("wifi")
+        for seq, ex in exchanges.items():
+            req = next(t for t in truth
+                       if t.meta.get("seq") == seq
+                       and t.meta.get("direction") == "request")
+            rep = next(t for t in truth
+                       if t.meta.get("seq") == seq
+                       and t.meta.get("direction") == "reply")
+            assert ex.rtt == pytest.approx(rep.start_time - req.start_time,
+                                           abs=50e-6)
+
+    def test_missing_reply_incomplete(self, wifi_report, wifi_trace):
+        # drop reply packets from the record stream
+        filtered = [
+            p for p in wifi_report.packets
+            if not (p.decoded.mac and p.decoded.mac.is_data
+                    and p.decoded.mac.body.startswith(b"ICMPEREP"))
+        ]
+        report = ping_report(filtered, wifi_trace.sample_rate)
+        assert report.sent == 3
+        assert report.completed == 0
+        assert report.loss_rate == 1.0
+
+    def test_report_summary(self, wifi_report, wifi_trace):
+        report = ping_report(wifi_report.packets, wifi_trace.sample_rate)
+        text = report.summary()
+        assert "3 requests observed" in text
+        assert "rtt min/avg/max" in text
+
+    def test_empty(self):
+        report = ping_report([], 8e6)
+        assert report.sent == 0
+        assert report.loss_rate == 0.0

@@ -1,0 +1,53 @@
+"""Tests for repro.analysis.report rendering."""
+
+from repro.analysis.decoders import PacketRecord
+from repro.analysis.report import render_packet_log, render_summary
+
+
+class TestPacketLog:
+    def test_sorted_by_time(self):
+        records = [
+            PacketRecord("wifi", 16000, 20000, True, "d", rate_mbps=1.0),
+            PacketRecord("bluetooth", 8000, 12000, True, "d", channel=40),
+        ]
+        log = render_packet_log(records, 8e6)
+        lines = log.splitlines()
+        assert "bluetooth" in lines[0]
+        assert "wifi" in lines[1]
+
+    def test_fields_present(self):
+        rec = PacketRecord(
+            "bluetooth", 8000, 12000, True, "d", payload_size=339,
+            rate_mbps=1.0, channel=42,
+        )
+        log = render_packet_log([rec], 8e6)
+        assert "ch 42" in log
+        assert "339 B" in log
+        assert "1.000 ms" in log
+
+    def test_wifi_details(self, wifi_report):
+        log = render_packet_log(wifi_report.packets, 8e6)
+        assert "ACK" in log
+        assert "data seq=" in log
+
+    def test_empty(self):
+        assert render_packet_log([], 8e6) == ""
+
+
+class TestSummary:
+    def test_table_structure(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": None}]
+        table = render_summary("Title", rows, ["a", "b"])
+        lines = table.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+        assert "-" in lines[-1] or "10" in lines[-1]
+
+    def test_empty_rows(self):
+        table = render_summary("T", [], ["col"])
+        assert "col" in table
+
+    def test_float_formatting(self):
+        table = render_summary("T", [{"x": 0.123456}], ["x"])
+        assert "0.1235" in table

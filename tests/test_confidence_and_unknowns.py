@@ -1,0 +1,86 @@
+"""Tests for confidence-gated dispatch, unknown peaks, frequency kind."""
+
+import pytest
+
+from repro import MicrowaveSource, RFDumpMonitor, Scenario, WifiPingSession
+from repro.core.detectors import BluetoothFrequencyDetector
+from repro.core.detectors.base import Classification
+from repro.core.dispatcher import Dispatcher
+from repro.core.metadata import Peak
+from repro.core.pipeline import default_detectors
+
+
+def _cls(confidence, start=250, end=1150):
+    return Classification(
+        Peak(start, end, 1.0, 1.0, index=0), "wifi", "t", confidence
+    )
+
+
+class TestConfidenceGate:
+    def test_low_confidence_dropped(self):
+        dispatcher = Dispatcher(200, min_confidence=0.5)
+        assert dispatcher.dispatch([_cls(0.3)], 10_000) == {}
+
+    def test_high_confidence_kept(self):
+        dispatcher = Dispatcher(200, min_confidence=0.5)
+        assert "wifi" in dispatcher.dispatch([_cls(0.8)], 10_000)
+
+    def test_default_keeps_everything(self):
+        assert "wifi" in Dispatcher(200).dispatch([_cls(0.01)], 10_000)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            Dispatcher(200, min_confidence=1.5)
+
+
+class TestFrequencyKind:
+    def test_default_detectors_include_frequency(self):
+        dets = default_detectors(("bluetooth",), ("frequency",))
+        assert {type(d) for d in dets} == {BluetoothFrequencyDetector}
+
+    def test_monitor_runs_with_frequency_kind(self, bluetooth_trace):
+        monitor = RFDumpMonitor(
+            protocols=("bluetooth",), kinds=("frequency",), demodulate=False,
+            center_freq=bluetooth_trace.center_freq,
+        )
+        report = monitor.process(bluetooth_trace.buffer)
+        found = report.classifications_for("bluetooth")
+        truth = bluetooth_trace.ground_truth.observable("bluetooth")
+        assert len(found) >= len(truth) - 2
+        assert all(c.detector == "BluetoothFrequencyDetector" for c in found)
+        assert "frequency_detection" in report.clock.seconds
+
+
+class TestUnknownPeaks:
+    def test_microwave_unknown_without_its_detector(self):
+        scenario = Scenario(duration=0.08, seed=61)
+        scenario.add(MicrowaveSource(duration=0.08, snr_db=12.0))
+        scenario.add(
+            WifiPingSession(n_pings=2, snr_db=20.0, payload_size=200,
+                            start=9e-3, interval=33.333e-3)
+        )
+        trace = scenario.render()
+        # monitor knows wifi only: the magnetron bursts surface as unknowns
+        monitor = RFDumpMonitor(protocols=("wifi",), demodulate=False)
+        report = monitor.process(trace.buffer)
+        unknown = report.unclassified_peaks()
+        assert unknown
+        fs = trace.sample_rate
+        long_unknowns = [p for p in unknown if p.length / fs > 3e-3]
+        assert long_unknowns  # the 8.3 ms bursts
+
+    def test_fully_classified_trace_has_few_unknowns(self, wifi_trace):
+        report = RFDumpMonitor(protocols=("wifi",), demodulate=False).process(
+            wifi_trace.buffer
+        )
+        assert len(report.unclassified_peaks()) <= 1
+
+    def test_no_peaks_case(self):
+        from repro.core.pipeline import MonitorReport
+        from repro.core.accounting import StageClock
+
+        report = MonitorReport(
+            total_samples=0, duration=1.0, peaks=None, classifications=[],
+            ranges={}, packets=[], clock=StageClock(),
+        )
+        assert report.unclassified_peaks() == []

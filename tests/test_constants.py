@@ -1,0 +1,69 @@
+"""Tests for the protocol feature registry (paper Table 2)."""
+
+import pytest
+
+from repro.constants import (
+    PROTOCOL_FEATURES,
+    WIFI_DIFS,
+    WIFI_SIFS,
+    WIFI_SLOT_TIME,
+    Modulation,
+    Spreading,
+    features_for,
+)
+
+
+class TestTimingConstants:
+    def test_difs_identity(self):
+        assert WIFI_DIFS == pytest.approx(WIFI_SIFS + 2 * WIFI_SLOT_TIME)
+        assert WIFI_DIFS == pytest.approx(50e-6)
+
+    def test_bluetooth_slot_rate(self):
+        from repro.constants import BT_SLOT
+
+        assert 1.0 / BT_SLOT == pytest.approx(1600.0)  # 1600 hops/s
+
+    def test_microwave_period(self):
+        from repro.constants import MICROWAVE_AC_PERIOD_60HZ
+
+        assert MICROWAVE_AC_PERIOD_60HZ == pytest.approx(16.667e-3, rel=1e-3)
+
+
+class TestRegistry:
+    def test_table2_rows_present(self):
+        for key in ("802.11b-1", "802.11b-2", "802.11b-5.5", "802.11b-11",
+                    "802.11g", "bluetooth", "zigbee", "microwave"):
+            assert key in PROTOCOL_FEATURES
+
+    def test_wifi_1mbps_row(self):
+        row = features_for("802.11b-1")
+        assert row.modulation == (Modulation.DBPSK,)
+        assert row.spreading == Spreading.BARKER
+        assert row.channel_width == 22e6
+        assert row.ifs == pytest.approx(10e-6)
+        assert row.slot_time == pytest.approx(20e-6)
+
+    def test_bluetooth_row(self):
+        row = features_for("bluetooth")
+        assert row.modulation == (Modulation.GFSK,)
+        assert row.spreading == Spreading.FHSS
+        assert row.channel_width == 1e6
+        assert row.slot_time == pytest.approx(625e-6)
+        assert row.extra["num_channels"] == 79
+
+    def test_zigbee_row(self):
+        row = features_for("zigbee")
+        assert row.slot_time == pytest.approx(320e-6)
+        assert row.ifs == pytest.approx(192e-6)
+        assert row.extra["lifs"] == pytest.approx(640e-6)
+
+    def test_unknown_key_lists_known(self):
+        with pytest.raises(KeyError, match="802.11b-1"):
+            features_for("nope")
+
+    def test_channels(self):
+        from repro.constants import WIFI_CHANNELS, ZIGBEE_CHANNELS
+
+        assert WIFI_CHANNELS[0] == pytest.approx(2.412e9)
+        assert WIFI_CHANNELS[10] == pytest.approx(2.462e9)
+        assert len(ZIGBEE_CHANNELS) == 16

@@ -1,0 +1,98 @@
+"""Tests for repro.core.dispatcher."""
+
+import pytest
+
+from repro.core.detectors.base import Classification
+from repro.core.dispatcher import Dispatcher
+from repro.core.metadata import Peak
+
+
+def _cls(start, end, protocol="wifi", channel=None, confidence=0.8, index=0):
+    return Classification(
+        peak=Peak(start, end, 1.0, 1.0, index=index),
+        protocol=protocol, detector="test", confidence=confidence,
+        channel=channel,
+    )
+
+
+class TestAlignment:
+    def test_chunk_aligned(self):
+        ranges = Dispatcher(200).dispatch([_cls(250, 1150)], 10000)
+        r = ranges["wifi"][0]
+        assert r.start_sample == 200
+        assert r.end_sample == 1200
+
+    def test_clamped_to_buffer(self):
+        ranges = Dispatcher(200).dispatch([_cls(0, 999999)], 1000)
+        r = ranges["wifi"][0]
+        assert r.start_sample == 0
+        assert r.end_sample == 1000
+
+    def test_excess_forwarded_is_bounded(self):
+        # chunk granularity: at most one chunk of excess on each side
+        r = Dispatcher(200).dispatch([_cls(399, 401)], 10000)["wifi"][0]
+        assert r.length <= 400
+
+
+class TestMerging:
+    def test_same_peak_from_two_detectors_merges(self):
+        cls = [_cls(250, 1150), _cls(250, 1150)]
+        ranges = Dispatcher(200).dispatch(cls, 10000)
+        assert len(ranges["wifi"]) == 1
+
+    def test_overlapping_peaks_merge(self):
+        cls = [_cls(250, 1150, index=0), _cls(1100, 2000, index=1)]
+        ranges = Dispatcher(200).dispatch(cls, 10000)
+        assert len(ranges["wifi"]) == 1
+        assert ranges["wifi"][0].peak_indices == [0, 1]
+
+    def test_disjoint_peaks_stay_separate(self):
+        cls = [_cls(250, 1150, index=0), _cls(5000, 6000, index=1)]
+        ranges = Dispatcher(200).dispatch(cls, 10000)
+        assert len(ranges["wifi"]) == 2
+
+    def test_protocols_partitioned(self):
+        cls = [_cls(250, 1150), _cls(250, 1150, protocol="bluetooth")]
+        ranges = Dispatcher(200).dispatch(cls, 10000)
+        assert set(ranges) == {"wifi", "bluetooth"}
+
+    def test_confidence_is_max(self):
+        cls = [_cls(250, 1150, confidence=0.5), _cls(250, 1150, confidence=0.9)]
+        r = Dispatcher(200).dispatch(cls, 10000)["wifi"][0]
+        assert r.confidence == 0.9
+
+
+class TestChannelHints:
+    def test_hint_preserved(self):
+        r = Dispatcher(200).dispatch(
+            [_cls(250, 1150, protocol="bluetooth", channel=40)], 10000
+        )["bluetooth"][0]
+        assert r.channel == 40
+
+    def test_none_plus_hint_resolves_to_hint(self):
+        cls = [
+            _cls(250, 1150, protocol="bluetooth", channel=None),
+            _cls(250, 1150, protocol="bluetooth", channel=40),
+        ]
+        r = Dispatcher(200).dispatch(cls, 10000)["bluetooth"][0]
+        assert r.channel == 40
+
+    def test_conflicting_hints_drop_to_none(self):
+        cls = [
+            _cls(250, 1150, protocol="bluetooth", channel=40, index=0),
+            _cls(1100, 2000, protocol="bluetooth", channel=41, index=1),
+        ]
+        r = Dispatcher(200).dispatch(cls, 10000)["bluetooth"][0]
+        assert r.channel is None
+
+
+class TestAccounting:
+    def test_forwarded_samples(self):
+        cls = [_cls(250, 1150, index=0), _cls(5000, 6000, index=1)]
+        ranges = Dispatcher(200).dispatch(cls, 10000)
+        counts = Dispatcher.forwarded_samples(ranges)
+        assert counts["wifi"] == (1200 - 200) + (6000 - 5000)
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            Dispatcher(0)

@@ -1,0 +1,99 @@
+"""Tests for the parallelism estimate (Section 2.2 quantified)."""
+
+import pytest
+
+from repro import RFDumpMonitor
+from repro.core.accounting import StageClock
+from repro.core.parallelism import (
+    ParallelismEstimate,
+    estimate_parallel_speedup,
+    lpt_makespan,
+)
+from repro.core.pipeline import MonitorReport
+
+
+class TestLpt:
+    def test_unbounded_is_max(self):
+        assert lpt_makespan([3.0, 1.0, 2.0], 0) == 3.0
+
+    def test_single_worker_is_sum(self):
+        assert lpt_makespan([3.0, 1.0, 2.0], 1) == 6.0
+
+    def test_two_workers_balanced(self):
+        assert lpt_makespan([3.0, 3.0, 2.0, 2.0], 2) == 5.0
+
+    def test_more_workers_than_jobs(self):
+        assert lpt_makespan([4.0, 1.0], 5) == 4.0
+
+    def test_empty(self):
+        assert lpt_makespan([], 4) == 0.0
+
+
+class TestEstimate:
+    def _report(self, detection=1.0, demod=None):
+        demod = demod or {}
+        clock = StageClock(
+            seconds={"peak_detection": detection,
+                     "demodulation": sum(demod.values())}
+        )
+        return MonitorReport(
+            total_samples=0, duration=1.0, peaks=None, classifications=[],
+            ranges={}, packets=[], clock=clock,
+            demod_seconds_by_protocol=demod,
+        )
+
+    def test_speedup_with_two_protocols(self):
+        report = self._report(detection=1.0, demod={"wifi": 2.0, "bluetooth": 2.0})
+        est = estimate_parallel_speedup(report)
+        assert est.serial_seconds == pytest.approx(5.0)
+        assert est.parallel_seconds == pytest.approx(3.0)
+        assert est.speedup == pytest.approx(5.0 / 3.0)
+
+    def test_workers_bound(self):
+        report = self._report(
+            detection=1.0, demod={"a": 2.0, "b": 2.0, "c": 2.0, "d": 2.0}
+        )
+        est1 = estimate_parallel_speedup(report, workers=1)
+        est2 = estimate_parallel_speedup(report, workers=2)
+        est4 = estimate_parallel_speedup(report, workers=4)
+        assert est1.speedup == pytest.approx(1.0)
+        assert est2.speedup < est4.speedup
+        assert est4.parallel_seconds == pytest.approx(3.0)
+
+    def test_amdahl_limit(self):
+        report = self._report(detection=1.0, demod={"wifi": 9.0})
+        est = estimate_parallel_speedup(report)
+        assert est.amdahl_limit == pytest.approx(10.0)
+        assert est.speedup <= est.amdahl_limit
+
+    def test_no_demodulation(self):
+        report = self._report(detection=0.5)
+        est = estimate_parallel_speedup(report)
+        assert est.speedup == pytest.approx(1.0)
+
+    def test_range_granularity_splits_work(self, mixed_trace):
+        report = RFDumpMonitor().process(mixed_trace.buffer)
+        by_block = estimate_parallel_speedup(report, workers=8)
+        by_range = estimate_parallel_speedup(
+            report, workers=8, granularity="range"
+        )
+        assert by_range.speedup >= by_block.speedup
+        # apportioning preserves the total demodulation time
+        assert sum(by_range.demod_by_protocol.values()) == pytest.approx(
+            sum(report.demod_seconds_by_protocol.values())
+        )
+
+    def test_rejects_unknown_granularity(self):
+        report = self._report(detection=1.0, demod={"wifi": 1.0})
+        with pytest.raises(ValueError):
+            estimate_parallel_speedup(report, granularity="packet")
+
+    def test_from_real_run(self, mixed_trace):
+        report = RFDumpMonitor().process(mixed_trace.buffer)
+        est = estimate_parallel_speedup(report)
+        assert set(est.demod_by_protocol) <= {"wifi", "bluetooth"}
+        assert 1.0 <= est.speedup <= est.amdahl_limit + 1e-9
+        # the serial accounting is consistent with the stage clock
+        assert est.serial_seconds == pytest.approx(
+            report.clock.total_seconds()
+        )

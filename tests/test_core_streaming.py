@@ -1,0 +1,72 @@
+"""Tests for the streaming monitor (window-overlap handling)."""
+
+import numpy as np
+import pytest
+
+from repro import RFDumpMonitor, Scenario, WifiPingSession
+from repro.core.streaming import StreamingMonitor
+from repro.dsp.samples import SampleBuffer
+
+
+def _windows(buffer, size):
+    out = []
+    for lo in range(0, len(buffer), size):
+        out.append(buffer.slice(lo, min(lo + size, len(buffer))))
+    return out
+
+
+@pytest.fixture(scope="module")
+def straddle_trace():
+    """A trace whose second exchange straddles the 300k-sample boundary."""
+    scenario = Scenario(duration=0.1, seed=33)
+    scenario.add(WifiPingSession(n_pings=2, snr_db=20.0, interval=45e-3))
+    return scenario.render()
+
+
+class TestStreamingMonitor:
+    def test_no_packets_lost_at_boundaries(self, straddle_trace):
+        monitor = StreamingMonitor(RFDumpMonitor(protocols=("wifi",)))
+        monitor.run(_windows(straddle_trace.buffer, 300_000))
+        truth = straddle_trace.ground_truth.observable("wifi")
+        assert len(monitor.packets) == len(truth)
+
+    def test_no_duplicates(self, straddle_trace):
+        monitor = StreamingMonitor(RFDumpMonitor(protocols=("wifi",)))
+        monitor.run(_windows(straddle_trace.buffer, 200_000))
+        starts = [p.start_sample for p in monitor.packets]
+        assert len(starts) == len(set(starts))
+        truth = straddle_trace.ground_truth.observable("wifi")
+        assert len(starts) == len(truth)
+
+    def test_matches_batch_monitor(self, straddle_trace):
+        batch = RFDumpMonitor(protocols=("wifi",)).process(straddle_trace.buffer)
+        stream = StreamingMonitor(RFDumpMonitor(protocols=("wifi",)))
+        stream.run(_windows(straddle_trace.buffer, 250_000))
+        assert sorted(p.start_sample for p in stream.packets) == sorted(
+            p.start_sample for p in batch.packets
+        )
+
+    def test_rejects_gap_in_stream(self, straddle_trace):
+        monitor = StreamingMonitor(RFDumpMonitor(protocols=("wifi",)))
+        monitor.process(straddle_trace.buffer.slice(0, 100_000))
+        with pytest.raises(ValueError):
+            monitor.process(straddle_trace.buffer.slice(200_000, 300_000))
+
+    def test_clock_accumulates(self, straddle_trace):
+        monitor = StreamingMonitor(RFDumpMonitor(protocols=("wifi",)))
+        monitor.run(_windows(straddle_trace.buffer, 400_000))
+        assert monitor.clock.seconds["peak_detection"] > 0
+
+    def test_rejects_negative_overlap(self):
+        with pytest.raises(ValueError):
+            StreamingMonitor(RFDumpMonitor(), overlap=-1)
+
+    def test_classification_dedup(self, straddle_trace):
+        monitor = StreamingMonitor(
+            RFDumpMonitor(protocols=("wifi",), demodulate=False)
+        )
+        monitor.run(_windows(straddle_trace.buffer, 200_000))
+        keys = [
+            (c.peak.start_sample, c.detector) for c in monitor.classifications
+        ]
+        assert len(keys) == len(set(keys))

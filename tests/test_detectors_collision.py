@@ -1,0 +1,112 @@
+"""Tests for the collision detector (paper future work, Section 5.1.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.detectors import CollisionDetector
+from repro.core.metadata import PeakHistory
+from repro.core.peak_detector import PeakDetectionResult, PeakDetector
+from repro.dsp.samples import SampleBuffer
+from repro.phy.bluetooth import BluetoothModulator, TYPE_DH5
+from repro.phy.wifi import WifiModulator
+from repro.phy.wifi_mac import build_data_frame
+from repro.util.timebase import Timebase
+
+FS = 8e6
+
+
+def _buffer_with(wave, lead=400, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    n = wave.size + lead + 400
+    rx = noise * (rng.normal(size=n) + 1j * rng.normal(size=n))
+    rx[lead : lead + wave.size] += wave
+    buf = SampleBuffer(rx.astype(np.complex64), Timebase(FS))
+    history = PeakHistory(FS)
+    history.append(lead, lead + wave.size, 1.0, 1.0)
+    detection = PeakDetectionResult(
+        history=history, noise_floor=noise**2 * 2,
+        threshold=noise**2 * 5, total_samples=n,
+    )
+    return buf, detection
+
+
+def _collision_wave(power_ratio_db=6.0, seed=1):
+    """A wifi packet with a Bluetooth packet keying on halfway through."""
+    wifi = WifiModulator(FS).modulate(build_data_frame(1, 2, b"c" * 300), 1.0)
+    bt = BluetoothModulator(FS).modulate(TYPE_DH5, bytes(200), clock=9)
+    amp = 10 ** (power_ratio_db / 20.0)
+    wave = wifi.copy()
+    offset = wifi.size // 2
+    end = min(offset + bt.size, wave.size)
+    wave[offset:end] += amp * bt[: end - offset]
+    return wave
+
+
+class TestCollisionDetector:
+    def test_detects_overlap_with_power_step(self):
+        wave = _collision_wave(power_ratio_db=6.0)
+        buf, det = _buffer_with(wave)
+        out = CollisionDetector().classify(det, buf)
+        assert len(out) == 1
+        assert out[0].protocol == "collision"
+        # the step is located near the Bluetooth transmitter keying on
+        step = out[0].info["step_sample"]
+        assert abs(step - (400 + wave.size // 2)) < 4000
+
+    def test_clean_wifi_not_flagged(self):
+        wave = WifiModulator(FS).modulate(build_data_frame(1, 2, b"c" * 300), 1.0)
+        buf, det = _buffer_with(wave)
+        assert CollisionDetector().classify(det, buf) == []
+
+    def test_clean_bluetooth_not_flagged(self):
+        wave = BluetoothModulator(FS).modulate(TYPE_DH5, bytes(200), clock=3)
+        buf, det = _buffer_with(wave)
+        assert CollisionDetector().classify(det, buf) == []
+
+    def test_equal_power_overlap_not_detected(self):
+        # the step heuristic needs a level difference; equal-power
+        # collisions are a documented blind spot
+        wave = _collision_wave(power_ratio_db=0.0)
+        buf, det = _buffer_with(wave)
+        out = CollisionDetector().classify(det, buf)
+        # +3 dB combined power at overlap onset may or may not trip the
+        # 3 dB threshold; we only require no crash and sane output
+        assert all(c.protocol == "collision" for c in out)
+
+    def test_requires_buffer(self):
+        wave = _collision_wave()
+        _, det = _buffer_with(wave)
+        with pytest.raises(ValueError):
+            CollisionDetector().classify(det, None)
+
+    def test_short_peak_skipped(self):
+        wave = _collision_wave()[:600]
+        buf, det = _buffer_with(wave)
+        assert CollisionDetector().classify(det, buf) == []
+
+
+class TestEndToEnd:
+    def test_rendered_collision_flagged(self):
+        from repro import BluetoothL2PingSession, Scenario, WifiPingSession
+
+        # force an overlap: a BT packet scheduled inside a wifi data packet,
+        # 8 dB hotter
+        scenario = Scenario(duration=0.03, seed=88)
+        scenario.add(WifiPingSession(n_pings=1, snr_db=15.0, start=1e-3))
+        # address chosen so the hop sequence lands an in-band packet (slot
+        # 4, channel 40, t=4.5 ms) inside the wifi data packet
+        scenario.add(
+            BluetoothL2PingSession(
+                n_pings=40, snr_db=23.0, start=2e-3, interval_slots=2,
+                address=0x2A96F0,
+            )
+        )
+        trace = scenario.render()
+        truth = trace.ground_truth
+        collided = [
+            t for t in truth.observable("bluetooth") if truth.collided(t)
+        ]
+        assert collided, "expected a deterministic in-band collision"
+        detection = PeakDetector().detect(trace.buffer, noise_floor=trace.noise_power)
+        out = CollisionDetector().classify(detection, trace.buffer)
+        assert out, "no collision flagged despite ground-truth overlap"

@@ -1,0 +1,72 @@
+"""Tests for repro.dsp.fftutil."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.fftutil import band_occupancy, channelize_power, spectrogram
+
+
+def _tone(freq, fs, n):
+    return np.exp(2j * np.pi * freq * np.arange(n) / fs)
+
+
+class TestSpectrogram:
+    def test_shape(self):
+        spec = spectrogram(np.ones(1024, dtype=complex), fft_size=256)
+        assert spec.shape == (4, 256)
+
+    def test_hop_overlap(self):
+        spec = spectrogram(np.ones(1024, dtype=complex), fft_size=256, hop=128)
+        assert spec.shape[0] == 7
+
+    def test_tone_lands_in_right_bin(self):
+        fs = 8e6
+        x = _tone(1e6, fs, 2048)
+        spec = spectrogram(x, fft_size=256)
+        bin_freqs = np.fft.fftshift(np.fft.fftfreq(256, d=1 / fs))
+        peak_bin = np.argmax(spec.mean(axis=0))
+        assert abs(bin_freqs[peak_bin] - 1e6) < fs / 256
+
+    def test_too_short_input(self):
+        assert spectrogram(np.ones(10, dtype=complex), fft_size=256).shape[0] == 0
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            spectrogram(np.ones(100), fft_size=0)
+        with pytest.raises(ValueError):
+            spectrogram(np.ones(100), fft_size=16, hop=0)
+
+
+class TestChannelize:
+    def test_shape(self):
+        out = channelize_power(np.ones(2048, dtype=complex), 8, fft_size=256)
+        assert out.shape == (8, 8)
+
+    def test_tone_occupies_single_channel(self):
+        fs = 8e6
+        # center of channel 6 of 8: offset = (6 + 0.5) * 1 MHz - 4 MHz = 2.5 MHz
+        x = _tone(2.5e6, fs, 4096)
+        out = channelize_power(x, 8, fft_size=256)
+        dominant = np.argmax(out, axis=1)
+        assert (dominant == 6).all()
+        total = out.sum(axis=1)
+        assert (out[:, 6] / total > 0.9).all()
+
+    def test_wideband_spreads(self, rng):
+        x = (rng.normal(size=4096) + 1j * rng.normal(size=4096))
+        out = channelize_power(x, 8, fft_size=256)
+        fractions = out.max(axis=1) / out.sum(axis=1)
+        assert fractions.mean() < 0.5
+
+    def test_rejects_mismatched_sizes(self):
+        with pytest.raises(ValueError):
+            channelize_power(np.ones(1024), 7, fft_size=256)
+        with pytest.raises(ValueError):
+            channelize_power(np.ones(1024), 0, fft_size=256)
+
+
+class TestOccupancy:
+    def test_threshold(self):
+        power = np.array([[1.0, 5.0], [0.5, 0.1]])
+        mask = band_occupancy(power, 1.0)
+        assert mask.tolist() == [[False, True], [False, False]]

@@ -1,0 +1,71 @@
+"""Tests for the CampusTraffic and OfdmBurstSource generators."""
+
+import numpy as np
+import pytest
+
+from repro import Scenario
+from repro.emulator.traffic import CampusTraffic, OfdmBurstSource
+from repro.constants import WIFI_SIFS
+
+
+class TestCampusTraffic:
+    @pytest.fixture(scope="class")
+    def events(self):
+        return CampusTraffic(duration=1.0, seed=19).events()
+
+    def test_no_overlaps(self, events):
+        for prev, nxt in zip(events, events[1:]):
+            assert nxt.time >= prev.end_time + WIFI_SIFS - 1e-9
+
+    def test_rate_mix(self, events):
+        data = [e for e in events if e.kind == "data"]
+        rates = {e.rate_mbps for e in data}
+        assert rates >= {11.0, 5.5}
+        # most data packets are NOT 1 Mbps (the Table 4 premise)
+        one = sum(1 for e in data if e.rate_mbps == 1.0)
+        assert one < 0.3 * len(data)
+
+    def test_contains_beacons_and_broadcasts(self, events):
+        kinds = {e.kind for e in events}
+        assert {"beacon", "broadcast", "data"} <= kinds
+
+    def test_acks_follow_data(self, events):
+        for prev, nxt in zip(events, events[1:]):
+            if nxt.kind == "ack" and nxt.meta.get("seq") == prev.meta.get("seq"):
+                assert nxt.time - prev.end_time == pytest.approx(WIFI_SIFS, abs=1e-9)
+
+    def test_deterministic(self):
+        a = CampusTraffic(duration=0.3, seed=5).events()
+        b = CampusTraffic(duration=0.3, seed=5).events()
+        assert [(e.time, e.kind) for e in a] == [(e.time, e.kind) for e in b]
+
+    def test_renders(self):
+        scenario = Scenario(duration=0.2, seed=20)
+        scenario.add(CampusTraffic(duration=0.2, seed=21))
+        trace = scenario.render()
+        assert len(trace.ground_truth.observable("wifi")) > 10
+
+
+class TestOfdmBurstSource:
+    def test_event_schedule(self):
+        events = OfdmBurstSource(n_packets=5, interval=10e-3, start=2e-3).events()
+        assert len(events) == 5
+        assert events[0].time == pytest.approx(2e-3)
+        assert events[1].time - events[0].time == pytest.approx(10e-3)
+
+    def test_airtime_consistent_with_modem(self):
+        from repro.phy.ofdm import OfdmModem
+
+        source = OfdmBurstSource(n_packets=1, payload_size=123)
+        event = source.events()[0]
+        assert event.duration == pytest.approx(OfdmModem(8e6).airtime(123))
+
+    def test_renders_and_durations_match(self):
+        scenario = Scenario(duration=0.05, seed=22)
+        scenario.add(OfdmBurstSource(n_packets=3, interval=14e-3, snr_db=20.0))
+        trace = scenario.render()
+        for tx in trace.ground_truth.observable("ofdm"):
+            start = int(tx.start_time * trace.sample_rate)
+            end = int(tx.end_time * trace.sample_rate)
+            power = np.mean(np.abs(trace.samples[start + 8 : end - 8]) ** 2)
+            assert power > 10  # ~20 dB above unit noise

@@ -1,0 +1,60 @@
+"""Tests for repro.emulator.channel."""
+
+import numpy as np
+import pytest
+
+from repro.emulator.channel import ChannelModel, apply_freq_offset
+
+
+class TestChannelModel:
+    def test_awgn_power(self, rng):
+        model = ChannelModel(noise_power=2.0)
+        noise = model.awgn(100000, rng)
+        assert np.mean(np.abs(noise) ** 2) == pytest.approx(2.0, rel=0.05)
+
+    def test_awgn_zero_mean(self, rng):
+        noise = ChannelModel().awgn(100000, rng)
+        assert abs(np.mean(noise)) < 0.05
+
+    def test_amplitude_for_snr(self):
+        model = ChannelModel(noise_power=1.0)
+        amp = model.amplitude_for_snr(20.0)
+        assert amp**2 == pytest.approx(100.0)
+
+    def test_amplitude_accounts_for_waveform_power(self):
+        model = ChannelModel(noise_power=1.0)
+        amp = model.amplitude_for_snr(0.0, waveform_power=4.0)
+        assert amp == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_noise(self):
+        with pytest.raises(ValueError):
+            ChannelModel(noise_power=0.0)
+
+
+class TestFreqOffset:
+    def test_zero_offset_identity(self):
+        x = np.ones(100, dtype=np.complex64)
+        assert apply_freq_offset(x, 0.0, 8e6) is x
+
+    def test_offset_moves_tone(self):
+        x = np.ones(8000, dtype=np.complex64)
+        shifted = apply_freq_offset(x, 1e6, 8e6)
+        spectrum = np.abs(np.fft.fft(shifted))
+        peak = np.fft.fftfreq(8000, 1 / 8e6)[np.argmax(spectrum)]
+        assert peak == pytest.approx(1e6, abs=2e3)
+
+    def test_power_preserved(self, rng):
+        x = (rng.normal(size=1000) + 1j * rng.normal(size=1000)).astype(np.complex64)
+        shifted = apply_freq_offset(x, 2.5e6, 8e6)
+        assert np.mean(np.abs(shifted) ** 2) == pytest.approx(
+            float(np.mean(np.abs(x) ** 2)), rel=1e-5
+        )
+
+    def test_start_sample_continuity(self):
+        x = np.ones(200, dtype=np.complex64)
+        whole = apply_freq_offset(x, 1.1e6, 8e6)
+        parts = np.concatenate([
+            apply_freq_offset(x[:100], 1.1e6, 8e6, start_sample=0),
+            apply_freq_offset(x[100:], 1.1e6, 8e6, start_sample=100),
+        ])
+        assert np.allclose(whole, parts, atol=1e-5)

@@ -1,0 +1,82 @@
+"""Tests for repro.emulator.groundtruth."""
+
+import numpy as np
+import pytest
+
+from repro.emulator.groundtruth import GroundTruth, Transmission
+from repro.util.timebase import Timebase
+
+
+def _tx(start, end, protocol="wifi", observable=True, **kw):
+    return Transmission(
+        start_time=start, end_time=end, protocol=protocol, source="n",
+        kind="data", observable=observable, **kw
+    )
+
+
+@pytest.fixture
+def truth():
+    txs = [
+        _tx(0.01, 0.02),
+        _tx(0.03, 0.04, protocol="bluetooth"),
+        _tx(0.05, 0.06, observable=False),
+        _tx(0.015, 0.025, protocol="bluetooth"),  # overlaps the first
+    ]
+    return GroundTruth(txs, Timebase(8e6), duration=0.1)
+
+
+class TestQueries:
+    def test_observable_filters(self, truth):
+        assert len(truth.observable()) == 3
+        assert len(truth.observable("wifi")) == 1
+
+    def test_by_protocol(self, truth):
+        assert len(truth.by_protocol("bluetooth")) == 2
+
+    def test_collided(self, truth):
+        assert truth.collided(truth.transmissions[0])
+        assert not truth.collided(truth.transmissions[1])
+
+    def test_duration_property(self):
+        tx = _tx(0.1, 0.3)
+        assert tx.duration == pytest.approx(0.2)
+
+    def test_overlaps(self):
+        tx = _tx(0.1, 0.2)
+        assert tx.overlaps(0.15, 0.5)
+        assert not tx.overlaps(0.2, 0.3)  # half-open
+
+
+class TestBusyFraction:
+    def test_empty(self):
+        truth = GroundTruth([], Timebase(8e6), duration=1.0)
+        assert truth.busy_fraction() == 0.0
+
+    def test_single(self):
+        truth = GroundTruth([_tx(0.0, 0.25)], Timebase(8e6), duration=1.0)
+        assert truth.busy_fraction() == pytest.approx(0.25)
+
+    def test_overlap_not_double_counted(self):
+        truth = GroundTruth(
+            [_tx(0.0, 0.5), _tx(0.25, 0.75)], Timebase(8e6), duration=1.0
+        )
+        assert truth.busy_fraction() == pytest.approx(0.75)
+
+    def test_unobservable_ignored(self):
+        truth = GroundTruth(
+            [_tx(0.0, 0.5, observable=False)], Timebase(8e6), duration=1.0
+        )
+        assert truth.busy_fraction() == 0.0
+
+
+class TestSampleMask:
+    def test_marks_transmissions(self, truth):
+        mask = truth.sample_mask(800000)
+        assert mask[int(0.015 * 8e6)]
+        assert not mask[int(0.045 * 8e6)]
+        assert not mask[int(0.055 * 8e6)]  # unobservable
+
+    def test_count(self):
+        truth = GroundTruth([_tx(0.0, 0.01)], Timebase(8e6), duration=0.1)
+        mask = truth.sample_mask(800000)
+        assert mask.sum() == 80000

@@ -1,0 +1,142 @@
+"""Tests for repro.emulator.scenario rendering."""
+
+import numpy as np
+import pytest
+
+from repro.emulator import (
+    BluetoothL2PingSession,
+    Scenario,
+    WifiPingSession,
+)
+from repro.util.db import linear_to_db
+
+
+class TestScenario:
+    def test_trace_length(self):
+        trace = Scenario(duration=0.01).render()
+        assert len(trace.samples) == 80000
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            Scenario(duration=0.0)
+
+    def test_noise_floor_power(self):
+        trace = Scenario(duration=0.01, noise_power=2.0, seed=3).render()
+        assert np.mean(np.abs(trace.samples) ** 2) == pytest.approx(2.0, rel=0.05)
+
+    def test_no_noise_option(self):
+        trace = Scenario(duration=0.005).render(include_noise=False)
+        assert np.allclose(trace.samples, 0.0)
+
+    def test_deterministic_given_seed(self):
+        def render():
+            sc = Scenario(duration=0.02, seed=11)
+            sc.add(WifiPingSession(n_pings=1, seed=2))
+            return sc.render().samples
+
+        assert np.array_equal(render(), render())
+
+    def test_snr_realized(self):
+        sc = Scenario(duration=0.03, seed=5)
+        sc.add(WifiPingSession(n_pings=1, snr_db=15.0, seed=1))
+        trace = sc.render(include_noise=False)
+        gt = trace.ground_truth.observable("wifi")[0]
+        lo = int(gt.start_time * trace.sample_rate) + 100
+        hi = int(gt.end_time * trace.sample_rate) - 100
+        power = float(np.mean(np.abs(trace.samples[lo:hi]) ** 2))
+        assert linear_to_db(power) == pytest.approx(15.0, abs=0.5)
+
+    def test_events_past_duration_dropped(self):
+        sc = Scenario(duration=0.01)
+        sc.add(WifiPingSession(n_pings=50, interval=5e-3))
+        trace = sc.render()
+        assert all(t.start_time < 0.01 for t in trace.ground_truth.transmissions)
+
+    def test_truncated_event_not_observable(self):
+        sc = Scenario(duration=0.0065)  # cuts the first exchange mid-air
+        sc.add(WifiPingSession(n_pings=1, payload_size=500))
+        trace = sc.render()
+        truncated = [
+            t for t in trace.ground_truth.transmissions if t.meta.get("truncated")
+        ]
+        assert truncated
+        assert all(not t.observable for t in truncated)
+
+
+class TestWifiChannelPinning:
+    def _trace(self, channel, center=2.4415e9):
+        sc = Scenario(duration=0.03, seed=6, center_freq=center)
+        sc.add(WifiPingSession(n_pings=1, snr_db=20.0, channel=channel))
+        return sc.render()
+
+    def test_nearby_channel_observable(self):
+        trace = self._trace(channel=6)  # 2.437 GHz, offset -4.5 MHz
+        obs = trace.ground_truth.observable("wifi")
+        assert len(obs) == 4
+        assert obs[0].freq_offset == pytest.approx(-4.5e6)
+
+    def test_distant_channel_invisible(self):
+        trace = self._trace(channel=1)  # 2.412 GHz, ~30 MHz away
+        assert trace.ground_truth.observable("wifi") == []
+        # and no energy was rendered
+        assert np.mean(np.abs(trace.samples) ** 2) == pytest.approx(1.0, rel=0.1)
+
+    def test_tuned_to_channel_offset_zero(self):
+        trace = self._trace(channel=6, center=2.437e9)
+        obs = trace.ground_truth.observable("wifi")
+        assert obs[0].freq_offset == 0.0
+
+    def test_offset_signal_band_limited(self):
+        # the off-center render is low-passed: spectrum at band edge stays
+        # below the in-band level
+        trace = self._trace(channel=6)
+        spec = np.abs(np.fft.fftshift(np.fft.fft(trace.samples[:65536]))) ** 2
+        edge = spec[:2000].mean()
+        middle = spec[30000:35000].mean()
+        assert middle > 2 * edge
+
+    def test_unpinned_defaults_to_center(self):
+        sc = Scenario(duration=0.03, seed=7)
+        sc.add(WifiPingSession(n_pings=1, snr_db=20.0))
+        trace = sc.render()
+        assert trace.ground_truth.observable("wifi")[0].freq_offset == 0.0
+
+    def test_invalid_channel_rejected(self):
+        from repro.emulator.traffic import _wifi_rf_freq
+
+        with pytest.raises(ValueError):
+            _wifi_rf_freq(0)
+        with pytest.raises(ValueError):
+            _wifi_rf_freq(12)
+
+
+class TestBluetoothObservability:
+    def test_out_of_band_not_rendered(self):
+        sc = Scenario(duration=0.5, seed=2)
+        sc.add(BluetoothL2PingSession(n_pings=60, snr_db=20.0))
+        trace = sc.render()
+        gt = trace.ground_truth
+        all_bt = gt.by_protocol("bluetooth")
+        visible = gt.observable("bluetooth")
+        # roughly 8/79 of hops land in the 8 MHz band
+        assert 0 < len(visible) < len(all_bt) / 3
+
+    def test_observable_channels_in_band(self):
+        from repro.phy.bluetooth_fh import channel_freq
+
+        sc = Scenario(duration=0.5, seed=2)
+        sc.add(BluetoothL2PingSession(n_pings=60, snr_db=20.0))
+        trace = sc.render()
+        for t in trace.ground_truth.observable("bluetooth"):
+            assert abs(channel_freq(t.channel) - trace.center_freq) <= 3.5e6
+
+    def test_freq_offset_recorded(self):
+        sc = Scenario(duration=0.5, seed=2)
+        sc.add(BluetoothL2PingSession(n_pings=40, snr_db=20.0))
+        trace = sc.render()
+        from repro.phy.bluetooth_fh import channel_freq
+
+        for t in trace.ground_truth.observable("bluetooth"):
+            assert t.freq_offset == pytest.approx(
+                channel_freq(t.channel) - trace.center_freq, abs=1e3
+            )

@@ -1,0 +1,144 @@
+"""Tests for repro.emulator.traffic: MAC-timing correctness of generators."""
+
+import numpy as np
+import pytest
+
+from repro.constants import BT_SLOT, WIFI_DIFS, WIFI_SIFS, WIFI_SLOT_TIME
+from repro.emulator.traffic import (
+    BluetoothL2PingSession,
+    MicrowaveSource,
+    WifiBeaconSource,
+    WifiBroadcastFlood,
+    WifiPingSession,
+    ZigbeePingSession,
+)
+
+
+class TestWifiPing:
+    def test_event_count(self):
+        events = WifiPingSession(n_pings=5).events()
+        assert len(events) == 20  # req + ack + reply + ack per ping
+
+    def test_sifs_between_data_and_ack(self):
+        events = WifiPingSession(n_pings=2).events()
+        for i in (0, 2):  # request and reply
+            gap = events[i + 1].time - events[i].end_time
+            assert gap == pytest.approx(WIFI_SIFS, abs=1e-9)
+
+    def test_acks_are_short(self):
+        events = WifiPingSession(n_pings=1).events()
+        acks = [e for e in events if e.kind == "ack"]
+        assert all(e.payload_size == 14 for e in acks)
+
+    def test_reply_spaced_by_difs_plus_slots(self):
+        events = WifiPingSession(n_pings=1, seed=5).events()
+        ack1, reply = events[1], events[2]
+        gap = reply.time - ack1.end_time
+        k = round((gap - WIFI_DIFS) / WIFI_SLOT_TIME)
+        assert 0 <= k < 8
+        assert gap == pytest.approx(WIFI_DIFS + k * WIFI_SLOT_TIME, abs=1e-9)
+
+    def test_ping_interval(self):
+        events = WifiPingSession(n_pings=3, interval=20e-3).events()
+        reqs = [e for e in events if e.meta.get("direction") == "request"]
+        assert reqs[1].time - reqs[0].time == pytest.approx(20e-3)
+
+    def test_payload_sizes(self):
+        events = WifiPingSession(n_pings=1, payload_size=500).events()
+        data = [e for e in events if e.kind == "data"]
+        assert all(e.payload_size == 528 for e in data)  # + MAC header + FCS
+
+    def test_exchange_airtime_bounds_interval(self):
+        session = WifiPingSession(n_pings=1)
+        events = session.events()
+        span = events[-1].end_time - events[0].time
+        assert span <= session.exchange_airtime() + 1e-9
+
+
+class TestBroadcastFlood:
+    def test_count(self):
+        assert len(WifiBroadcastFlood(n_packets=10).events()) == 10
+
+    def test_difs_plus_k_slots_spacing(self):
+        events = WifiBroadcastFlood(n_packets=20, cw=16, seed=1).events()
+        for prev, nxt in zip(events, events[1:]):
+            gap = nxt.time - prev.end_time
+            k = round((gap - WIFI_DIFS) / WIFI_SLOT_TIME)
+            assert 0 <= k <= 16
+            assert gap == pytest.approx(WIFI_DIFS + k * WIFI_SLOT_TIME, abs=1e-9)
+
+    def test_broadcast_kind(self):
+        events = WifiBroadcastFlood(n_packets=2).events()
+        assert all(e.kind == "broadcast" for e in events)
+
+
+class TestBeacons:
+    def test_interval(self):
+        events = WifiBeaconSource(duration=0.5).events()
+        assert len(events) == 5
+        assert events[1].time - events[0].time == pytest.approx(102.4e-3)
+
+
+class TestBluetoothL2Ping:
+    def test_event_count(self):
+        assert len(BluetoothL2PingSession(n_pings=10).events()) == 20
+
+    def test_slot_alignment(self):
+        session = BluetoothL2PingSession(n_pings=10, start=2e-3)
+        for event in session.events():
+            slots = (event.time - session.start) / BT_SLOT
+            assert slots == pytest.approx(round(slots), abs=1e-9)
+
+    def test_echo_five_slots_after_master(self):
+        events = BluetoothL2PingSession(n_pings=2).events()
+        assert events[1].time - events[0].time == pytest.approx(5 * BT_SLOT)
+
+    def test_sizes_cycle_and_identify_sequence(self):
+        session = BluetoothL2PingSession(n_pings=200, size_min=225, size_max=339)
+        events = session.events()
+        masters = [e for e in events if e.kind == "l2ping"]
+        sizes = [e.payload_size for e in masters]
+        assert min(sizes) == 225 and max(sizes) == 339
+        # size determines seq within one cycle
+        span = 339 - 225 + 1
+        for i, e in enumerate(masters[:span]):
+            assert e.payload_size == 225 + i
+
+    def test_channels_follow_hop_kernel(self):
+        from repro.phy.bluetooth_fh import hop_channel
+
+        session = BluetoothL2PingSession(n_pings=5, address=0x42, start_clock=7)
+        events = session.events()
+        assert events[0].channel == hop_channel(0x42, 7)
+        assert events[1].channel == hop_channel(0x42, 12)
+
+    def test_rejects_odd_interval(self):
+        with pytest.raises(ValueError):
+            BluetoothL2PingSession(interval_slots=7)
+
+    def test_airtime_fits_five_slots(self):
+        events = BluetoothL2PingSession(n_pings=1, size_max=339).events()
+        assert all(e.duration <= 5 * BT_SLOT for e in events)
+
+
+class TestZigbee:
+    def test_ack_spacing(self):
+        from repro.constants import ZIGBEE_T_ACK
+
+        events = ZigbeePingSession(n_packets=2).events()
+        data, ack = events[0], events[1]
+        assert ack.time - data.end_time == pytest.approx(ZIGBEE_T_ACK, abs=1e-9)
+
+    def test_count(self):
+        assert len(ZigbeePingSession(n_packets=5).events()) == 10
+
+
+class TestMicrowave:
+    def test_burst_events(self):
+        events = MicrowaveSource(duration=0.05).events()
+        assert len(events) == 3
+        assert all(e.protocol == "microwave" for e in events)
+
+    def test_start_offset_applied(self):
+        events = MicrowaveSource(start=0.01, duration=0.05).events()
+        assert events[0].time == pytest.approx(0.01)

@@ -1,0 +1,84 @@
+"""Tests for the flowgraph assembly of the RFDump architecture."""
+
+import pytest
+
+from repro import RFDumpMonitor, packet_miss_rate
+from repro.flowgraph.rfdump_graph import build_rfdump_graph
+
+
+class TestGraphAssembly:
+    def test_graph_matches_monitor(self, wifi_trace):
+        """The flowgraph composition decodes what the batch monitor does."""
+        graph, packets, classifications = build_rfdump_graph(
+            wifi_trace.buffer, protocols=("wifi",)
+        )
+        graph.run()
+        batch = RFDumpMonitor(protocols=("wifi",)).process(wifi_trace.buffer)
+        assert len(packets.items) == len(batch.packets_for("wifi"))
+        graph_starts = sorted(p.start_sample for p in packets.items)
+        batch_starts = sorted(p.start_sample for p in batch.packets_for("wifi"))
+        assert graph_starts == batch_starts
+
+    def test_classifications_collected(self, wifi_trace):
+        graph, _, classifications = build_rfdump_graph(
+            wifi_trace.buffer, protocols=("wifi",), demodulate=False
+        )
+        graph.run()
+        miss = packet_miss_rate(
+            wifi_trace.ground_truth, classifications.items, "wifi"
+        )
+        assert miss == 0.0
+
+    def test_no_demod_emits_ranges(self, wifi_trace):
+        graph, sink, _ = build_rfdump_graph(
+            wifi_trace.buffer, protocols=("wifi",), demodulate=False
+        )
+        graph.run()
+        assert sink.items
+        protocol, rng, _ = sink.items[0]
+        assert protocol == "wifi"
+        assert rng.length > 0
+
+    def test_graph_block_count(self, wifi_trace):
+        graph, _, _ = build_rfdump_graph(
+            wifi_trace.buffer, protocols=("wifi", "bluetooth")
+        )
+        names = {b.name for b in graph.blocks}
+        assert "peak-detector" in names
+        assert "dispatcher" in names
+        assert "wifi-analyzer" in names
+        assert "bluetooth-analyzer" in names
+        assert "WifiSifsTimingDetector" in names
+
+    def test_rerun_is_idempotent(self, wifi_trace):
+        graph, packets, _ = build_rfdump_graph(
+            wifi_trace.buffer, protocols=("wifi",)
+        )
+        graph.run()
+        first = len(packets.items)
+        graph.run()
+        assert len(packets.items) == first
+
+    def test_custom_detectors(self, wifi_trace):
+        from repro.core.detectors import WifiSifsTimingDetector
+
+        graph, _, classifications = build_rfdump_graph(
+            wifi_trace.buffer, protocols=("wifi",),
+            detectors=[WifiSifsTimingDetector()], demodulate=False,
+        )
+        graph.run()
+        assert classifications.items
+        assert all(
+            c.detector == "WifiSifsTimingDetector" for c in classifications.items
+        )
+
+    def test_empty_buffer(self):
+        import numpy as np
+
+        from repro.dsp.samples import SampleBuffer
+        from repro.util.timebase import Timebase
+
+        buf = SampleBuffer(np.zeros(0, dtype=np.complex64), Timebase(8e6))
+        graph, packets, _ = build_rfdump_graph(buf, protocols=("wifi",))
+        graph.run()
+        assert packets.items == []

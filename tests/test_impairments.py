@@ -1,0 +1,106 @@
+"""Failure injection: detector/demodulator robustness under impairments."""
+
+import numpy as np
+import pytest
+
+from repro import RFDumpMonitor, Scenario, WifiPingSession, packet_miss_rate
+from repro.emulator import BluetoothL2PingSession, ChannelImpairments
+
+
+def _run(impairments, seed=91, protocols=("wifi",)):
+    scenario = Scenario(duration=0.06, seed=seed, impairments=impairments)
+    scenario.add(WifiPingSession(n_pings=2, snr_db=20.0, interval=25e-3, seed=seed))
+    trace = scenario.render()
+    monitor = RFDumpMonitor(protocols=protocols, demodulate=True)
+    report = monitor.process(trace.buffer)
+    miss = packet_miss_rate(
+        trace.ground_truth, report.classifications_for("wifi"), "wifi"
+    )
+    decoded = len(report.packets_for("wifi"))
+    truth = len(trace.ground_truth.observable("wifi"))
+    return miss, decoded, truth
+
+
+class TestImpairmentPrimitives:
+    def test_multipath_adds_echo(self):
+        imp = ChannelImpairments(multipath_delay=5, multipath_gain=0.5)
+        x = np.zeros(20, dtype=np.complex64)
+        x[0] = 1.0
+        y = imp.apply_multipath(x)
+        assert y[0] == 1.0
+        assert y[5] == pytest.approx(0.5)
+
+    def test_multipath_disabled_is_identity(self):
+        imp = ChannelImpairments()
+        x = np.ones(10, dtype=np.complex64)
+        assert imp.apply_multipath(x) is x
+
+    def test_adc_quantization_steps(self):
+        imp = ChannelImpairments(adc_bits=4, adc_full_scale=1.0)
+        x = (np.linspace(-0.9, 0.9, 50) + 0.1j).astype(np.complex64)
+        y = imp.apply_frontend(x)
+        step = 1.0 / 8
+        assert np.allclose(np.mod(y.real / step, 1.0), 0.0, atol=1e-5)
+        assert len(np.unique(y.real)) <= 16
+
+    def test_adc_clips_at_full_scale(self):
+        imp = ChannelImpairments(adc_bits=8, adc_full_scale=1.0)
+        x = np.array([5.0 + 5.0j], dtype=np.complex64)
+        y = imp.apply_frontend(x)
+        assert y[0].real <= 1.0
+
+    def test_iq_imbalance_changes_image(self):
+        imp = ChannelImpairments(iq_gain_imbalance_db=1.0, iq_phase_deg=3.0)
+        n = np.arange(4096)
+        tone = np.exp(2j * np.pi * 0.1 * n).astype(np.complex64)
+        y = imp.apply_frontend(tone)
+        spec = np.abs(np.fft.fft(y))
+        main = spec[int(0.1 * 4096)]
+        image = spec[4096 - int(0.1 * 4096)]
+        assert image > 0.01 * main  # an image tone appeared
+        assert image < main
+
+    def test_cfo_draw(self):
+        imp = ChannelImpairments(cfo_std_hz=10e3)
+        rng = np.random.default_rng(0)
+        draws = [imp.random_cfo(rng) for _ in range(200)]
+        assert np.std(draws) == pytest.approx(10e3, rel=0.2)
+        assert ChannelImpairments().random_cfo(rng) == 0.0
+
+
+class TestDetectionUnderImpairments:
+    def test_usrp_like_frontend_harmless(self):
+        """12-bit ADC + 20 kHz CFO (a realistic USRP capture): no misses."""
+        imp = ChannelImpairments(cfo_std_hz=20e3, adc_bits=12)
+        miss, decoded, truth = _run(imp)
+        assert miss == 0.0
+        assert decoded == truth
+
+    def test_mild_multipath_harmless_to_detection(self):
+        imp = ChannelImpairments(multipath_delay=3, multipath_gain=0.25)
+        miss, decoded, truth = _run(imp)
+        assert miss == 0.0
+
+    def test_brutal_adc_degrades(self):
+        """A 3-bit ADC destroys decode fidelity while energy detection
+        (and hence timing classification) mostly survives."""
+        imp = ChannelImpairments(adc_bits=3)
+        miss, decoded, truth = _run(imp)
+        assert miss <= 0.5  # timing/phase still sees most packets
+        clean_miss, clean_decoded, _ = _run(None)
+        assert clean_decoded == truth
+        assert decoded <= clean_decoded
+
+    def test_bluetooth_with_cfo_inside_channel(self):
+        """Residual CFO well under a channel width: GFSK unaffected."""
+        imp = ChannelImpairments(cfo_std_hz=30e3)
+        scenario = Scenario(duration=0.4, seed=92, impairments=imp)
+        scenario.add(BluetoothL2PingSession(n_pings=50, snr_db=20.0))
+        trace = scenario.render()
+        monitor = RFDumpMonitor(protocols=("bluetooth",), demodulate=False)
+        report = monitor.process(trace.buffer)
+        miss = packet_miss_rate(
+            trace.ground_truth, report.classifications_for("bluetooth"),
+            "bluetooth",
+        )
+        assert miss <= 0.3  # first-of-session and collisions only

@@ -1,0 +1,71 @@
+"""Tests for repro.phy.barker."""
+
+import numpy as np
+import pytest
+
+from repro.phy.barker import (
+    barker_chips,
+    phase_change_template,
+    samples_per_symbol,
+    spread_symbols,
+    symbol_template,
+)
+
+
+class TestBarkerSequence:
+    def test_length_11(self):
+        assert barker_chips().size == 11
+
+    def test_values_are_pm_one(self):
+        assert set(np.unique(barker_chips())) == {-1.0, 1.0}
+
+    def test_ideal_autocorrelation(self):
+        # Barker property: off-peak aperiodic autocorrelation magnitude <= 1
+        c = barker_chips()
+        full = np.correlate(c, c, mode="full")
+        peak = full[len(c) - 1]
+        assert peak == pytest.approx(11.0)
+        off = np.delete(full, len(c) - 1)
+        assert np.max(np.abs(off)) <= 1.0 + 1e-9
+
+
+class TestSpread:
+    def test_spreading_length(self):
+        out = spread_symbols(np.array([1.0, -1.0]))
+        assert out.size == 22
+
+    def test_symbol_sign_carried(self):
+        out = spread_symbols(np.array([1.0, -1.0]))
+        assert np.allclose(out[11:], -out[:11])
+
+    def test_complex_symbols(self):
+        out = spread_symbols(np.array([1j]))
+        assert np.allclose(out, 1j * barker_chips())
+
+
+class TestTemplates:
+    def test_samples_per_symbol(self):
+        assert samples_per_symbol(8e6) == pytest.approx(8.0)
+
+    def test_template_length(self):
+        assert symbol_template(8e6).size == 8
+
+    def test_template_is_chip_subset(self):
+        tmpl = symbol_template(8e6)
+        chips = barker_chips()
+        expected = chips[[0, 1, 2, 4, 5, 6, 8, 9]]
+        assert np.allclose(tmpl, expected)
+
+    def test_rejects_fractional_sps(self):
+        with pytest.raises(ValueError):
+            symbol_template(2.5e6)
+
+    def test_phase_change_template_signs(self):
+        pc = phase_change_template(8e6)
+        assert pc.size == 7
+        assert set(np.unique(pc)) <= {-1.0, 1.0}
+
+    def test_distinct_phases_give_distinct_templates(self):
+        t0 = symbol_template(8e6, 0.0)
+        t_one = symbol_template(8e6, 1.0)
+        assert not np.allclose(t0, t_one)

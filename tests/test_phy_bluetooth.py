@@ -1,0 +1,155 @@
+"""Tests for repro.phy.bluetooth: framing and the full modem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodeError, SyncError
+from repro.phy.bluetooth import (
+    BluetoothDemodulator,
+    BluetoothModulator,
+    TYPE_DH1,
+    TYPE_DH3,
+    TYPE_DH5,
+    TYPE_NULL,
+    TYPE_POLL,
+    header_info_bits,
+    payload_bits,
+    sync_word,
+)
+from repro.util.bits import bt_hec, unpack_uint
+
+
+@pytest.fixture(scope="module")
+def modem():
+    return BluetoothModulator(8e6), BluetoothDemodulator(8e6)
+
+
+def _embed(wave, lead=400, tail=200, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    n = wave.size + lead + tail
+    rx = noise * (rng.normal(size=n) + 1j * rng.normal(size=n)).astype(np.complex64)
+    rx[lead : lead + wave.size] += wave
+    return rx
+
+
+class TestSyncWord:
+    def test_length(self):
+        assert sync_word(0x9E8B33).size == 64
+
+    def test_deterministic(self):
+        assert np.array_equal(sync_word(0x123456), sync_word(0x123456))
+
+    def test_lap_specific(self):
+        a, b = sync_word(0x111111), sync_word(0x222222)
+        agreement = int(np.sum(a == b))
+        assert agreement < 48  # far apart in Hamming distance
+
+    def test_balanced(self):
+        ones = int(sync_word(0x9E8B33).sum())
+        assert 16 < ones < 48
+
+
+class TestHeaderBits:
+    def test_length_18(self):
+        assert header_info_bits(1, TYPE_DH5, 1, 0, 0).size == 18
+
+    def test_hec_consistent(self):
+        header = header_info_bits(3, TYPE_DH1, 1, 1, 0, uap=0x12)
+        assert bt_hec(header[:10], 0x12) == unpack_uint(header[10:18])
+
+
+class TestPayloadBits:
+    def test_structure(self):
+        bits = payload_bits(b"ab")
+        assert bits.size == 16 + 16 + 16  # header + 2 bytes + CRC
+
+    def test_length_encoded(self):
+        bits = payload_bits(b"x" * 100)
+        assert unpack_uint(bits[3:13]) == 100
+
+
+class TestModulator:
+    def test_dh5_bit_budget(self, modem):
+        mod, _ = modem
+        bits = mod.packet_bits(TYPE_DH5, b"p" * 339, clock=0)
+        assert bits.size == 72 + 54 + 16 + 339 * 8 + 16
+        assert bits.size / 1e6 < 5 * 625e-6  # fits in 5 slots
+
+    def test_null_packet_has_no_payload(self, modem):
+        mod, _ = modem
+        assert mod.packet_bits(TYPE_NULL, b"", clock=0).size == 126
+
+    def test_rejects_oversized_payload(self, modem):
+        mod, _ = modem
+        with pytest.raises(ValueError):
+            mod.packet_bits(TYPE_DH1, b"x" * 28, clock=0)
+
+    def test_airtime(self, modem):
+        mod, _ = modem
+        assert mod.airtime(TYPE_DH5, 339) == pytest.approx(2870e-6)
+        assert mod.airtime(TYPE_POLL, 0) == pytest.approx(126e-6)
+
+
+class TestDemodulator:
+    @pytest.mark.parametrize(
+        "ptype,size", [(TYPE_DH1, 27), (TYPE_DH3, 180), (TYPE_DH5, 339)]
+    )
+    def test_round_trip(self, modem, ptype, size):
+        mod, dem = modem
+        data = bytes((i * 7) & 0xFF for i in range(size))
+        rx = _embed(mod.modulate(ptype, data, clock=21, seqn=1))
+        packet = dem.demodulate(rx)
+        assert packet.ptype == ptype
+        assert packet.payload == data
+        assert packet.clock == 21
+        assert packet.seqn == 1
+        assert packet.crc_ok
+
+    def test_every_whitening_seed_recoverable(self, modem):
+        mod, dem = modem
+        data = b"whitening-seed-check"
+        for clock in (0, 1, 31, 63):
+            rx = _embed(mod.modulate(TYPE_DH1, data, clock=clock), seed=clock)
+            packet = dem.demodulate(rx)
+            assert packet.clock == clock
+            assert packet.payload == data
+
+    def test_start_sample_estimate(self, modem):
+        mod, dem = modem
+        rx = _embed(mod.modulate(TYPE_DH1, b"start", clock=5), lead=808)
+        packet = dem.demodulate(rx)
+        assert abs(packet.start_sample - 808) <= 2 * dem.modem.sps
+
+    def test_noise_only_raises(self, modem):
+        _, dem = modem
+        rng = np.random.default_rng(9)
+        noise = (rng.normal(size=30000) + 1j * rng.normal(size=30000)).astype(
+            np.complex64
+        )
+        with pytest.raises(DecodeError):
+            dem.demodulate(noise)
+
+    def test_wrong_lap_raises(self, modem):
+        mod, _ = modem
+        dem_other = BluetoothDemodulator(8e6, lap=0x123456)
+        rx = _embed(mod.modulate(TYPE_DH1, b"lapcheck", clock=3))
+        with pytest.raises(SyncError):
+            dem_other.demodulate(rx)
+
+    def test_truncated_payload_raises(self, modem):
+        mod, dem = modem
+        wave = mod.modulate(TYPE_DH5, b"z" * 300, clock=7)
+        with pytest.raises(DecodeError):
+            dem.demodulate(_embed(wave[: wave.size // 2], tail=0))
+
+    def test_try_demodulate_none_on_noise(self, modem):
+        _, dem = modem
+        assert dem.try_demodulate(np.ones(2000, dtype=np.complex64)) is None
+
+    def test_poll_packet(self, modem):
+        mod, dem = modem
+        rx = _embed(mod.modulate(TYPE_POLL, b"", clock=9, lt_addr=2))
+        packet = dem.demodulate(rx)
+        assert packet.ptype == TYPE_POLL
+        assert packet.payload == b""
+        assert packet.slots == 1

@@ -1,0 +1,73 @@
+"""Tests for repro.phy.bluetooth_fh."""
+
+import numpy as np
+import pytest
+
+from repro.constants import BT_NUM_CHANNELS
+from repro.phy.bluetooth_fh import (
+    channel_freq,
+    channels_in_band,
+    hop_channel,
+    hop_sequence,
+)
+
+
+class TestHopKernel:
+    def test_deterministic(self):
+        assert hop_channel(0x2A96EF, 100) == hop_channel(0x2A96EF, 100)
+
+    def test_in_range(self):
+        for clk in range(200):
+            assert 0 <= hop_channel(1, clk) < BT_NUM_CHANNELS
+
+    def test_covers_most_channels(self):
+        channels = {hop_channel(0x2A96EF, clk) for clk in range(2000)}
+        assert len(channels) == BT_NUM_CHANNELS
+
+    def test_roughly_uniform(self):
+        seq = hop_sequence(0x2A96EF, 0, 79 * 200)
+        counts = np.bincount(seq, minlength=79)
+        assert counts.min() > 100
+        assert counts.max() < 350
+
+    def test_address_decorrelates(self):
+        a = hop_sequence(1, 0, 500)
+        b = hop_sequence(2, 0, 500)
+        assert np.mean(a == b) < 0.1
+
+    def test_sequence_matches_kernel(self):
+        seq = hop_sequence(7, 40, 10)
+        assert seq[3] == hop_channel(7, 43)
+
+
+class TestChannelFreq:
+    def test_channel_zero(self):
+        assert channel_freq(0) == pytest.approx(2.402e9)
+
+    def test_channel_spacing(self):
+        assert channel_freq(10) - channel_freq(9) == pytest.approx(1e6)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            channel_freq(79)
+        with pytest.raises(ValueError):
+            channel_freq(-1)
+
+
+class TestChannelsInBand:
+    def test_eight_mhz_band_holds_about_8(self):
+        chans = channels_in_band(2.441e9, 8e6)
+        assert 6 <= len(chans) <= 8
+
+    def test_all_visible_with_full_band(self):
+        chans = channels_in_band(2.4415e9, 100e6)
+        assert len(chans) == BT_NUM_CHANNELS
+
+    def test_narrow_band_sees_at_most_center_channel(self):
+        assert len(channels_in_band(2.441e9, 1e6)) <= 1
+        assert len(channels_in_band(2.441e9, 0.5e6)) == 0
+
+    def test_channels_actually_inside(self):
+        center, bw = 2.441e9, 8e6
+        for ch in channels_in_band(center, bw):
+            assert abs(channel_freq(int(ch)) - center) <= bw / 2

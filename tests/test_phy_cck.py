@@ -1,0 +1,66 @@
+"""Tests for repro.phy.cck."""
+
+import numpy as np
+import pytest
+
+from repro.phy.cck import (
+    cck_chips_5_5mbps,
+    cck_chips_11mbps,
+    cck_codeword,
+    modulate_cck,
+)
+
+
+class TestCodeword:
+    def test_length_8(self):
+        assert cck_codeword(0, 0, 0, 0).size == 8
+
+    def test_unit_magnitude(self):
+        word = cck_codeword(0.3, 1.1, 2.0, -0.5)
+        assert np.allclose(np.abs(word), 1.0)
+
+    def test_phi1_rotates_whole_word(self):
+        base = cck_codeword(0, 0.5, 1.0, 1.5)
+        rotated = cck_codeword(np.pi / 3, 0.5, 1.0, 1.5)
+        assert np.allclose(rotated, base * np.exp(1j * np.pi / 3))
+
+
+class TestChipStreams:
+    def test_11mbps_chip_count(self):
+        chips = cck_chips_11mbps(np.zeros(16, dtype=np.uint8))
+        assert chips.size == 16  # 8 bits -> 8 chips
+
+    def test_5_5mbps_chip_count(self):
+        chips = cck_chips_5_5mbps(np.zeros(8, dtype=np.uint8))
+        assert chips.size == 16  # 4 bits -> 8 chips
+
+    def test_different_data_different_chips(self, rng):
+        a = cck_chips_11mbps(np.zeros(8, dtype=np.uint8))
+        b = cck_chips_11mbps(np.ones(8, dtype=np.uint8))
+        assert not np.allclose(a, b)
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            cck_chips_11mbps(np.zeros(7, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            cck_chips_5_5mbps(np.zeros(3, dtype=np.uint8))
+
+
+class TestModulate:
+    def test_duration_11mbps(self):
+        # 88 bits at 11 Mbps = 8 us = 64 samples at 8 Msps
+        wave = modulate_cck(np.zeros(88, dtype=np.uint8), 11.0, 8e6)
+        assert wave.size == 64
+
+    def test_duration_5_5mbps(self):
+        wave = modulate_cck(np.zeros(44, dtype=np.uint8), 5.5, 8e6)
+        assert wave.size == 64
+
+    def test_unit_envelope(self, rng):
+        bits = rng.integers(0, 2, 88).astype(np.uint8)
+        wave = modulate_cck(bits, 11.0, 8e6)
+        assert np.allclose(np.abs(wave), 1.0, atol=1e-6)
+
+    def test_rejects_barker_rates(self):
+        with pytest.raises(ValueError):
+            modulate_cck(np.zeros(8, dtype=np.uint8), 1.0, 8e6)

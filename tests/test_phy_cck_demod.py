@@ -1,0 +1,109 @@
+"""Tests for CCK demodulation at chip-aligned rates ("USRP2 mode")."""
+
+import numpy as np
+import pytest
+
+from repro.phy.cck import CckDemodulator, cck_chips_11mbps, cck_chips_5_5mbps
+from repro.phy.wifi import WifiDemodulator, WifiModulator
+from repro.phy.wifi_mac import build_data_frame
+
+FS = 22e6
+
+
+@pytest.fixture(scope="module")
+def modem22():
+    return WifiModulator(FS), WifiDemodulator(FS)
+
+
+class TestCckDemodulator:
+    def test_rejects_misaligned_rate(self):
+        with pytest.raises(ValueError):
+            CckDemodulator(8e6, 11.0)
+        with pytest.raises(ValueError):
+            CckDemodulator(22e6, 2.0)
+
+    def test_template_counts(self):
+        assert CckDemodulator(FS, 11.0)._templates.shape == (64, 16)
+        assert CckDemodulator(FS, 5.5)._templates.shape == (4, 16)
+
+    @pytest.mark.parametrize("rate,chipper", [
+        (11.0, cck_chips_11mbps), (5.5, cck_chips_5_5mbps),
+    ])
+    def test_chip_level_round_trip(self, rate, chipper, rng):
+        decoder = CckDemodulator(FS, rate)
+        bpc = decoder.bits_per_codeword()
+        bits = rng.integers(0, 2, 20 * bpc).astype(np.uint8)
+        chips = chipper(bits, 0.0)
+        samples = np.repeat(chips, decoder.spc)
+        out = decoder.demodulate(samples, bits.size, reference_phase=0.0)
+        assert np.array_equal(out, bits)
+
+    def test_rotation_cancels_with_reference(self, rng):
+        decoder = CckDemodulator(FS, 11.0)
+        bits = rng.integers(0, 2, 80).astype(np.uint8)
+        chips = cck_chips_11mbps(bits, initial_phase=0.7)
+        samples = np.repeat(chips, decoder.spc) * np.exp(1j * 1.1)
+        out = decoder.demodulate(samples, 80, reference_phase=0.7 + 1.1)
+        assert np.array_equal(out, bits)
+
+    def test_rejects_bad_bit_count(self):
+        decoder = CckDemodulator(FS, 11.0)
+        with pytest.raises(ValueError):
+            decoder.demodulate(np.ones(160, dtype=complex), 12)
+
+    def test_rejects_short_input(self):
+        decoder = CckDemodulator(FS, 11.0)
+        with pytest.raises(ValueError):
+            decoder.demodulate(np.ones(10, dtype=complex), 8)
+
+
+class TestWifi22Msps:
+    def _rx(self, wave, seed=0, noise=0.05):
+        rng = np.random.default_rng(seed)
+        rx = noise * (
+            rng.normal(size=wave.size + 800) + 1j * rng.normal(size=wave.size + 800)
+        ).astype(np.complex64)
+        rx[400 : 400 + wave.size] += wave
+        return rx
+
+    @pytest.mark.parametrize("rate", [1.0, 2.0, 5.5, 11.0])
+    def test_all_rates_decode(self, modem22, rate, rng):
+        mod, dem = modem22
+        payload = bytes(rng.integers(0, 256, 180, dtype=np.uint8))
+        mpdu = build_data_frame(1, 2, payload, seq=int(rate))
+        packet = dem.demodulate(self._rx(mod.modulate(mpdu, rate), seed=int(rate)))
+        assert packet.rate_mbps == rate
+        assert not packet.header_only
+        assert packet.mpdu == mpdu
+        assert packet.fcs_ok
+
+    def test_8msps_still_header_only(self):
+        mod8, dem8 = WifiModulator(8e6), WifiDemodulator(8e6)
+        assert not dem8.cck_capable
+        mpdu = build_data_frame(1, 2, b"x" * 100)
+        packet = dem8.demodulate(self._rx(mod8.modulate(mpdu, 11.0)))
+        assert packet.header_only
+
+    def test_channel_rotation(self, modem22):
+        mod, dem = modem22
+        mpdu = build_data_frame(1, 2, b"r" * 80)
+        wave = (mod.modulate(mpdu, 11.0) * np.exp(1j * 0.9)).astype(np.complex64)
+        packet = dem.demodulate(self._rx(wave, seed=7))
+        assert packet.mpdu == mpdu
+
+    def test_scenario_at_22msps(self):
+        """Full pipeline at USRP2 rate decodes a CCK-rate exchange."""
+        from repro import RFDumpMonitor, Scenario, WifiPingSession
+
+        scenario = Scenario(duration=0.03, sample_rate=FS, seed=66)
+        scenario.add(
+            WifiPingSession(n_pings=2, snr_db=20.0, interval=12e-3,
+                            rate_mbps=11.0, payload_size=300)
+        )
+        trace = scenario.render()
+        monitor = RFDumpMonitor(sample_rate=FS, protocols=("wifi",))
+        report = monitor.process(trace.buffer)
+        decoded = [p for p in report.packets if not p.info.get("header_only")]
+        truth = trace.ground_truth.observable("wifi")
+        assert len(decoded) == len(truth)
+        assert {p.rate_mbps for p in decoded} == {11.0}

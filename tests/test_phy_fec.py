@@ -1,0 +1,76 @@
+"""Tests for repro.phy.fec."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodeError
+from repro.phy.fec import (
+    hamming1510_decode,
+    hamming1510_encode,
+    repeat3_decode,
+    repeat3_encode,
+)
+
+
+class TestRepetition:
+    def test_round_trip(self, rng):
+        bits = rng.integers(0, 2, 60).astype(np.uint8)
+        assert np.array_equal(repeat3_decode(repeat3_encode(bits)), bits)
+
+    def test_rate(self):
+        assert repeat3_encode(np.ones(10, dtype=np.uint8)).size == 30
+
+    def test_corrects_one_error_per_triplet(self, rng):
+        bits = rng.integers(0, 2, 18).astype(np.uint8)
+        coded = repeat3_encode(bits)
+        for triplet in range(bits.size):
+            corrupted = coded.copy()
+            corrupted[3 * triplet + int(rng.integers(0, 3))] ^= 1
+            assert np.array_equal(repeat3_decode(corrupted), bits)
+
+    def test_two_errors_in_triplet_fail(self):
+        bits = np.zeros(3, dtype=np.uint8)
+        coded = repeat3_encode(bits)
+        coded[0] ^= 1
+        coded[1] ^= 1
+        assert repeat3_decode(coded)[0] == 1  # majority wins, wrongly
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(DecodeError):
+            repeat3_decode(np.zeros(4, dtype=np.uint8))
+
+
+class TestHamming:
+    def test_round_trip(self, rng):
+        bits = rng.integers(0, 2, 50).astype(np.uint8)
+        assert np.array_equal(hamming1510_decode(hamming1510_encode(bits)), bits)
+
+    def test_rate(self):
+        assert hamming1510_encode(np.zeros(20, dtype=np.uint8)).size == 30
+
+    def test_systematic(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0, 1, 1], dtype=np.uint8)
+        coded = hamming1510_encode(bits)
+        assert np.array_equal(coded[:10], bits)
+
+    def test_corrects_any_single_error(self, rng):
+        bits = rng.integers(0, 2, 10).astype(np.uint8)
+        coded = hamming1510_encode(bits)
+        for pos in range(15):
+            corrupted = coded.copy()
+            corrupted[pos] ^= 1
+            assert np.array_equal(hamming1510_decode(corrupted), bits), pos
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            hamming1510_encode(np.zeros(7, dtype=np.uint8))
+        with pytest.raises(DecodeError):
+            hamming1510_decode(np.zeros(14, dtype=np.uint8))
+
+    def test_all_syndromes_distinct(self):
+        # single-error correction requires 15 distinct non-zero syndromes
+        from repro.phy.fec import _poly_mod
+
+        syndromes = {_poly_mod(1 << (14 - k), 15) for k in range(15)}
+        assert len(syndromes) == 15
+        assert 0 not in syndromes

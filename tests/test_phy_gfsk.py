@@ -1,0 +1,102 @@
+"""Tests for repro.phy.gfsk."""
+
+import numpy as np
+import pytest
+
+from repro.phy.gfsk import GfskModem
+
+
+@pytest.fixture(scope="module")
+def modem():
+    return GfskModem(8e6)
+
+
+class TestModulate:
+    def test_length(self, modem):
+        wave = modem.modulate(np.ones(100, dtype=np.uint8))
+        assert wave.size == 800
+
+    def test_constant_envelope(self, modem):
+        rng = np.random.default_rng(0)
+        wave = modem.modulate(rng.integers(0, 2, 200).astype(np.uint8))
+        assert np.allclose(np.abs(wave), 1.0, atol=1e-5)
+
+    def test_continuous_phase(self, modem):
+        rng = np.random.default_rng(1)
+        wave = modem.modulate(rng.integers(0, 2, 100).astype(np.uint8))
+        d2 = np.angle(np.exp(1j * np.diff(np.angle(wave[1:] * np.conj(wave[:-1])))))
+        assert np.max(np.abs(d2)) < 0.3  # no phase jumps anywhere
+
+    def test_rejects_fractional_sps(self):
+        with pytest.raises(ValueError):
+            GfskModem(2.5e6)
+
+    def test_duration(self, modem):
+        assert modem.duration(1000) == pytest.approx(1e-3)
+
+
+class TestDemodulate:
+    def test_clean_round_trip(self, modem, rng):
+        bits = rng.integers(0, 2, 300).astype(np.uint8)
+        out = modem.demodulate(modem.modulate(bits))
+        assert np.array_equal(out[: bits.size], bits)
+
+    def test_noisy_round_trip(self, modem, rng):
+        bits = rng.integers(0, 2, 300).astype(np.uint8)
+        wave = modem.modulate(bits)
+        noisy = wave + 0.1 * (
+            rng.normal(size=wave.size) + 1j * rng.normal(size=wave.size)
+        ).astype(np.complex64)
+        out = modem.demodulate(noisy)
+        assert np.array_equal(out[: bits.size], bits)
+
+    def test_cfo_tolerated(self, modem, rng):
+        # mean removal in the discriminator cancels moderate CFO
+        bits = rng.integers(0, 2, 300).astype(np.uint8)
+        wave = modem.modulate(bits)
+        n = np.arange(wave.size)
+        shifted = (wave * np.exp(2j * np.pi * 50e3 * n / 8e6)).astype(np.complex64)
+        out = modem.demodulate(shifted)
+        assert np.array_equal(out[: bits.size], bits)
+
+    def test_soft_bits_sign_matches_hard(self, modem, rng):
+        bits = rng.integers(0, 2, 100).astype(np.uint8)
+        wave = modem.modulate(bits)
+        soft = modem.soft_bits(wave)
+        hard = modem.demodulate(wave)
+        assert np.array_equal((soft > 0).astype(np.uint8), hard)
+
+    def test_precomputed_disc_equivalent(self, modem, rng):
+        bits = rng.integers(0, 2, 100).astype(np.uint8)
+        wave = modem.modulate(bits)
+        disc = modem.discriminate(wave)
+        assert np.array_equal(
+            modem.demodulate(wave, 3), modem.demodulate(wave, 3, disc)
+        )
+
+    def test_empty_input(self, modem):
+        assert modem.soft_bits(np.zeros(0, dtype=np.complex64)).size == 0
+
+
+class TestBestOffset:
+    def test_finds_sync_position(self, modem, rng):
+        sync = rng.integers(0, 2, 64).astype(np.uint8)
+        tail = rng.integers(0, 2, 100).astype(np.uint8)
+        lead = rng.integers(0, 2, 37).astype(np.uint8)
+        wave = modem.modulate(np.concatenate([lead, sync, tail]))
+        # prepend noise to force a non-trivial offset
+        noise = 0.05 * (rng.normal(size=133) + 1j * rng.normal(size=133))
+        rx = np.concatenate([noise.astype(np.complex64), wave])
+        offset, pos, score = modem.best_offset(rx, sync)
+        assert score >= 58
+        found_start = offset + pos * modem.sps
+        true_start = 133 + 37 * modem.sps
+        assert abs(found_start - true_start) <= modem.sps
+
+    def test_no_sync_low_score(self, modem, rng):
+        sync = rng.integers(0, 2, 64).astype(np.uint8)
+        noise = (rng.normal(size=4000) + 1j * rng.normal(size=4000)).astype(
+            np.complex64
+        )
+        _, _, score = modem.best_offset(noise, sync)
+        assert score < 50

@@ -1,0 +1,71 @@
+"""Tests for repro.phy.microwave."""
+
+import numpy as np
+import pytest
+
+from repro.phy.microwave import MicrowaveEmitter
+
+
+class TestBurstIntervals:
+    def test_count_at_60hz(self):
+        mw = MicrowaveEmitter(ac_hz=60.0)
+        bursts = mw.burst_intervals(0.1)
+        assert len(bursts) == 6
+
+    def test_duty_cycle(self):
+        mw = MicrowaveEmitter(ac_hz=60.0, duty_cycle=0.5)
+        bursts = mw.burst_intervals(1.0)
+        on_time = sum(t1 - t0 for t0, t1 in bursts)
+        assert on_time == pytest.approx(0.5, rel=0.02)
+
+    def test_spacing_is_ac_period(self):
+        mw = MicrowaveEmitter(ac_hz=60.0)
+        bursts = mw.burst_intervals(0.2)
+        gaps = [b[0] - a[0] for a, b in zip(bursts, bursts[1:])]
+        assert np.allclose(gaps, 1 / 60.0)
+
+    def test_50hz(self):
+        mw = MicrowaveEmitter(ac_hz=50.0)
+        bursts = mw.burst_intervals(0.1)
+        assert len(bursts) == 5
+
+    def test_truncated_final_burst(self):
+        mw = MicrowaveEmitter(ac_hz=60.0)
+        bursts = mw.burst_intervals(0.02)
+        assert bursts[-1][1] <= 0.02
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            MicrowaveEmitter(ac_hz=0.0)
+        with pytest.raises(ValueError):
+            MicrowaveEmitter(duty_cycle=1.5)
+
+
+class TestRender:
+    def test_length(self):
+        wave = MicrowaveEmitter().render(0.01, 8e6)
+        assert wave.size == 80000
+
+    def test_constant_envelope_in_burst(self):
+        mw = MicrowaveEmitter()
+        wave = mw.render(0.02, 8e6, amplitude=2.0)
+        t0, t1 = mw.burst_intervals(0.02)[0]
+        seg = wave[int(t0 * 8e6) + 10 : int(t1 * 8e6) - 10]
+        assert np.allclose(np.abs(seg), 2.0, atol=1e-3)
+
+    def test_silence_between_bursts(self):
+        mw = MicrowaveEmitter()
+        wave = mw.render(0.0333, 8e6)
+        bursts = mw.burst_intervals(0.0333)
+        gap_start = int(bursts[0][1] * 8e6) + 10
+        gap_end = int((bursts[0][0] + mw.period) * 8e6) - 10
+        assert np.allclose(wave[gap_start:gap_end], 0.0)
+
+    def test_frequency_sweeps(self):
+        mw = MicrowaveEmitter(sweep_low_hz=-2e6, sweep_high_hz=2e6)
+        wave = mw.render(0.0083, 8e6)  # one burst
+        d1 = np.angle(wave[1:] * np.conj(wave[:-1]))
+        active = np.abs(wave[:-1]) > 0.5
+        freqs = d1[active] * 8e6 / (2 * np.pi)
+        assert freqs[100] < -1.5e6
+        assert freqs[-100] > 1.5e6

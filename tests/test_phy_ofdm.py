@@ -1,0 +1,105 @@
+"""Tests for repro.phy.ofdm (the future-work 802.11g-style PHY)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodeError
+from repro.phy.ofdm import CP_LEN, FFT_SIZE, OfdmModem, SYMBOL_LEN
+
+
+@pytest.fixture(scope="module")
+def modem():
+    return OfdmModem(8e6)
+
+
+def _embed(wave, lead=300, tail=300, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    n = wave.size + lead + tail
+    rx = noise * (rng.normal(size=n) + 1j * rng.normal(size=n)).astype(np.complex64)
+    rx[lead : lead + wave.size] += wave
+    return rx
+
+
+class TestModulate:
+    def test_symbol_geometry(self, modem):
+        wave = modem.modulate(b"")
+        # 2 training symbols + 1 data symbol (4 CRC bytes pad to one symbol)
+        assert wave.size == 3 * SYMBOL_LEN
+
+    def test_unit_power(self, modem):
+        wave = modem.modulate(bytes(range(100)))
+        assert np.mean(np.abs(wave) ** 2) == pytest.approx(1.0, rel=0.1)
+
+    def test_cyclic_prefix_is_tail_copy(self, modem):
+        wave = modem.modulate(b"cp-check")
+        for s in range(wave.size // SYMBOL_LEN):
+            symbol = wave[s * SYMBOL_LEN : (s + 1) * SYMBOL_LEN]
+            assert np.allclose(symbol[:CP_LEN], symbol[-CP_LEN:], atol=1e-5)
+
+    def test_airtime_matches_length(self, modem):
+        wave = modem.modulate(bytes(50))
+        assert wave.size / 8e6 == pytest.approx(modem.airtime(50))
+
+
+class TestDemodulate:
+    def test_round_trip(self, modem):
+        payload = bytes(range(200))
+        packet = modem.demodulate(_embed(modem.modulate(payload)))
+        assert packet.payload == payload
+        assert packet.crc_ok
+
+    def test_start_sample(self, modem):
+        packet = modem.demodulate(_embed(modem.modulate(b"where"), lead=641))
+        assert abs(packet.start_sample - 641) <= SYMBOL_LEN
+
+    def test_empty_payload(self, modem):
+        packet = modem.demodulate(_embed(modem.modulate(b""), seed=2))
+        assert packet.payload == b""
+
+    def test_channel_rotation_tolerated(self, modem):
+        wave = modem.modulate(b"rotated") * np.exp(1j * 0.9)
+        packet = modem.demodulate(_embed(wave.astype(np.complex64), seed=3))
+        assert packet.payload == b"rotated"
+
+    def test_noise_only_raises(self, modem, rng):
+        noise = (rng.normal(size=20000) + 1j * rng.normal(size=20000)).astype(
+            np.complex64
+        )
+        with pytest.raises(DecodeError):
+            modem.demodulate(noise)
+
+    def test_truncated_raises(self, modem):
+        wave = modem.modulate(bytes(100))
+        with pytest.raises(DecodeError):
+            modem.demodulate(_embed(wave[: wave.size // 2], tail=0, seed=4))
+
+    def test_try_demodulate(self, modem):
+        assert modem.try_demodulate(np.ones(2000, dtype=np.complex64)) is None
+
+
+class TestCpMetric:
+    def test_high_for_ofdm(self, modem):
+        wave = modem.modulate(bytes(300))
+        _, metric = OfdmModem.cp_metric(wave)
+        assert metric > 0.9
+
+    def test_alignment_found(self, modem):
+        wave = modem.modulate(bytes(300))
+        shifted = np.concatenate([wave[37:], wave[:37]])
+        align, metric = OfdmModem.cp_metric(shifted)
+        assert metric > 0.9
+
+    def test_low_for_single_carrier(self, rng):
+        from repro.phy.gfsk import GfskModem
+
+        wave = GfskModem(8e6).modulate(rng.integers(0, 2, 1500).astype(np.uint8))
+        _, metric = OfdmModem.cp_metric(wave)
+        assert metric < 0.35
+
+    def test_low_for_noise(self, rng):
+        noise = (rng.normal(size=8000) + 1j * rng.normal(size=8000))
+        _, metric = OfdmModem.cp_metric(noise.astype(np.complex64))
+        assert metric < 0.35
+
+    def test_short_input(self):
+        assert OfdmModem.cp_metric(np.ones(50, dtype=np.complex64))[1] == 0.0

@@ -1,0 +1,93 @@
+"""Tests for repro.phy.plcp."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChecksumError, DecodeError
+from repro.phy import plcp
+from repro.util.bits import Scrambler80211, descramble_stream
+
+
+class TestHeader:
+    def test_round_trip_all_rates(self):
+        for rate in (1.0, 2.0, 5.5, 11.0):
+            bits = plcp.header_bits(rate, 100)
+            header = plcp.parse_header(bits)
+            assert header.rate_mbps == rate
+            assert header.mpdu_bytes == 100
+
+    def test_length_us_for_1mbps(self):
+        bits = plcp.header_bits(1.0, 125)
+        assert plcp.parse_header(bits).length_us == 1000
+
+    def test_crc_detects_corruption(self):
+        bits = plcp.header_bits(1.0, 100)
+        bits[5] ^= 1
+        with pytest.raises(ChecksumError):
+            plcp.parse_header(bits)
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(DecodeError):
+            plcp.parse_header(np.zeros(47, dtype=np.uint8))
+
+    def test_rejects_unknown_rate(self):
+        with pytest.raises(ValueError):
+            plcp.header_bits(3.0, 100)
+
+    def test_service_field(self):
+        bits = plcp.header_bits(2.0, 64, service=0x42)
+        assert plcp.parse_header(bits).service == 0x42
+
+
+class TestFrameBits:
+    def test_head_length(self):
+        head, payload = plcp.build_frame_bits(b"\x00" * 10, 1.0)
+        assert head.size == 128 + 16 + 48
+        assert payload.size == 80
+
+    def test_payload_scrambled(self):
+        head, payload = plcp.build_frame_bits(b"\x00" * 10, 1.0)
+        assert payload.any()  # zeros scramble to non-zeros
+
+    def test_descramble_recovers_sync_ones(self):
+        head, _ = plcp.build_frame_bits(b"", 1.0)
+        plain = descramble_stream(head)
+        assert plain[7:128].all()
+
+
+class TestFindSfd:
+    def _stream(self, lead_garbage=0):
+        head, _ = plcp.build_frame_bits(b"\x11\x22", 1.0)
+        plain = descramble_stream(head)
+        if lead_garbage:
+            rng = np.random.default_rng(0)
+            noise = rng.integers(0, 2, lead_garbage).astype(np.uint8)
+            # keep noise from ending in 8 ones followed by the SFD by chance
+            noise[-1] = 0
+            plain = np.concatenate([noise, plain[7:]])
+        return plain
+
+    def test_finds_sfd(self):
+        plain = self._stream()
+        at = plcp.find_sfd(plain)
+        assert at == 144
+
+    def test_finds_with_leading_garbage(self):
+        plain = self._stream(lead_garbage=50)
+        at = plcp.find_sfd(plain)
+        assert at > 0
+        header = plcp.parse_header(plain[at : at + 48])
+        assert header.mpdu_bytes == 2
+
+    def test_absent_sfd(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, 500).astype(np.uint8)
+        bits[:16] = 0  # ensure no accidental leading match context
+        assert plcp.find_sfd(np.zeros(300, dtype=np.uint8)) == -1
+
+    def test_search_limit(self):
+        plain = self._stream()
+        assert plcp.find_sfd(plain, search_limit=100) == -1
+
+    def test_too_short(self):
+        assert plcp.find_sfd(np.ones(10, dtype=np.uint8)) == -1

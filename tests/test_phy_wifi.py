@@ -1,0 +1,145 @@
+"""Tests for repro.phy.wifi: the full 802.11b modem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodeError, SyncError
+from repro.phy.wifi import WifiDemodulator, WifiModulator
+from repro.phy.wifi_mac import build_ack_frame, build_data_frame
+
+
+@pytest.fixture(scope="module")
+def modem():
+    return WifiModulator(8e6), WifiDemodulator(8e6)
+
+
+def _embed(wave, lead=300, tail=300, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    n = wave.size + lead + tail
+    rx = noise * (rng.normal(size=n) + 1j * rng.normal(size=n)).astype(np.complex64)
+    rx[lead : lead + wave.size] += wave
+    return rx
+
+
+class TestModulator:
+    def test_waveform_length_1mbps(self, modem):
+        mod, _ = modem
+        mpdu = build_data_frame(1, 2, b"x" * 36)  # 64-byte MPDU
+        wave = mod.modulate(mpdu, 1.0)
+        # 192 us PLCP + 512 us payload = 704 us = 5632 samples
+        assert wave.size == 5632
+
+    def test_2mbps_payload_half_airtime(self, modem):
+        mod, _ = modem
+        mpdu = build_data_frame(1, 2, b"x" * 36)
+        assert mod.modulate(mpdu, 2.0).size == (192 + 256) * 8
+
+    def test_cck_rates_render(self, modem):
+        mod, _ = modem
+        mpdu = build_data_frame(1, 2, b"x" * 36)
+        for rate in (5.5, 11.0):
+            wave = mod.modulate(mpdu, rate)
+            assert wave.size > 192 * 8
+
+    def test_unit_envelope(self, modem):
+        mod, _ = modem
+        wave = mod.modulate(build_ack_frame(1), 1.0)
+        assert np.allclose(np.abs(wave), 1.0, atol=1e-5)
+
+    def test_rejects_unknown_rate(self, modem):
+        mod, _ = modem
+        with pytest.raises(ValueError):
+            mod.modulate(b"\x00" * 20, 3.0)
+
+    def test_rejects_fractional_sps(self):
+        with pytest.raises(ValueError):
+            WifiModulator(2.5e6)
+
+    def test_frame_airtime(self, modem):
+        mod, _ = modem
+        assert mod.frame_airtime(125, 1.0) == pytest.approx(1192e-6)
+        assert mod.frame_airtime(125, 2.0) == pytest.approx(692e-6)
+
+
+class TestDemodulator:
+    @pytest.mark.parametrize("rate", [1.0, 2.0])
+    def test_round_trip(self, modem, rate):
+        mod, dem = modem
+        mpdu = build_data_frame(3, 4, bytes(range(64)), seq=9)
+        rx = _embed(mod.modulate(mpdu, rate))
+        packet = dem.demodulate(rx)
+        assert packet.rate_mbps == rate
+        assert packet.mpdu == mpdu
+        assert packet.fcs_ok
+        assert packet.mac.seq == 9
+
+    def test_start_sample_estimate(self, modem):
+        mod, dem = modem
+        rx = _embed(mod.modulate(build_ack_frame(1), 1.0), lead=504)
+        packet = dem.demodulate(rx)
+        assert abs(packet.start_sample - 504) <= 48
+
+    def test_cck_header_only(self, modem):
+        mod, dem = modem
+        mpdu = build_data_frame(1, 2, b"y" * 100)
+        rx = _embed(mod.modulate(mpdu, 11.0))
+        packet = dem.demodulate(rx)
+        assert packet.header_only
+        assert packet.rate_mbps == 11.0
+        assert packet.plcp_header.mpdu_bytes == len(mpdu)
+
+    def test_headers_only_mode(self, modem):
+        mod, _ = modem
+        dem = WifiDemodulator(8e6, decode_payload=False)
+        mpdu = build_data_frame(1, 2, b"z" * 50)
+        packet = dem.demodulate(_embed(mod.modulate(mpdu, 1.0)))
+        assert packet.header_only
+        assert packet.mpdu == b""
+
+    def test_noise_only_raises(self, modem):
+        _, dem = modem
+        rng = np.random.default_rng(5)
+        noise = (rng.normal(size=20000) + 1j * rng.normal(size=20000)).astype(
+            np.complex64
+        )
+        with pytest.raises(DecodeError):
+            dem.demodulate(noise)
+
+    def test_too_short_raises(self, modem):
+        _, dem = modem
+        with pytest.raises(SyncError):
+            dem.demodulate(np.ones(100, dtype=np.complex64))
+
+    def test_truncated_payload_raises(self, modem):
+        mod, dem = modem
+        mpdu = build_data_frame(1, 2, b"w" * 200)
+        wave = mod.modulate(mpdu, 1.0)
+        with pytest.raises(DecodeError):
+            dem.demodulate(_embed(wave[: wave.size // 2], tail=0))
+
+    def test_try_demodulate_returns_none(self, modem):
+        _, dem = modem
+        assert dem.try_demodulate(np.ones(100, dtype=np.complex64)) is None
+
+    def test_chip_phase_offset_tolerated(self, modem):
+        mod, dem = modem
+        mpdu = build_ack_frame(2)
+        wave = mod.modulate(mpdu, 1.0, chip_phase=0.5)
+        packet = dem.demodulate(_embed(wave, seed=2))
+        assert packet.mpdu == mpdu
+
+    def test_small_cfo_tolerated(self, modem):
+        mod, dem = modem
+        mpdu = build_data_frame(1, 2, b"q" * 30)
+        wave = mod.modulate(mpdu, 1.0)
+        n = np.arange(wave.size)
+        wave = (wave * np.exp(2j * np.pi * 3e3 * n / 8e6)).astype(np.complex64)
+        packet = dem.demodulate(_embed(wave, seed=3))
+        assert packet.mpdu == mpdu
+
+    def test_low_snr_fails_gracefully(self, modem):
+        mod, dem = modem
+        mpdu = build_data_frame(1, 2, b"r" * 30)
+        rx = _embed(mod.modulate(mpdu, 1.0), noise=2.0, seed=4)
+        # either decodes or raises DecodeError; never crashes
+        assert dem.try_demodulate(rx) is None or True

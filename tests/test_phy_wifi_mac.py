@@ -1,0 +1,102 @@
+"""Tests for repro.phy.wifi_mac."""
+
+import pytest
+
+from repro.errors import ChecksumError, DecodeError
+from repro.phy.wifi_mac import (
+    BROADCAST,
+    build_ack_frame,
+    build_beacon_frame,
+    build_data_frame,
+    build_icmp_payload,
+    parse_mac_frame,
+)
+
+
+class TestDataFrame:
+    def test_round_trip(self):
+        frame = build_data_frame(1, 2, b"hello", seq=42)
+        parsed = parse_mac_frame(frame)
+        assert parsed.is_data
+        assert parsed.fcs_ok
+        assert parsed.seq == 42
+        assert parsed.body == b"hello"
+
+    def test_length(self):
+        frame = build_data_frame(1, 2, b"x" * 100)
+        assert len(frame) == 24 + 100 + 4
+
+    def test_string_addresses(self):
+        frame = build_data_frame("node-a", "node-b", b"payload")
+        parsed = parse_mac_frame(frame)
+        assert parsed.addr1 != parsed.addr2
+
+    def test_byte_addresses(self):
+        src = b"\x02\x00\x00\x00\x00\x01"
+        frame = build_data_frame(src, BROADCAST, b"")
+        parsed = parse_mac_frame(frame)
+        assert parsed.addr2 == src
+        assert parsed.is_broadcast
+
+    def test_rejects_bad_mac_length(self):
+        with pytest.raises(ValueError):
+            build_data_frame(b"\x00\x01", 2, b"")
+
+    def test_fcs_corruption_detected(self):
+        frame = bytearray(build_data_frame(1, 2, b"data"))
+        frame[10] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            parse_mac_frame(bytes(frame))
+
+
+class TestAckFrame:
+    def test_round_trip(self):
+        frame = build_ack_frame(7)
+        parsed = parse_mac_frame(frame)
+        assert parsed.is_ack
+        assert not parsed.is_data
+        assert parsed.addr2 is None
+
+    def test_length_14(self):
+        assert len(build_ack_frame(1)) == 14
+
+
+class TestBeacon:
+    def test_round_trip(self):
+        frame = build_beacon_frame("ap", seq=3, ssid=b"testnet")
+        parsed = parse_mac_frame(frame)
+        assert parsed.is_beacon
+        assert parsed.is_broadcast
+        assert b"testnet" in parsed.body
+
+
+class TestIcmpPayload:
+    def test_size(self):
+        assert len(build_icmp_payload("echo-request", 0, 500)) == 500
+
+    def test_sequence_recoverable(self):
+        payload = build_icmp_payload("echo-reply", 1234, 64)
+        assert payload.startswith(b"ICMPEREP")
+
+    def test_rejects_tiny_size(self):
+        with pytest.raises(ValueError):
+            build_icmp_payload("echo-request", 0, 4)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(KeyError):
+            build_icmp_payload("nope", 0, 64)
+
+
+class TestParser:
+    def test_rejects_short_frames(self):
+        with pytest.raises(DecodeError):
+            parse_mac_frame(b"short")
+
+    def test_rejects_truncated_header(self):
+        from repro.util.bits import crc32_802
+        import struct
+
+        body = struct.pack("<HH", 0x0008, 0) + b"\x00" * 12  # too short for data
+        frame = body + struct.pack("<I", crc32_802(body))
+        with pytest.raises(DecodeError):
+            parse_mac_frame(frame)

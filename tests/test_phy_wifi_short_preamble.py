@@ -1,0 +1,103 @@
+"""Tests for 802.11b short-preamble support."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodeError
+from repro.phy import plcp
+from repro.phy.wifi import WifiDemodulator, WifiModulator
+from repro.phy.wifi_mac import build_data_frame
+from repro.util.bits import descramble_stream
+
+
+def _embed(wave, lead=400, tail=300, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    n = wave.size + lead + tail
+    rx = noise * (rng.normal(size=n) + 1j * rng.normal(size=n)).astype(np.complex64)
+    rx[lead : lead + wave.size] += wave
+    return rx
+
+
+class TestShortFrameBits:
+    def test_structure(self):
+        pre, header, payload = plcp.build_short_frame_bits(b"\x00" * 10, 2.0)
+        assert pre.size == 56 + 16
+        assert header.size == 48
+        assert payload.size == 80
+
+    def test_sync_descrambles_to_zeros(self):
+        pre, _, _ = plcp.build_short_frame_bits(b"", 2.0)
+        plain = descramble_stream(pre)
+        assert not plain[7:56].any()
+
+    def test_rejects_1mbps(self):
+        with pytest.raises(ValueError):
+            plcp.build_short_frame_bits(b"", 1.0)
+
+    def test_find_short_sfd(self):
+        pre, _, _ = plcp.build_short_frame_bits(b"", 2.0)
+        plain = descramble_stream(pre)
+        assert plcp.find_short_sfd(plain) == 72
+
+    def test_short_sfd_not_in_long_stream(self):
+        head, _ = plcp.build_frame_bits(b"\x11" * 8, 1.0)
+        plain = descramble_stream(head)
+        assert plcp.find_short_sfd(plain, search_limit=160) == -1
+
+    def test_long_sfd_not_in_short_stream(self):
+        pre, _, _ = plcp.build_short_frame_bits(b"\x11" * 8, 2.0)
+        plain = descramble_stream(pre)
+        assert plcp.find_sfd(plain) == -1
+
+
+class TestShortPreambleModem:
+    def test_airtime_halved_preamble(self):
+        mod = WifiModulator(8e6)
+        long = mod.frame_airtime(100, 2.0, preamble="long")
+        short = mod.frame_airtime(100, 2.0, preamble="short")
+        assert long - short == pytest.approx(96e-6)
+
+    def test_waveform_shorter(self):
+        mod = WifiModulator(8e6)
+        mpdu = build_data_frame(1, 2, b"s" * 50)
+        long = mod.modulate(mpdu, 2.0, preamble="long")
+        short = mod.modulate(mpdu, 2.0, preamble="short")
+        assert long.size - short.size == 96 * 8
+
+    def test_round_trip_2mbps(self):
+        mod, dem = WifiModulator(8e6), WifiDemodulator(8e6)
+        mpdu = build_data_frame(3, 4, bytes(range(80)), seq=2)
+        packet = dem.demodulate(_embed(mod.modulate(mpdu, 2.0, preamble="short")))
+        assert packet.preamble == "short"
+        assert packet.mpdu == mpdu
+        assert packet.fcs_ok
+
+    @pytest.mark.parametrize("rate", [5.5, 11.0])
+    def test_round_trip_cck_at_22msps(self, rate):
+        mod, dem = WifiModulator(22e6), WifiDemodulator(22e6)
+        mpdu = build_data_frame(3, 4, bytes(range(100)), seq=5)
+        packet = dem.demodulate(
+            _embed(mod.modulate(mpdu, rate, preamble="short"), seed=int(rate))
+        )
+        assert packet.preamble == "short"
+        assert packet.mpdu == mpdu
+
+    def test_cck_header_only_at_8msps(self):
+        mod, dem = WifiModulator(8e6), WifiDemodulator(8e6)
+        mpdu = build_data_frame(1, 2, b"h" * 60)
+        packet = dem.demodulate(_embed(mod.modulate(mpdu, 11.0, preamble="short")))
+        assert packet.header_only
+        assert packet.preamble == "short"
+        assert packet.plcp_header.mpdu_bytes == len(mpdu)
+
+    def test_rejects_bad_preamble_name(self):
+        mod = WifiModulator(8e6)
+        with pytest.raises(ValueError):
+            mod.modulate(b"\x00" * 20, 2.0, preamble="medium")
+
+    def test_long_packets_still_decode(self):
+        mod, dem = WifiModulator(8e6), WifiDemodulator(8e6)
+        mpdu = build_data_frame(1, 2, b"l" * 40)
+        packet = dem.demodulate(_embed(mod.modulate(mpdu, 1.0), seed=9))
+        assert packet.preamble == "long"
+        assert packet.mpdu == mpdu

@@ -1,0 +1,128 @@
+"""Tests for the full RFDump pipeline (repro.core.pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro import RFDumpMonitor, packet_miss_rate
+from repro.core.detectors import (
+    BluetoothTimingDetector,
+    DbpskPhaseDetector,
+    GfskPhaseDetector,
+    WifiDifsTimingDetector,
+    WifiSifsTimingDetector,
+)
+from repro.core.pipeline import default_detectors
+
+
+class TestDefaultDetectors:
+    def test_timing_and_phase(self):
+        dets = default_detectors(("wifi", "bluetooth"), ("timing", "phase"))
+        kinds = {type(d) for d in dets}
+        assert kinds == {
+            WifiSifsTimingDetector, WifiDifsTimingDetector, DbpskPhaseDetector,
+            BluetoothTimingDetector, GfskPhaseDetector,
+        }
+
+    def test_timing_only(self):
+        dets = default_detectors(("wifi",), ("timing",))
+        assert {type(d) for d in dets} == {
+            WifiSifsTimingDetector, WifiDifsTimingDetector,
+        }
+
+    def test_all_protocols_have_defaults(self):
+        dets = default_detectors(
+            ("wifi", "bluetooth", "zigbee", "microwave"), ("timing", "phase")
+        )
+        assert len(dets) >= 6
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            default_detectors(("lorawan",), ("timing",))
+
+
+class TestReport:
+    def test_classifications_found(self, wifi_report, wifi_trace):
+        truth = wifi_trace.ground_truth
+        miss = packet_miss_rate(
+            truth, wifi_report.classifications_for("wifi"), "wifi"
+        )
+        assert miss == 0.0
+
+    def test_packets_decoded(self, wifi_report, wifi_trace):
+        truth = wifi_trace.ground_truth.observable("wifi")
+        assert len(wifi_report.packets_for("wifi")) == len(truth)
+
+    def test_forwarded_less_than_total(self, wifi_report):
+        forwarded = wifi_report.forwarded_samples("wifi")
+        assert 0 < forwarded < wifi_report.total_samples
+
+    def test_forwarding_bounded_by_chunk_granularity(self, wifi_report, wifi_trace):
+        # forwarded samples should be within a few chunks per packet of the
+        # true on-air time
+        truth = wifi_trace.ground_truth.observable("wifi")
+        on_air = sum(t.duration for t in truth) * 8e6
+        slack = len(truth) * 3 * 200
+        assert wifi_report.forwarded_samples("wifi") <= on_air + slack
+
+    def test_stage_clock_populated(self, wifi_report):
+        assert "peak_detection" in wifi_report.clock.seconds
+        assert "demodulation" in wifi_report.clock.seconds
+        assert wifi_report.cpu_over_realtime > 0
+
+    def test_noise_floor_estimated(self, wifi_report):
+        assert wifi_report.noise_floor == pytest.approx(1.0, rel=0.3)
+
+    def test_peaks_cover_truth(self, wifi_report, wifi_trace):
+        truth = wifi_trace.ground_truth.observable("wifi")
+        assert len(wifi_report.peaks) >= len(truth)
+
+
+class TestConfigurations:
+    def test_no_demodulation_mode(self, wifi_trace):
+        mon = RFDumpMonitor(kinds=("timing",), demodulate=False)
+        report = mon.process(wifi_trace.buffer)
+        assert report.packets == []
+        assert "demodulation" not in report.clock.seconds
+        assert report.classifications
+
+    def test_timing_only_detects_unicast(self, wifi_trace):
+        mon = RFDumpMonitor(kinds=("timing",), demodulate=False)
+        report = mon.process(wifi_trace.buffer)
+        miss = packet_miss_rate(
+            wifi_trace.ground_truth, report.classifications_for("wifi"), "wifi"
+        )
+        assert miss < 0.05
+
+    def test_phase_only_detects_unicast(self, wifi_trace):
+        mon = RFDumpMonitor(kinds=("phase",), demodulate=False)
+        report = mon.process(wifi_trace.buffer)
+        miss = packet_miss_rate(
+            wifi_trace.ground_truth, report.classifications_for("wifi"), "wifi"
+        )
+        assert miss < 0.05
+
+    def test_custom_detectors(self, wifi_trace):
+        mon = RFDumpMonitor(
+            detectors=[WifiSifsTimingDetector()], demodulate=False
+        )
+        report = mon.process(wifi_trace.buffer)
+        assert all(
+            c.detector == "WifiSifsTimingDetector" for c in report.classifications
+        )
+
+    def test_fixed_noise_floor(self, wifi_trace):
+        mon = RFDumpMonitor(demodulate=False, noise_floor=1.0)
+        report = mon.process(wifi_trace.buffer)
+        assert report.noise_floor == 1.0
+
+    def test_headers_only_analyzer(self, wifi_trace):
+        mon = RFDumpMonitor(protocols=("wifi",), decode_payload=False)
+        report = mon.process(wifi_trace.buffer)
+        assert report.packets
+        assert all(p.decoded.header_only for p in report.packets)
+
+    def test_detection_stage_reusable(self, wifi_trace):
+        mon = RFDumpMonitor(demodulate=False)
+        detection, classifications = mon.detect(wifi_trace.buffer)
+        assert len(detection.history) > 0
+        assert classifications

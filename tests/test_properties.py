@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp.energy import chunk_average_power, moving_average_power
+from repro.dsp.phase import phase_derivative
+from repro.dsp.resample import fractional_indices, sample_held
+from repro.phy import dsss
+from repro.phy.fec import (
+    hamming1510_decode,
+    hamming1510_encode,
+    repeat3_decode,
+    repeat3_encode,
+)
+from repro.phy.plcp import header_bits, parse_header
+from repro.util.bits import (
+    BluetoothWhitener,
+    Scrambler80211,
+    bits_to_bytes,
+    bytes_to_bits,
+    crc32_802,
+    descramble_stream,
+    pack_uint,
+    unpack_uint,
+)
+
+bits_arrays = st.lists(st.integers(0, 1), min_size=0, max_size=400).map(
+    lambda v: np.array(v, dtype=np.uint8)
+)
+
+
+class TestBitsProperties:
+    @given(st.binary(max_size=300))
+    def test_bytes_bits_round_trip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 48))
+    def test_pack_unpack(self, value, nbits):
+        value %= 1 << nbits
+        assert unpack_uint(pack_uint(value, nbits)) == value
+
+    @given(bits_arrays)
+    def test_scrambler_round_trip(self, bits):
+        tx = Scrambler80211().scramble(bits)
+        rx = Scrambler80211().descramble(tx)
+        assert np.array_equal(rx, bits)
+
+    @given(bits_arrays)
+    def test_vectorized_descramble_matches(self, bits):
+        tx = Scrambler80211().scramble(bits)
+        slow = Scrambler80211(seed=0).descramble(tx)
+        fast = descramble_stream(tx)
+        assert np.array_equal(slow[7:], fast[7:])
+
+    @given(bits_arrays, st.integers(0, 63))
+    def test_whitener_involution(self, bits, clock):
+        once = BluetoothWhitener(clock).process(bits)
+        twice = BluetoothWhitener(clock).process(once)
+        assert np.array_equal(twice, bits)
+
+    @given(st.binary(min_size=1, max_size=200), st.integers(0, 7),
+           st.integers(0, 7))
+    def test_crc32_detects_any_single_bit_flip(self, data, byte_frac, bit):
+        pos = byte_frac % len(data)
+        corrupted = bytearray(data)
+        corrupted[pos] ^= 1 << bit
+        assert crc32_802(bytes(corrupted)) != crc32_802(data)
+
+
+class TestFecProperties:
+    @given(bits_arrays.filter(lambda b: b.size % 10 == 0))
+    def test_hamming_round_trip(self, bits):
+        assert np.array_equal(hamming1510_decode(hamming1510_encode(bits)), bits)
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=10, max_size=10).map(
+            lambda v: np.array(v, dtype=np.uint8)
+        ),
+        st.integers(0, 14),
+    )
+    def test_hamming_single_error_corrected(self, bits, pos):
+        coded = hamming1510_encode(bits)
+        coded[pos] ^= 1
+        assert np.array_equal(hamming1510_decode(coded), bits)
+
+    @given(bits_arrays)
+    def test_repetition_round_trip(self, bits):
+        assert np.array_equal(repeat3_decode(repeat3_encode(bits)), bits)
+
+
+class TestDsssProperties:
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=120).map(
+        lambda v: np.array(v, dtype=np.uint8)
+    ))
+    def test_dbpsk_differential_round_trip(self, bits):
+        symbols = dsss.dbpsk_symbols(bits)
+        jumps = np.angle(symbols[1:] * np.conj(symbols[:-1]))
+        recovered = dsss.dbpsk_bits_from_jumps(jumps)
+        assert np.array_equal(recovered, bits[1:])
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=120)
+           .filter(lambda v: len(v) % 2 == 0)
+           .map(lambda v: np.array(v, dtype=np.uint8)))
+    def test_dqpsk_round_trip(self, bits):
+        symbols = dsss.dqpsk_symbols(bits)
+        first = np.angle(symbols[0])
+        jumps = np.angle(symbols[1:] * np.conj(symbols[:-1]))
+        recovered = dsss.dqpsk_bits_from_jumps(np.concatenate([[first], jumps]))
+        assert np.array_equal(recovered, bits)
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=60).map(
+        lambda v: np.array(v, dtype=np.uint8)
+    ))
+    def test_waveform_unit_envelope(self, bits):
+        wave = dsss.modulate_1mbps(bits, 8e6)
+        assert np.allclose(np.abs(wave), 1.0, atol=1e-5)
+
+
+class TestPlcpProperties:
+    @given(st.sampled_from([1.0, 2.0, 5.5, 11.0]), st.integers(14, 2346))
+    def test_header_round_trip_exact_length(self, rate, nbytes):
+        header = parse_header(header_bits(rate, nbytes))
+        assert header.rate_mbps == rate
+        assert header.mpdu_bytes == nbytes
+
+
+class TestDspProperties:
+    complex_arrays = st.lists(
+        st.tuples(
+            st.floats(-10, 10, allow_nan=False),
+            st.floats(-10, 10, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=300,
+    ).map(lambda v: np.array([complex(a, b) for a, b in v], dtype=np.complex64))
+
+    @given(complex_arrays, st.integers(1, 50))
+    def test_moving_average_bounds(self, samples, window):
+        power = np.abs(samples) ** 2
+        out = moving_average_power(samples, window)
+        assert out.size == samples.size
+        assert (out <= power.max() + 1e-6).all()
+        assert (out >= -1e-9).all()
+
+    @given(complex_arrays, st.integers(1, 100))
+    def test_chunk_average_conserves_energy(self, samples, chunk):
+        powers = chunk_average_power(samples, chunk)
+        total = 0.0
+        for i, p in enumerate(powers):
+            n = min(chunk, samples.size - i * chunk)
+            total += p * n
+        assert total == pytest.approx(float(np.sum(np.abs(samples) ** 2)), rel=1e-4)
+
+    @given(complex_arrays.filter(lambda a: (np.abs(a) > 1e-3).all()))
+    def test_phase_derivative_wrapped(self, samples):
+        d1 = phase_derivative(samples)
+        assert (np.abs(d1) <= np.pi + 1e-9).all()
+
+    @given(st.integers(0, 500), st.floats(0.1, 20), st.floats(0.1, 20))
+    @settings(max_examples=50)
+    def test_fractional_indices_monotone(self, n, rate_in, rate_out):
+        idx = fractional_indices(n, rate_in * 1e6, rate_out * 1e6)
+        assert (np.diff(idx) >= 0).all()
+
+    @given(
+        st.lists(st.floats(-5, 5, allow_nan=False), min_size=1, max_size=50),
+        st.integers(0, 300),
+    )
+    @settings(max_examples=50)
+    def test_sample_held_values_from_input(self, values, n_out):
+        values = np.array(values)
+        out = sample_held(values, n_out, 11e6, 8e6)
+        assert set(out.tolist()) <= set(values.tolist())
+
+
+class TestPeakDetectorProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 80), st.integers(8, 40)),
+            min_size=0, max_size=5,
+        ),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_peaks_sorted_and_disjoint(self, burst_spec, seed):
+        from repro.core.peak_detector import PeakDetector
+        from repro.dsp.samples import SampleBuffer
+        from repro.util.timebase import Timebase
+
+        rng = np.random.default_rng(seed)
+        n = 20000
+        x = np.sqrt(0.5) * (rng.normal(size=n) + 1j * rng.normal(size=n))
+        for pos_frac, length_chunks in burst_spec:
+            start = pos_frac * 200
+            x[start : start + length_chunks * 40] += 8.0
+        buf = SampleBuffer(x.astype(np.complex64), Timebase(8e6))
+        result = PeakDetector().detect(buf, noise_floor=1.0)
+        peaks = list(result.history)
+        for a, b in zip(peaks, peaks[1:]):
+            assert a.end_sample <= b.start_sample
+        for peak in peaks:
+            assert 0 <= peak.start_sample < peak.end_sample <= n
+            assert peak.peak_power >= peak.mean_power > 0

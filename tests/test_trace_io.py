@@ -1,0 +1,117 @@
+"""Tests for repro.trace."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.samples import SampleBuffer
+from repro.errors import TraceFormatError
+from repro.trace import TraceReader, TraceWriter, read_trace, write_trace
+from repro.trace.format import TraceMeta, sidecar_path
+from repro.util.timebase import Timebase
+
+
+def _buffer(n=1000, fs=8e6):
+    rng = np.random.default_rng(0)
+    data = (rng.normal(size=n) + 1j * rng.normal(size=n)).astype(np.complex64)
+    return SampleBuffer(data, Timebase(fs))
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        buf = _buffer()
+        path = tmp_path / "t.iq"
+        meta = write_trace(path, buf, center_freq=2.44e9, description="test")
+        assert meta.nsamples == 1000
+        back = read_trace(path)
+        assert np.array_equal(back.samples, buf.samples)
+        assert back.sample_rate == buf.sample_rate
+
+    def test_sidecar_exists(self, tmp_path):
+        path = tmp_path / "t.iq"
+        write_trace(path, _buffer())
+        assert sidecar_path(path).exists()
+
+    def test_missing_sidecar(self, tmp_path):
+        path = tmp_path / "t.iq"
+        _buffer().samples.tofile(path)
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_size_mismatch_detected(self, tmp_path):
+        path = tmp_path / "t.iq"
+        write_trace(path, _buffer())
+        with open(path, "ab") as fh:
+            fh.write(b"\x00" * 8)
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+
+class TestMeta:
+    def test_json_round_trip(self):
+        meta = TraceMeta(sample_rate=4e6, center_freq=2.4e9, nsamples=5,
+                         description="x", extra={"k": 1})
+        back = TraceMeta.from_json(meta.to_json())
+        assert back == meta
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(TraceFormatError):
+            TraceMeta.from_json("{not json")
+
+    def test_rejects_wrong_version(self):
+        meta = TraceMeta()
+        text = meta.to_json().replace('"version": 1', '"version": 99')
+        with pytest.raises(TraceFormatError):
+            TraceMeta.from_json(text)
+
+    def test_rejects_unknown_fields(self):
+        import json
+
+        data = json.loads(TraceMeta().to_json())
+        data["bogus"] = True
+        with pytest.raises(TraceFormatError):
+            TraceMeta.from_json(json.dumps(data))
+
+
+class TestStreaming:
+    def test_reader_windows(self, tmp_path):
+        buf = _buffer(2500)
+        path = tmp_path / "t.iq"
+        write_trace(path, buf)
+        windows = list(TraceReader(path, window_samples=1000))
+        assert [len(w) for w in windows] == [1000, 1000, 500]
+        assert windows[1].start_sample == 1000
+        joined = np.concatenate([w.samples for w in windows])
+        assert np.array_equal(joined, buf.samples)
+
+    def test_reader_rejects_bad_window(self, tmp_path):
+        path = tmp_path / "t.iq"
+        write_trace(path, _buffer(10))
+        with pytest.raises(ValueError):
+            TraceReader(path, window_samples=0)
+
+    def test_writer_accumulates(self, tmp_path):
+        path = tmp_path / "t.iq"
+        buf = _buffer(300)
+        with TraceWriter(path, 8e6, 2.44e9) as writer:
+            writer.write(buf.samples[:100])
+            writer.write(buf.samples[100:])
+        back = read_trace(path)
+        assert np.array_equal(back.samples, buf.samples)
+
+    def test_writer_double_close(self, tmp_path):
+        writer = TraceWriter(tmp_path / "t.iq", 8e6, 2.44e9)
+        writer.close()
+        with pytest.raises(TraceFormatError):
+            writer.close()
+
+    def test_monitor_consumes_streamed_trace(self, tmp_path, wifi_trace):
+        """End-to-end: render -> write -> stream-read -> detect."""
+        from repro.core.peak_detector import PeakDetector
+
+        path = tmp_path / "wifi.iq"
+        write_trace(path, wifi_trace.buffer)
+        detector = PeakDetector()
+        npeaks = 0
+        for window in TraceReader(path, window_samples=200000):
+            npeaks += len(detector.detect(window).history)
+        assert npeaks >= len(wifi_trace.ground_truth.observable("wifi")) - 4

@@ -1,0 +1,56 @@
+"""Tests for repro.util.db."""
+
+import numpy as np
+import pytest
+
+from repro.util.db import db_to_linear, linear_to_db, power_db, snr_db
+
+
+class TestConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_ten_db_is_factor_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_negative_db(self):
+        assert db_to_linear(-30.0) == pytest.approx(1e-3)
+
+    def test_round_trip(self):
+        for value in (0.001, 0.5, 1.0, 42.0, 1e6):
+            assert db_to_linear(linear_to_db(value)) == pytest.approx(value)
+
+    def test_array_input(self):
+        out = db_to_linear(np.array([0.0, 10.0, 20.0]))
+        assert np.allclose(out, [1.0, 10.0, 100.0])
+
+    def test_linear_to_db_floors_zero(self):
+        assert np.isfinite(linear_to_db(0.0))
+
+    def test_linear_to_db_floors_negative(self):
+        assert np.isfinite(linear_to_db(-5.0))
+
+
+class TestPowerDb:
+    def test_unit_tone(self):
+        tone = np.exp(1j * np.linspace(0, 20, 1000))
+        assert power_db(tone) == pytest.approx(0.0, abs=1e-6)
+
+    def test_scaling(self):
+        tone = 2.0 * np.exp(1j * np.linspace(0, 20, 1000))
+        assert power_db(tone) == pytest.approx(linear_to_db(4.0), abs=1e-6)
+
+    def test_empty_is_floor(self):
+        assert power_db(np.zeros(0)) < -200
+
+
+class TestSnrDb:
+    def test_equal_powers(self):
+        assert snr_db(1.0, 1.0) == pytest.approx(0.0)
+
+    def test_ratio(self):
+        assert snr_db(100.0, 1.0) == pytest.approx(20.0)
+
+    def test_rejects_zero_noise(self):
+        with pytest.raises(ValueError):
+            snr_db(1.0, 0.0)

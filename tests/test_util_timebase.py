@@ -1,0 +1,49 @@
+"""Tests for repro.util.timebase."""
+
+import numpy as np
+import pytest
+
+from repro.util.timebase import Timebase
+
+
+class TestTimebase:
+    def test_to_time(self):
+        tb = Timebase(8e6)
+        assert tb.to_time(8_000_000) == pytest.approx(1.0)
+
+    def test_epoch_offset(self):
+        tb = Timebase(1e6, epoch=2.0)
+        assert tb.to_time(0) == pytest.approx(2.0)
+        assert tb.to_samples(2.0) == 0
+
+    def test_round_trip(self):
+        tb = Timebase(8e6)
+        for n in (0, 1, 12345, 10**9):
+            assert int(tb.to_samples(tb.to_time(n))) == n
+
+    def test_array_conversion(self):
+        tb = Timebase(2e6)
+        times = tb.to_time(np.array([0, 2_000_000]))
+        assert np.allclose(times, [0.0, 1.0])
+
+    def test_to_samples_rounds_to_nearest(self):
+        tb = Timebase(1000.0)
+        assert int(tb.to_samples(0.0014)) == 1
+        assert int(tb.to_samples(0.0016)) == 2
+
+    def test_duration(self):
+        tb = Timebase(8e6)
+        assert tb.duration(200) == pytest.approx(25e-6)
+
+    def test_samples_for(self):
+        tb = Timebase(8e6)
+        assert tb.samples_for(25e-6) == 200
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            Timebase(0.0)
+
+    def test_frozen(self):
+        tb = Timebase(8e6)
+        with pytest.raises(Exception):
+            tb.sample_rate = 1.0
