@@ -24,6 +24,7 @@ from repro.core import (
     EnergyNaiveMonitor,
     MonitorReport,
     NaiveMonitor,
+    ParallelAnalysisStage,
     PeakDetector,
     RFDumpMonitor,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "NaiveMonitor",
     "EnergyNaiveMonitor",
     "MonitorReport",
+    "ParallelAnalysisStage",
     "PeakDetector",
     "SampleBuffer",
     "Scenario",

@@ -14,6 +14,7 @@ from repro.core.naive import NaiveMonitor, EnergyNaiveMonitor
 from repro.core.accounting import StageClock
 from repro.core.streaming import StreamingMonitor
 from repro.core.scanning import ScanningMonitor
+from repro.core.parallel import ParallelAnalysisStage
 from repro.core.parallelism import estimate_parallel_speedup
 
 __all__ = [
@@ -28,5 +29,6 @@ __all__ = [
     "StageClock",
     "StreamingMonitor",
     "ScanningMonitor",
+    "ParallelAnalysisStage",
     "estimate_parallel_speedup",
 ]

@@ -47,11 +47,20 @@ class StageClock:
         spent = self.seconds.get(stage, 0.0) if stage else self.total_seconds()
         return spent / trace_duration
 
+    def merge_in(self, other: "StageClock") -> "StageClock":
+        """Fold ``other`` into this clock in place; returns self.
+
+        This is how per-worker clocks from the parallel analysis stage
+        land back in the run's main clock: stage seconds add up exactly
+        as repeated serial invocations would.
+        """
+        for k, v in other.seconds.items():
+            self.seconds[k] = self.seconds.get(k, 0.0) + v
+        for k, v in other.samples_touched.items():
+            self.samples_touched[k] = self.samples_touched.get(k, 0) + v
+        return self
+
     def merged(self, other: "StageClock") -> "StageClock":
         """A new clock summing this one and ``other``."""
         out = StageClock(dict(self.seconds), dict(self.samples_touched))
-        for k, v in other.seconds.items():
-            out.seconds[k] = out.seconds.get(k, 0.0) + v
-        for k, v in other.samples_touched.items():
-            out.samples_touched[k] = out.samples_touched.get(k, 0) + v
-        return out
+        return out.merge_in(other)

@@ -24,6 +24,10 @@ class DispatchedRange:
     channel: Optional[int] = None
     peak_indices: List[int] = field(default_factory=list)
     confidence: float = 0.0
+    #: True once two classifications contributed *different* concrete
+    #: channel hints — the range's channel is unknowable, not merely
+    #: unknown, and no later hint may resurrect it.
+    channel_conflict: bool = False
 
     @property
     def length(self) -> int:
@@ -87,15 +91,19 @@ class Dispatcher:
             if ranges and lo <= ranges[-1].end_sample:
                 last = ranges[-1]
                 last.end_sample = max(last.end_sample, hi)
+                last.confidence = max(last.confidence, c.confidence)
+                # Reconcile the channel hint *before* recording the new
+                # peak: a missing hint carries no information, so the
+                # first concrete hint upgrades it; two *different*
+                # concrete hints poison the range to "unknown" for good.
+                if last.channel != c.channel:
+                    if last.channel is None and not last.channel_conflict:
+                        last.channel = c.channel
+                    elif c.channel is not None:
+                        last.channel = None
+                        last.channel_conflict = True
                 if c.peak.index not in last.peak_indices:
                     last.peak_indices.append(c.peak.index)
-                last.confidence = max(last.confidence, c.confidence)
-                if last.channel != c.channel:
-                    # conflicting or missing hints: fall back to "unknown"
-                    if c.channel is not None and last.channel is None and len(last.peak_indices) == 1:
-                        last.channel = c.channel
-                    else:
-                        last.channel = None
             else:
                 ranges.append(
                     DispatchedRange(

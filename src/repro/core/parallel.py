@@ -1,0 +1,294 @@
+"""Executor-backed parallel analysis stage — Figure 2's fan-out, for real.
+
+The paper ran single-threaded only because 2009-era GNU Radio could not
+multithread (Section 2.2), and :mod:`repro.core.parallelism` merely
+*estimates* what the architecture's "inherent parallelism" would buy.
+This module cashes the estimate in: the dispatcher's per-protocol
+:class:`~repro.core.dispatcher.DispatchedRange` lists are scheduled over
+a :mod:`concurrent.futures` pool, with
+
+* thread and process backends (``backend="thread"`` / ``"process"``),
+* the estimator's two work units (``granularity="protocol"`` schedules
+  one task per analyzer block — the literal Figure 2 decomposition —
+  while ``"range"`` schedules every dispatched range independently),
+* per-worker :class:`~repro.core.accounting.StageClock` accounting that
+  merges back into the caller's clock,
+* deterministic output (packets sorted by :func:`packet_sort_key`, so a
+  parallel run is list-identical to a serial one), and
+* a per-range timeout with graceful fallback: any task whose worker
+  fails, times out, or cannot be scheduled is re-run serially in the
+  calling thread, never dropped.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent import futures
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.decoders import PacketRecord
+from repro.core.accounting import StageClock
+from repro.core.dispatcher import DispatchedRange
+from repro.dsp.samples import SampleBuffer
+
+BACKENDS = ("thread", "process")
+GRANULARITIES = ("protocol", "range")
+
+
+def packet_sort_key(packet: PacketRecord) -> Tuple:
+    """Total order on decoded packets, shared by serial and parallel runs.
+
+    Dispatched ranges never overlap within a protocol, so sorting by
+    position (with protocol/decoder tie-breaks for simultaneous
+    cross-protocol transmissions) makes the output independent of worker
+    completion order.
+    """
+    return (
+        packet.start_sample,
+        packet.end_sample,
+        packet.protocol,
+        packet.decoder,
+        -1 if packet.channel is None else packet.channel,
+    )
+
+
+@dataclass
+class AnalysisTask:
+    """One schedulable unit: a protocol plus the ranges it must decode."""
+
+    protocol: str
+    #: ``(sample range, channel hint)`` pairs, in dispatch order
+    jobs: List[Tuple[SampleBuffer, Optional[int]]] = field(default_factory=list)
+
+    @property
+    def n_ranges(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def samples(self) -> int:
+        return sum(len(buf) for buf, _ in self.jobs)
+
+
+@dataclass
+class TaskOutcome:
+    """What one task produced, with its own worker-side accounting."""
+
+    protocol: str
+    packets: List[PacketRecord]
+    clock: StageClock
+    fell_back: bool = False
+
+
+def decode_task(decoder, task: AnalysisTask) -> TaskOutcome:
+    """Decode every range of one task; runs inside a worker (or inline)."""
+    clock = StageClock()
+    packets: List[PacketRecord] = []
+    with clock.stage("demodulation"):
+        for buf, hint in task.jobs:
+            clock.touch("demodulation", len(buf))
+            if task.protocol == "bluetooth":
+                packets.extend(decoder.scan(buf, channel_hint=hint))
+            else:
+                packets.extend(decoder.scan(buf))
+    return TaskOutcome(task.protocol, packets, clock)
+
+
+# Process workers receive the decoder map once (via the pool initializer)
+# instead of re-pickling it into every task.
+_PROCESS_DECODERS: Dict[str, object] = {}
+
+
+def _process_init(decoders: Dict[str, object]) -> None:
+    global _PROCESS_DECODERS
+    _PROCESS_DECODERS = decoders
+
+
+def _process_decode(task: AnalysisTask) -> TaskOutcome:
+    return decode_task(_PROCESS_DECODERS[task.protocol], task)
+
+
+class ParallelAnalysisStage:
+    """Runs the per-protocol demodulators concurrently over a worker pool.
+
+    Parameters
+    ----------
+    decoders:
+        Protocol name -> stream decoder (``None`` values are skipped, as
+        for protocols like microwave where classification is the output).
+        For the process backend the decoders and the task buffers must be
+        picklable; every decoder in :mod:`repro.analysis.decoders` is.
+    workers:
+        Pool size; must be >= 1.  A single worker still exercises the
+        executor path (useful for testing) but cannot overlap work.
+    backend:
+        ``"thread"`` (shared memory, zero-copy buffers, best when the
+        numpy-heavy demodulators release the GIL or analyzers block on
+        I/O) or ``"process"`` (true CPU parallelism at the cost of
+        pickling buffers and results).
+    granularity:
+        ``"protocol"`` or ``"range"`` — the same work units
+        :func:`repro.core.parallelism.estimate_parallel_speedup` models.
+    timeout_per_range:
+        Watchdog seconds granted per dispatched range in a task; a task
+        that exceeds its budget is abandoned and re-run serially.
+        ``None`` disables the watchdog.
+    """
+
+    def __init__(
+        self,
+        decoders: Dict[str, object],
+        workers: int = 2,
+        backend: str = "thread",
+        granularity: str = "protocol",
+        timeout_per_range: Optional[float] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")
+        if granularity not in GRANULARITIES:
+            raise ValueError(f"granularity must be one of {GRANULARITIES}")
+        if timeout_per_range is not None and timeout_per_range <= 0:
+            raise ValueError("timeout_per_range must be positive")
+        self.decoders = {p: d for p, d in decoders.items() if d is not None}
+        self.workers = int(workers)
+        self.backend = backend
+        self.granularity = granularity
+        self.timeout_per_range = timeout_per_range
+        #: lifetime count of tasks that fell back to serial execution
+        self.fallbacks = 0
+        self._executor: Optional[futures.Executor] = None
+
+    # -- pool lifecycle -------------------------------------------------------
+
+    def _ensure_executor(self) -> futures.Executor:
+        if self._executor is None:
+            if self.backend == "thread":
+                self._executor = futures.ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="rfdump-analysis"
+                )
+            else:
+                self._executor = futures.ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_process_init,
+                    initargs=(self.decoders,),
+                )
+        return self._executor
+
+    def _discard_executor(self) -> None:
+        """Drop a broken pool so the next run can build a fresh one."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    def close(self) -> None:
+        """Shut the pool down; the stage may be reused (pool is rebuilt)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelAnalysisStage":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- scheduling -----------------------------------------------------------
+
+    def tasks_for(
+        self, buffer: SampleBuffer, ranges: Dict[str, List[DispatchedRange]]
+    ) -> List[AnalysisTask]:
+        """Turn the dispatcher's output into schedulable tasks."""
+        tasks: List[AnalysisTask] = []
+        for protocol, proto_ranges in ranges.items():
+            if protocol not in self.decoders or not proto_ranges:
+                continue
+            jobs = [
+                (buffer.slice(r.start_sample, r.end_sample), r.channel)
+                for r in proto_ranges
+            ]
+            if self.granularity == "range":
+                tasks.extend(AnalysisTask(protocol, [job]) for job in jobs)
+            else:
+                tasks.append(AnalysisTask(protocol, jobs))
+        return tasks
+
+    def _run_inline(self, task: AnalysisTask) -> TaskOutcome:
+        outcome = decode_task(self.decoders[task.protocol], task)
+        outcome.fell_back = True
+        return outcome
+
+    def _submit(self, pool: Optional[futures.Executor], task: AnalysisTask):
+        if pool is None:
+            return None
+        try:
+            if self.backend == "process":
+                return pool.submit(_process_decode, task)
+            return pool.submit(decode_task, self.decoders[task.protocol], task)
+        except Exception:
+            self._discard_executor()
+            return None
+
+    def run(
+        self,
+        buffer: SampleBuffer,
+        ranges: Dict[str, List[DispatchedRange]],
+        clock: Optional[StageClock] = None,
+    ) -> Tuple[List[PacketRecord], Dict[str, float], int]:
+        """Decode every dispatched range concurrently.
+
+        Returns ``(packets, demod_seconds_by_protocol, fallbacks)``.
+        ``packets`` is sorted by :func:`packet_sort_key`; the per-worker
+        clocks are merged into ``clock`` (worker CPU under
+        ``"demodulation"``, the stage's own wall time under
+        ``"demodulation_wall"``), keeping the accounting comparable to a
+        serial run while still exposing the achieved overlap.
+        """
+        clock = clock if clock is not None else StageClock()
+        tasks = self.tasks_for(buffer, ranges)
+        wall_start = time.perf_counter()
+        try:
+            pool: Optional[futures.Executor] = self._ensure_executor()
+        except Exception:
+            pool = None
+        submitted = [(task, self._submit(pool, task)) for task in tasks]
+
+        outcomes: List[TaskOutcome] = []
+        fallbacks = 0
+        for task, fut in submitted:
+            outcome = None
+            if fut is not None:
+                timeout = (
+                    None
+                    if self.timeout_per_range is None
+                    else self.timeout_per_range * max(task.n_ranges, 1)
+                )
+                try:
+                    outcome = fut.result(timeout=timeout)
+                except futures.TimeoutError:
+                    fut.cancel()
+                except futures.BrokenExecutor:
+                    self._discard_executor()
+                except Exception:
+                    pass  # worker-side failure: re-run serially below
+            if outcome is None:
+                outcome = self._run_inline(task)
+                fallbacks += 1
+            outcomes.append(outcome)
+        wall = time.perf_counter() - wall_start
+        self.fallbacks += fallbacks
+
+        packets: List[PacketRecord] = []
+        demod_by_protocol: Dict[str, float] = {}
+        for outcome in outcomes:
+            packets.extend(outcome.packets)
+            clock.merge_in(outcome.clock)
+            demod_by_protocol[outcome.protocol] = demod_by_protocol.get(
+                outcome.protocol, 0.0
+            ) + outcome.clock.seconds.get("demodulation", 0.0)
+        clock.seconds["demodulation_wall"] = (
+            clock.seconds.get("demodulation_wall", 0.0) + wall
+        )
+        packets.sort(key=packet_sort_key)
+        return packets, demod_by_protocol, fallbacks

@@ -16,6 +16,7 @@ scheduling them over k workers (LPT greedy) bounds the parallel time.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -27,14 +28,17 @@ def lpt_makespan(durations: List[float], workers: int) -> float:
 
     LPT is within 4/3 of optimal for identical machines — ample for an
     estimate.  ``workers <= 0`` means unbounded (max of the durations).
+    The least-loaded worker is kept at the top of a heap, so scheduling
+    n jobs costs O(n log k) — ``granularity="range"`` estimates stay
+    cheap even with thousands of dispatched ranges.
     """
     if not durations:
         return 0.0
     if workers <= 0 or workers >= len(durations):
         return max(durations)
-    loads = [0.0] * workers
+    loads = [0.0] * workers  # already a valid (all-equal) min-heap
     for duration in sorted(durations, reverse=True):
-        loads[loads.index(min(loads))] += duration
+        heapq.heapreplace(loads, loads[0] + duration)
     return max(loads)
 
 

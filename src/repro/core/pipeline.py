@@ -33,6 +33,7 @@ from repro.core.detectors import (
 from repro.core.detectors.base import Classification, Detector
 from repro.core.dispatcher import DispatchedRange, Dispatcher
 from repro.core.metadata import PeakHistory
+from repro.core.parallel import ParallelAnalysisStage, packet_sort_key
 from repro.core.peak_detector import PeakDetectionResult, PeakDetector, PeakDetectorConfig
 from repro.dsp.samples import SampleBuffer
 
@@ -90,6 +91,9 @@ class MonitorReport:
     #: wall time spent demodulating each protocol (feeds the parallelism
     #: estimate of Section 2.2)
     demod_seconds_by_protocol: Dict[str, float] = field(default_factory=dict)
+    #: analysis tasks the parallel stage re-ran serially after a worker
+    #: failure or timeout (always 0 on a serial run)
+    parallel_fallbacks: int = 0
 
     def classifications_for(self, protocol: str) -> List[Classification]:
         return [c for c in self.classifications if c.protocol == protocol]
@@ -138,6 +142,13 @@ class RFDumpMonitor:
         When False the Wi-Fi analyzer decodes PLCP headers only.
     detectors:
         Explicit detector instances, overriding the defaults.
+    workers:
+        With ``workers > 1`` the analysis stage runs the per-protocol
+        demodulators over a :class:`ParallelAnalysisStage` pool; output
+        is list-identical to a serial run.  Call :meth:`close` (or use
+        the monitor as a context manager) to release the pool.
+    parallel_backend / parallel_granularity / parallel_timeout:
+        Forwarded to :class:`ParallelAnalysisStage`.
     """
 
     def __init__(
@@ -151,12 +162,19 @@ class RFDumpMonitor:
         detectors: Optional[Iterable[Detector]] = None,
         peak_config: Optional[PeakDetectorConfig] = None,
         noise_floor: Optional[float] = None,
+        workers: int = 1,
+        parallel_backend: str = "thread",
+        parallel_granularity: str = "protocol",
+        parallel_timeout: Optional[float] = None,
     ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.sample_rate = sample_rate
         self.center_freq = center_freq
         self.protocols = tuple(protocols)
         self.demodulate = demodulate
         self.noise_floor = noise_floor
+        self.workers = int(workers)
         self.peak_detector = PeakDetector(peak_config)
         self.dispatcher = Dispatcher(self.peak_detector.config.chunk_samples)
         if detectors is None:
@@ -166,6 +184,15 @@ class RFDumpMonitor:
         if demodulate:
             for protocol in self.protocols:
                 self._decoders[protocol] = self._make_decoder(protocol, decode_payload)
+        self._parallel: Optional[ParallelAnalysisStage] = None
+        if demodulate and self.workers > 1:
+            self._parallel = ParallelAnalysisStage(
+                self._decoders,
+                workers=self.workers,
+                backend=parallel_backend,
+                granularity=parallel_granularity,
+                timeout_per_range=parallel_timeout,
+            )
 
     def _make_decoder(self, protocol: str, decode_payload: bool):
         if protocol == "wifi":
@@ -236,26 +263,35 @@ class RFDumpMonitor:
 
         packets: List[PacketRecord] = []
         demod_by_protocol: Dict[str, float] = {}
+        parallel_fallbacks = 0
         if self.demodulate:
-            import time as _time
+            if self._parallel is not None:
+                packets, demod_by_protocol, parallel_fallbacks = (
+                    self._parallel.run(buffer, ranges, clock)
+                )
+            else:
+                import time as _time
 
-            for protocol, proto_ranges in ranges.items():
-                decoder = self._decoders.get(protocol)
-                if decoder is None:
-                    continue
-                with clock.stage("demodulation"):
-                    t0 = _time.perf_counter()
-                    for rng in proto_ranges:
-                        sub = buffer.slice(rng.start_sample, rng.end_sample)
-                        clock.touch("demodulation", len(sub))
-                        if protocol == "bluetooth":
-                            packets.extend(decoder.scan(sub, channel_hint=rng.channel))
-                        else:
-                            packets.extend(decoder.scan(sub))
-                    demod_by_protocol[protocol] = (
-                        demod_by_protocol.get(protocol, 0.0)
-                        + _time.perf_counter() - t0
-                    )
+                for protocol, proto_ranges in ranges.items():
+                    decoder = self._decoders.get(protocol)
+                    if decoder is None:
+                        continue
+                    with clock.stage("demodulation"):
+                        t0 = _time.perf_counter()
+                        for rng in proto_ranges:
+                            sub = buffer.slice(rng.start_sample, rng.end_sample)
+                            clock.touch("demodulation", len(sub))
+                            if protocol == "bluetooth":
+                                packets.extend(decoder.scan(sub, channel_hint=rng.channel))
+                            else:
+                                packets.extend(decoder.scan(sub))
+                        demod_by_protocol[protocol] = (
+                            demod_by_protocol.get(protocol, 0.0)
+                            + _time.perf_counter() - t0
+                        )
+                # the same deterministic order the parallel stage emits,
+                # so serial and parallel runs are list-identical
+                packets.sort(key=packet_sort_key)
             self._annotate_snr(packets, detection)
 
         return MonitorReport(
@@ -268,4 +304,23 @@ class RFDumpMonitor:
             clock=clock,
             noise_floor=detection.noise_floor,
             demod_seconds_by_protocol=demod_by_protocol,
+            parallel_fallbacks=parallel_fallbacks,
         )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def parallel_stage(self) -> Optional[ParallelAnalysisStage]:
+        """The worker pool stage, or None when running serially."""
+        return self._parallel
+
+    def close(self) -> None:
+        """Shut down the analysis worker pool (no-op for serial monitors)."""
+        if self._parallel is not None:
+            self._parallel.close()
+
+    def __enter__(self) -> "RFDumpMonitor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

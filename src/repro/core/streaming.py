@@ -47,6 +47,11 @@ class StreamingMonitor:
         self._noise_floor = monitor.noise_floor
         self._deferred_packets: List[PacketRecord] = []
         self._deferred_classifications: list = []
+        # Results a mid-stream flush() released ahead of the emission
+        # frontier; the next windows will re-detect them from the carried
+        # tail, so their keys are held until the frontier passes them.
+        self._early_packets: set = set()
+        self._early_classifications: set = set()
 
     def _stitch(self, window: SampleBuffer) -> SampleBuffer:
         if self._tail is None or len(self._tail) == 0:
@@ -67,6 +72,13 @@ class StreamingMonitor:
         for callers that want window-level detail.
         """
         stitched = self._stitch(window)
+        if len(window) == 0:
+            # Nothing new to analyze; keep the tail and frontier intact.
+            return MonitorReport(
+                total_samples=0, duration=0.0, peaks=None,
+                classifications=[], ranges={}, packets=[],
+                clock=StageClock(), noise_floor=self._noise_floor,
+            )
         self.monitor.noise_floor = self._noise_floor
         report = self.monitor.process(stitched)
         self._noise_floor = report.noise_floor
@@ -75,12 +87,17 @@ class StreamingMonitor:
         # Packets starting inside the carried tail will be seen again by
         # the next window, so they are deferred: emitting them now would
         # duplicate them.  flush() releases the final window's deferrals.
-        new_emitted_to = stitched.end_sample - self.overlap
+        # The frontier is clamped so it never moves backwards — a window
+        # shorter than the overlap (or a mid-stream flush) must not cause
+        # already-emitted packets to be re-emitted as duplicates.
+        new_emitted_to = max(self._emitted_to, stitched.end_sample - self.overlap)
         self._deferred_packets = []
         self._deferred_classifications = []
         for packet in report.packets:
             if packet.start_sample < self._emitted_to:
                 continue
+            if self._packet_key(packet) in self._early_packets:
+                continue  # a mid-stream flush already released it
             if packet.start_sample < new_emitted_to:
                 self.packets.append(packet)
             else:
@@ -88,20 +105,53 @@ class StreamingMonitor:
         for c in report.classifications:
             if c.peak.start_sample < self._emitted_to:
                 continue
+            if self._classification_key(c) in self._early_classifications:
+                continue
             if c.peak.start_sample < new_emitted_to:
                 self.classifications.append(c)
             else:
                 self._deferred_classifications.append(c)
 
         self._emitted_to = new_emitted_to
-        tail_start = max(new_emitted_to, stitched.start_sample)
+        # keys behind the frontier are now covered by the `_emitted_to`
+        # guard and can be forgotten
+        self._early_packets = {
+            k for k in self._early_packets if k[0] >= new_emitted_to
+        }
+        self._early_classifications = {
+            k for k in self._early_classifications if k[0] >= new_emitted_to
+        }
+        # The carried tail is always the last `overlap` samples — it is
+        # detection context, independent of the emission frontier (which
+        # a flush may have pushed past the overlap region).
+        tail_start = max(stitched.end_sample - self.overlap, stitched.start_sample)
         self._tail = stitched.slice(tail_start, stitched.end_sample)
         return report
 
+    @staticmethod
+    def _packet_key(packet: PacketRecord):
+        # the same transmission re-decoded from the next window lands on
+        # the same absolute start sample
+        return (packet.start_sample, packet.protocol, packet.decoder)
+
+    @staticmethod
+    def _classification_key(c):
+        return (c.peak.start_sample, c.detector)
+
     def flush(self) -> "StreamingMonitor":
-        """Release results deferred from the final window's tail."""
-        self.packets.extend(self._deferred_packets)
-        self.classifications.extend(self._deferred_classifications)
+        """Release deferred results; idempotent and safe mid-stream.
+
+        Flushed results are remembered until the emission frontier passes
+        them, so a later window re-detecting them from the carried tail
+        cannot emit duplicates — and a packet still undecodable (it
+        straddles the stream head) stays pending rather than being lost.
+        """
+        for packet in self._deferred_packets:
+            self.packets.append(packet)
+            self._early_packets.add(self._packet_key(packet))
+        for c in self._deferred_classifications:
+            self.classifications.append(c)
+            self._early_classifications.add(self._classification_key(c))
         self._deferred_packets = []
         self._deferred_classifications = []
         return self
@@ -111,3 +161,13 @@ class StreamingMonitor:
         for window in windows:
             self.process(window)
         return self.flush()
+
+    def close(self) -> None:
+        """Release the underlying monitor's worker pool, if any."""
+        self.monitor.close()
+
+    def __enter__(self) -> "StreamingMonitor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -48,6 +48,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="streaming window size in milliseconds",
     )
     parser.add_argument(
+        "--workers", type=int, default=1,
+        help="analysis-stage worker pool size (1 = serial; output is "
+             "identical either way)",
+    )
+    parser.add_argument(
+        "--parallel-backend", choices=("thread", "process"), default="thread",
+        help="worker pool backend when --workers > 1",
+    )
+    parser.add_argument(
         "--summary", action="store_true",
         help="print per-protocol statistics instead of the packet log",
     )
@@ -59,23 +68,28 @@ def run(args) -> int:
     protocols = tuple(p.strip() for p in args.protocols.split(",") if p.strip())
     kinds = tuple(k.strip() for k in args.detectors.split(",") if k.strip())
 
+    if args.workers < 1:
+        print("rfdump: --workers must be >= 1", file=sys.stderr)
+        return 2
     monitor = RFDumpMonitor(
         sample_rate=meta.sample_rate,
         center_freq=meta.center_freq,
         protocols=protocols,
         kinds=kinds,
         demodulate=not args.no_demod,
+        workers=args.workers,
+        parallel_backend=args.parallel_backend,
     )
     window = max(int(args.window_ms * 1e-3 * meta.sample_rate), 1)
     reader = TraceReader(args.trace, window_samples=window)
-    streaming = StreamingMonitor(monitor)
 
     peaks = 0
     duration = meta.nsamples / meta.sample_rate
-    for buf in reader:
-        report = streaming.process(buf)
-        peaks += len(report.peaks)
-    streaming.flush()
+    with StreamingMonitor(monitor) as streaming:
+        for buf in reader:
+            report = streaming.process(buf)
+            peaks += len(report.peaks)
+        streaming.flush()
     packets = streaming.packets
     classified = Counter(c.protocol for c in streaming.classifications)
     clock = streaming.clock

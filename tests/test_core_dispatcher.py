@@ -84,6 +84,38 @@ class TestChannelHints:
         ]
         r = Dispatcher(200).dispatch(cls, 10000)["bluetooth"][0]
         assert r.channel is None
+        assert r.channel_conflict
+
+    def test_missing_first_hint_upgraded_by_second_peak(self):
+        """Regression: the seed appended the new peak index before the
+        reconciliation, so a None-channel first peak could never be
+        upgraded by a later concrete hint."""
+        cls = [
+            _cls(250, 1150, protocol="bluetooth", channel=None, index=0),
+            _cls(1100, 2000, protocol="bluetooth", channel=40, index=1),
+        ]
+        r = Dispatcher(200).dispatch(cls, 10000)["bluetooth"][0]
+        assert r.channel == 40
+        assert r.peak_indices == [0, 1]
+
+    def test_concrete_hint_survives_later_missing_hint(self):
+        """A hint-less classification carries no information and must
+        not erase a concrete channel hint."""
+        cls = [
+            _cls(250, 1150, protocol="bluetooth", channel=40, index=0),
+            _cls(1100, 2000, protocol="bluetooth", channel=None, index=1),
+        ]
+        r = Dispatcher(200).dispatch(cls, 10000)["bluetooth"][0]
+        assert r.channel == 40
+
+    def test_conflict_poisons_despite_later_agreement(self):
+        cls = [
+            _cls(250, 1150, protocol="bluetooth", channel=40, index=0),
+            _cls(1100, 2000, protocol="bluetooth", channel=41, index=1),
+            _cls(1900, 2600, protocol="bluetooth", channel=41, index=2),
+        ]
+        r = Dispatcher(200).dispatch(cls, 10000)["bluetooth"][0]
+        assert r.channel is None
 
 
 class TestAccounting:

@@ -28,6 +28,37 @@ class TestLpt:
     def test_empty(self):
         assert lpt_makespan([], 4) == 0.0
 
+    def test_matches_naive_reference(self):
+        """The heap schedule is the same LPT greedy, just O(n log k)."""
+        import random
+
+        def naive(durations, workers):
+            loads = [0.0] * workers
+            for duration in sorted(durations, reverse=True):
+                loads[loads.index(min(loads))] += duration
+            return max(loads)
+
+        rng = random.Random(42)
+        for _ in range(50):
+            durations = [rng.random() for _ in range(rng.randint(2, 60))]
+            workers = rng.randint(1, len(durations) - 1) if len(durations) > 1 else 1
+            assert lpt_makespan(durations, workers) == pytest.approx(
+                naive(durations, workers)
+            )
+
+    def test_thousands_of_ranges_stay_cheap(self):
+        import time
+
+        durations = [((i * 2654435761) % 997) / 997 + 1e-3 for i in range(20000)]
+        start = time.perf_counter()
+        makespan = lpt_makespan(durations, 8)
+        elapsed = time.perf_counter() - start
+        # LPT bounds: never below the perfectly balanced load, never more
+        # than one job above it
+        assert makespan >= sum(durations) / 8
+        assert makespan <= sum(durations) / 8 + max(durations)
+        assert elapsed < 1.0  # the O(n*k) list scan took far longer
+
 
 class TestEstimate:
     def _report(self, detection=1.0, demod=None):

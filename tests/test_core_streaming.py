@@ -61,6 +61,71 @@ class TestStreamingMonitor:
         with pytest.raises(ValueError):
             StreamingMonitor(RFDumpMonitor(), overlap=-1)
 
+    def test_first_window_shorter_than_overlap_clamps_frontier(
+        self, straddle_trace
+    ):
+        """Regression: the emission frontier must never move backwards."""
+        monitor = StreamingMonitor(RFDumpMonitor(protocols=("wifi",)))
+        monitor.process(straddle_trace.buffer.slice(0, 30_000))
+        assert monitor._emitted_to == 0  # seed code: 30_000 - overlap < 0
+
+    def test_flush_midstream_no_duplicates(self, straddle_trace):
+        """Regression: a flushed packet re-detected from the carried tail
+        must not be emitted again by the next window — and a packet still
+        straddling the stream head must not be lost."""
+        # 50k windows put fully-decodable packets inside the deferral
+        # (overlap) region, so every flush releases results early
+        monitor = StreamingMonitor(RFDumpMonitor(protocols=("wifi",)))
+        for window in _windows(straddle_trace.buffer, 50_000):
+            monitor.process(window)
+            monitor.flush()  # incremental consumer wants results now
+        starts = [p.start_sample for p in monitor.packets]
+        assert len(starts) == len(set(starts))
+        truth = straddle_trace.ground_truth.observable("wifi")
+        assert len(starts) == len(truth)
+
+    def test_windows_shorter_than_overlap_no_duplicates(self, straddle_trace):
+        """Regression: a window shorter than the overlap computes an
+        emission frontier behind results a flush already released;
+        without clamping, everything in between is re-emitted."""
+        buffer = straddle_trace.buffer
+        monitor = StreamingMonitor(RFDumpMonitor(protocols=("wifi",)))
+        monitor.process(buffer.slice(0, 50_000))
+        monitor.flush()
+        for lo in range(50_000, len(buffer), 20_000):  # < overlap windows
+            monitor.process(buffer.slice(lo, min(lo + 20_000, len(buffer))))
+        monitor.flush()
+        starts = [p.start_sample for p in monitor.packets]
+        assert len(starts) == len(set(starts))
+        truth = straddle_trace.ground_truth.observable("wifi")
+        assert len(starts) == len(truth)
+
+    def test_empty_windows_are_harmless(self, straddle_trace):
+        buffer = straddle_trace.buffer
+        monitor = StreamingMonitor(RFDumpMonitor(protocols=("wifi",)))
+        monitor.process(buffer.slice(0, 0))  # empty stream head
+        for window in _windows(buffer, 300_000):
+            monitor.process(window)
+            report = monitor.process(buffer.slice(
+                window.end_sample, window.end_sample
+            ))
+            assert report.total_samples == 0
+            assert report.packets == []
+        monitor.flush()
+        batch = RFDumpMonitor(protocols=("wifi",)).process(buffer)
+        assert [p.start_sample for p in monitor.packets] == [
+            p.start_sample for p in batch.packets
+        ]
+
+    def test_flush_is_idempotent(self, straddle_trace):
+        monitor = StreamingMonitor(RFDumpMonitor(protocols=("wifi",)))
+        monitor.run(_windows(straddle_trace.buffer, 300_000))
+        n_packets = len(monitor.packets)
+        n_classifications = len(monitor.classifications)
+        monitor.flush().flush()
+        assert len(monitor.packets) == n_packets
+        assert len(monitor.classifications) == n_classifications
+
     def test_classification_dedup(self, straddle_trace):
         monitor = StreamingMonitor(
             RFDumpMonitor(protocols=("wifi",), demodulate=False)

@@ -68,3 +68,13 @@ class TestRfdump:
     def test_window_size_option(self, recorded, capsys):
         code = rfdump.main([str(recorded), "--window-ms", "40", "--summary"])
         assert code == 0
+
+    def test_workers_output_matches_serial(self, recorded, capsys):
+        assert rfdump.main([str(recorded)]) == 0
+        serial = capsys.readouterr().out
+        assert rfdump.main([str(recorded), "--workers", "3"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_rejects_bad_workers(self, recorded, capsys):
+        assert rfdump.main([str(recorded), "--workers", "0"]) == 2
