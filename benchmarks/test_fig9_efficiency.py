@@ -14,9 +14,7 @@ Bluetooth slots and drag the Bluetooth demodulators into the RFDump cost.
 
 import time
 
-import pytest
-
-from repro import EnergyNaiveMonitor, NaiveMonitor, RFDumpMonitor
+from repro import MonitorConfig, make_monitor
 from repro.analysis import render_summary
 
 from conftest import make_unicast_trace
@@ -26,16 +24,18 @@ UTILIZATIONS = [0.1, 0.3, 0.5, 0.8]
 #: one ping exchange's airtime at 1 Mbps / 500 B (seconds)
 _EXCHANGE_AIR = 2 * ((192 + 528 * 8) * 1e-6 + 10e-6 + (192 + 14 * 8) * 1e-6)
 
+#: (figure label, monitor name for make_monitor, config overrides) — the
+#: nine architectures, all built through the one factory seam
 CONFIGS = [
-    ("naive", lambda fs, cf: NaiveMonitor(fs, cf)),
-    ("naive + energy", lambda fs, cf: EnergyNaiveMonitor(fs, cf)),
-    ("energy only (no demod)", lambda fs, cf: EnergyNaiveMonitor(fs, cf, demodulate=False)),
-    ("rfdump timing", lambda fs, cf: RFDumpMonitor(fs, cf, kinds=("timing",))),
-    ("rfdump phase", lambda fs, cf: RFDumpMonitor(fs, cf, kinds=("phase",))),
-    ("rfdump timing+phase", lambda fs, cf: RFDumpMonitor(fs, cf)),
-    ("rfdump timing (no demod)", lambda fs, cf: RFDumpMonitor(fs, cf, kinds=("timing",), demodulate=False)),
-    ("rfdump phase (no demod)", lambda fs, cf: RFDumpMonitor(fs, cf, kinds=("phase",), demodulate=False)),
-    ("rfdump t+p (no demod)", lambda fs, cf: RFDumpMonitor(fs, cf, demodulate=False)),
+    ("naive", "naive", {}),
+    ("naive + energy", "energy", {}),
+    ("energy only (no demod)", "energy", {"demodulate": False}),
+    ("rfdump timing", "rfdump", {"kinds": ("timing",)}),
+    ("rfdump phase", "rfdump", {"kinds": ("phase",)}),
+    ("rfdump timing+phase", "rfdump", {}),
+    ("rfdump timing (no demod)", "rfdump", {"kinds": ("timing",), "demodulate": False}),
+    ("rfdump phase (no demod)", "rfdump", {"kinds": ("phase",), "demodulate": False}),
+    ("rfdump t+p (no demod)", "rfdump", {"demodulate": False}),
 ]
 
 
@@ -62,9 +62,14 @@ def test_fig9(report_table, benchmark):
             trace = _trace_at_utilization(util)
             actual = trace.ground_truth.busy_fraction()
             row = {}
-            for name, factory in CONFIGS:
-                monitor = factory(trace.sample_rate, trace.center_freq)
-                row[name] = _measure(monitor, trace)
+            for label, kind, overrides in CONFIGS:
+                config = MonitorConfig.from_kwargs(
+                    sample_rate=trace.sample_rate,
+                    center_freq=trace.center_freq,
+                    **overrides,
+                )
+                monitor = make_monitor(kind, config)
+                row[label] = _measure(monitor, trace)
             results[util] = (actual, row)
 
     benchmark.pedantic(run_experiment, rounds=1, iterations=1)
@@ -80,7 +85,7 @@ def test_fig9(report_table, benchmark):
         render_summary(
             "Figure 9: CPU time / real time vs medium utilization",
             rows,
-            ["util (%)"] + [name for name, _ in CONFIGS],
+            ["util (%)"] + [label for label, _, _ in CONFIGS],
         ),
     )
 

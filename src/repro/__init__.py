@@ -22,12 +22,16 @@ substrate, and :mod:`repro.trace` trace file I/O.
 from repro.constants import PROTOCOL_FEATURES, features_for
 from repro.core import (
     EnergyNaiveMonitor,
+    Monitor,
+    MonitorConfig,
     MonitorReport,
     NaiveMonitor,
     ParallelAnalysisStage,
     PeakDetector,
     RFDumpMonitor,
+    make_monitor,
 )
+from repro.obs import Observability
 from repro.dsp.samples import SampleBuffer
 from repro.emulator import (
     BluetoothL2PingSession,
@@ -54,7 +58,11 @@ __all__ = [
     "RFDumpMonitor",
     "NaiveMonitor",
     "EnergyNaiveMonitor",
+    "Monitor",
+    "MonitorConfig",
     "MonitorReport",
+    "Observability",
+    "make_monitor",
     "ParallelAnalysisStage",
     "PeakDetector",
     "SampleBuffer",

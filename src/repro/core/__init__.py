@@ -8,6 +8,8 @@ evaluation compares against.
 """
 
 from repro.core.metadata import Peak, PeakHistory, ChunkMetadata
+from repro.core.config import MonitorConfig, resolve_monitor_config
+from repro.core.monitor import MONITOR_NAMES, Monitor, make_monitor
 from repro.core.peak_detector import PeakDetector
 from repro.core.pipeline import RFDumpMonitor, MonitorReport
 from repro.core.naive import NaiveMonitor, EnergyNaiveMonitor
@@ -21,6 +23,11 @@ __all__ = [
     "Peak",
     "PeakHistory",
     "ChunkMetadata",
+    "MonitorConfig",
+    "resolve_monitor_config",
+    "Monitor",
+    "make_monitor",
+    "MONITOR_NAMES",
     "PeakDetector",
     "RFDumpMonitor",
     "MonitorReport",

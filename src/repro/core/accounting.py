@@ -6,6 +6,15 @@ named stage; dividing by the trace's real-time duration gives the same
 ratio for our stages.  A parallel *samples-touched* counter provides a
 deterministic cost model the test suite can assert on without timing
 flakiness.
+
+With an :class:`~repro.obs.Observability` attached the clock doubles as
+a thin adapter into the structured metrics layer: every stage timing
+also lands in the ``rfdump_stage_seconds`` histogram and every touch in
+the ``rfdump_stage_samples_total`` counter, while the plain dict API
+stays exactly as it was.  Worker-side clocks (built inside the parallel
+analysis stage) carry no sink; their values flow into the registry when
+:meth:`merge_in` folds them into an instrumented clock, so serial and
+parallel runs account identical deterministic totals.
 """
 
 from __future__ import annotations
@@ -13,7 +22,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 
 @dataclass
@@ -22,6 +31,25 @@ class StageClock:
 
     seconds: Dict[str, float] = field(default_factory=dict)
     samples_touched: Dict[str, int] = field(default_factory=dict)
+    #: optional metrics/tracing sink (excluded from equality — two clocks
+    #: that measured the same run are the same accounting)
+    obs: Optional[object] = field(default=None, compare=False, repr=False)
+
+    def _emit_seconds(self, name: str, elapsed: float) -> None:
+        if self.obs:
+            self.obs.histogram(
+                "rfdump_stage_seconds",
+                help="wall-clock seconds spent per pipeline stage invocation",
+                stage=name,
+            ).observe(elapsed)
+
+    def _emit_touch(self, name: str, nsamples: int) -> None:
+        if self.obs:
+            self.obs.counter(
+                "rfdump_stage_samples_total",
+                help="samples read per pipeline stage (deterministic)",
+                stage=name,
+            ).inc(nsamples)
 
     @contextmanager
     def stage(self, name: str):
@@ -32,10 +60,12 @@ class StageClock:
         finally:
             elapsed = time.perf_counter() - start
             self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self._emit_seconds(name, elapsed)
 
     def touch(self, name: str, nsamples: int) -> None:
         """Record that a stage read ``nsamples`` samples."""
         self.samples_touched[name] = self.samples_touched.get(name, 0) + int(nsamples)
+        self._emit_touch(name, int(nsamples))
 
     def total_seconds(self) -> float:
         return sum(self.seconds.values())
@@ -52,15 +82,25 @@ class StageClock:
 
         This is how per-worker clocks from the parallel analysis stage
         land back in the run's main clock: stage seconds add up exactly
-        as repeated serial invocations would.
+        as repeated serial invocations would.  When this clock has a
+        metrics sink and ``other`` does not share it, the folded values
+        are forwarded into the registry too — that is how worker-side
+        accounting (which cannot reach the registry from a process pool)
+        becomes visible without double counting.
         """
+        forward = self.obs is not None and other.obs is not self.obs
         for k, v in other.seconds.items():
             self.seconds[k] = self.seconds.get(k, 0.0) + v
+            if forward:
+                self._emit_seconds(k, v)
         for k, v in other.samples_touched.items():
             self.samples_touched[k] = self.samples_touched.get(k, 0) + v
+            if forward:
+                self._emit_touch(k, v)
         return self
 
     def merged(self, other: "StageClock") -> "StageClock":
-        """A new clock summing this one and ``other``."""
+        """A new clock summing this one and ``other`` (dict-only: the
+        result carries no metrics sink, so nothing is double-emitted)."""
         out = StageClock(dict(self.seconds), dict(self.samples_touched))
         return out.merge_in(other)

@@ -1,0 +1,141 @@
+"""The unified monitor configuration: one frozen object, every monitor.
+
+``RFDumpMonitor``, ``StreamingMonitor`` and the naive baselines each
+grew their own keyword soup; :class:`MonitorConfig` is the single seam
+they now share (and the one place observability hangs off).  The legacy
+keyword arguments keep working — monitors resolve them through
+:func:`resolve_monitor_config`, which warns (``DeprecationWarning``)
+only when a ``config=`` and an explicit keyword disagree, in which case
+the explicit keyword wins.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Optional, Tuple
+
+from repro.constants import DEFAULT_CENTER_FREQ, DEFAULT_SAMPLE_RATE
+from repro.obs import Observability
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from any real value."""
+
+    def __repr__(self) -> str:
+        return "<unset>"
+
+
+UNSET = _Unset()
+
+#: legacy keyword name -> MonitorConfig field
+LEGACY_ALIASES: Dict[str, str] = {
+    "parallel_backend": "backend",
+    "parallel_granularity": "granularity",
+    "parallel_timeout": "timeout",
+}
+
+_BACKENDS = ("thread", "process")
+_GRANULARITIES = ("protocol", "range")
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Everything shared across monitor implementations.
+
+    Monitor-specific knobs (explicit detector instances, the energy
+    baseline's chunk thresholds) stay plain constructor arguments; this
+    object carries the cross-cutting ones, so a config built for the
+    RFDump pipeline also configures the baselines it is compared with.
+    """
+
+    sample_rate: float = DEFAULT_SAMPLE_RATE
+    center_freq: float = DEFAULT_CENTER_FREQ
+    protocols: Tuple[str, ...] = ("wifi", "bluetooth")
+    kinds: Tuple[str, ...] = ("timing", "phase")
+    demodulate: bool = True
+    decode_payload: bool = True
+    noise_floor: Optional[float] = None
+    workers: int = 1
+    backend: str = "thread"
+    granularity: str = "protocol"
+    timeout: Optional[float] = None
+    #: attach an observability sink (metrics registry + tracer); None
+    #: runs un-instrumented.  Compared by identity, which is what "the
+    #: same config" means for a stateful sink.
+    obs: Optional[Observability] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "protocols", tuple(self.protocols))
+        object.__setattr__(self, "kinds", tuple(self.kinds))
+        if self.sample_rate <= 0:
+            raise ValueError("sample_rate must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}")
+        if self.granularity not in _GRANULARITIES:
+            raise ValueError(f"granularity must be one of {_GRANULARITIES}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+    @classmethod
+    def from_kwargs(cls, **kwargs) -> "MonitorConfig":
+        """Build a config from keyword arguments, accepting the legacy
+        names (``parallel_backend`` etc.) alongside the canonical ones."""
+        mapped: Dict[str, object] = {}
+        for key, value in kwargs.items():
+            canonical = LEGACY_ALIASES.get(key, key)
+            if canonical in mapped and mapped[canonical] != value:
+                raise ValueError(
+                    f"conflicting values for {canonical!r} "
+                    f"(given via both alias and canonical name)"
+                )
+            mapped[canonical] = value
+        known = {f.name for f in fields(cls)}
+        unknown = set(mapped) - known
+        if unknown:
+            raise TypeError(f"unknown monitor config fields: {sorted(unknown)}")
+        return cls(**mapped)
+
+    def to_kwargs(self, legacy: bool = False) -> Dict[str, object]:
+        """The config as a keyword dict; ``legacy=True`` emits the old
+        per-monitor keyword names so existing call sites can be fed."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        if legacy:
+            for old, new in LEGACY_ALIASES.items():
+                out[old] = out.pop(new)
+        return out
+
+    def replace(self, **changes) -> "MonitorConfig":
+        return replace(self, **changes)
+
+
+def resolve_monitor_config(config: Optional[MonitorConfig],
+                           **overrides) -> MonitorConfig:
+    """Merge a ``config=`` object with explicitly-passed keywords.
+
+    ``overrides`` values equal to :data:`UNSET` were not passed and are
+    ignored.  With no config, the explicit keywords build one; with a
+    config and *disagreeing* explicit keywords, a DeprecationWarning
+    flags the inconsistent mix and the explicit keyword wins (matching
+    what the legacy call sites already expect).
+    """
+    explicit = {k: v for k, v in overrides.items() if v is not UNSET}
+    if config is None:
+        return MonitorConfig.from_kwargs(**explicit)
+    if not explicit:
+        return config
+    canonical = {LEGACY_ALIASES.get(k, k): v for k, v in explicit.items()}
+    merged = config.replace(**canonical)
+    clashes = sorted(
+        k for k in canonical if getattr(merged, k) != getattr(config, k)
+    )
+    if clashes:
+        warnings.warn(
+            f"monitor received both config= and overriding keyword(s) "
+            f"{clashes}; pass one or the other (keywords win)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return merged

@@ -47,7 +47,7 @@ class Dispatcher:
     """
 
     def __init__(self, chunk_samples: int = DEFAULT_CHUNK_SAMPLES,
-                 min_confidence=0.0):
+                 min_confidence=0.0, obs=None):
         if chunk_samples <= 0:
             raise ValueError("chunk_samples must be positive")
         if isinstance(min_confidence, dict):
@@ -58,6 +58,8 @@ class Dispatcher:
             raise ValueError("min_confidence values must be in [0, 1]")
         self.chunk_samples = chunk_samples
         self.min_confidence = min_confidence
+        #: optional repro.obs.Observability for dispatch metrics
+        self.obs = obs
 
     def _cutoff_for(self, protocol: str) -> float:
         if isinstance(self.min_confidence, dict):
@@ -79,8 +81,10 @@ class Dispatcher:
         (streamed windows).
         """
         by_protocol: Dict[str, List[DispatchedRange]] = {}
+        dropped = 0
         for c in sorted(classifications, key=lambda c: c.peak.start_sample):
             if c.confidence < self._cutoff_for(c.protocol):
+                dropped += 1
                 continue
             lo, hi = self._align(
                 c.peak.start_sample, c.peak.end_sample, end_sample, start_sample
@@ -111,6 +115,24 @@ class Dispatcher:
                         peak_indices=[c.peak.index], confidence=c.confidence,
                     )
                 )
+        if self.obs:
+            if dropped:
+                self.obs.counter(
+                    "rfdump_classifications_dropped_total",
+                    help="classifications below the confidence cutoff",
+                ).inc(dropped)
+            for protocol, rs in by_protocol.items():
+                self.obs.counter(
+                    "rfdump_ranges_dispatched_total",
+                    help="chunk-aligned ranges forwarded to the analyzers",
+                    protocol=protocol,
+                ).inc(len(rs))
+                self.obs.counter(
+                    "rfdump_forwarded_samples_total",
+                    help="samples forwarded to the analyzers (the "
+                         "false-positive denominator)",
+                    protocol=protocol,
+                ).inc(sum(r.length for r in rs))
         return by_protocol
 
     @staticmethod

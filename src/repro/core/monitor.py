@@ -1,0 +1,87 @@
+"""The shared monitor interface and the one factory that builds them.
+
+Every architecture the paper compares (Figure 1 naive, naive+energy,
+the RFDump pipeline) plus the deployment wrappers (streaming) satisfies
+the same contract: ``process(buffer) -> MonitorReport``, ``close()``,
+context-manager.  :func:`make_monitor` maps a name to a constructor so
+the CLI and the benchmarks pick architectures through one seam instead
+of per-call-site ``if/elif`` ladders.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Optional
+
+from repro.core.config import MonitorConfig
+
+
+class Monitor(abc.ABC):
+    """What every monitoring architecture exposes."""
+
+    @abc.abstractmethod
+    def process(self, buffer) -> "MonitorReport":  # noqa: F821
+        """Run the architecture over one sample buffer."""
+
+    def close(self) -> None:
+        """Release any resources (worker pools); default is a no-op."""
+
+    def __enter__(self) -> "Monitor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _make_rfdump(config: MonitorConfig, kwargs: dict):
+    from repro.core.pipeline import RFDumpMonitor
+
+    return RFDumpMonitor(config=config, **kwargs)
+
+
+def _make_naive(config: MonitorConfig, kwargs: dict):
+    from repro.core.naive import NaiveMonitor
+
+    return NaiveMonitor(config=config, **kwargs)
+
+
+def _make_energy(config: MonitorConfig, kwargs: dict):
+    from repro.core.naive import EnergyNaiveMonitor
+
+    return EnergyNaiveMonitor(config=config, **kwargs)
+
+
+def _make_streaming(config: MonitorConfig, kwargs: dict):
+    from repro.core.streaming import StreamingMonitor
+
+    return StreamingMonitor(config=config, **kwargs)
+
+
+#: name -> constructor; aliases cover the labels the figures use
+_FACTORIES: Dict[str, Callable[[MonitorConfig, dict], Monitor]] = {
+    "rfdump": _make_rfdump,
+    "naive": _make_naive,
+    "energy": _make_energy,
+    "naive+energy": _make_energy,
+    "streaming": _make_streaming,
+}
+
+MONITOR_NAMES = tuple(sorted(_FACTORIES))
+
+
+def make_monitor(name: str, config: Optional[MonitorConfig] = None,
+                 **kwargs) -> Monitor:
+    """Build a monitor by architecture name.
+
+    ``config`` carries the shared knobs (:class:`MonitorConfig`);
+    remaining keyword arguments are monitor-specific extras (e.g.
+    ``overlap=`` for streaming, ``threshold_db=`` for the energy
+    baseline) or legacy keywords.
+    """
+    try:
+        factory = _FACTORIES[name.lower().strip()]
+    except (KeyError, AttributeError):
+        raise ValueError(
+            f"unknown monitor {name!r}; known: {', '.join(MONITOR_NAMES)}"
+        ) from None
+    return factory(config if config is not None else MonitorConfig(), kwargs)

@@ -9,16 +9,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.constants import (
-    DEFAULT_CENTER_FREQ,
-    DEFAULT_CHUNK_SAMPLES,
-    DEFAULT_ENERGY_THRESHOLD_DB,
-    DEFAULT_SAMPLE_RATE,
-)
+from repro.constants import DEFAULT_CHUNK_SAMPLES, DEFAULT_ENERGY_THRESHOLD_DB
 from repro.analysis.decoders import (
     BluetoothStreamDecoder,
     PacketRecord,
@@ -26,30 +21,51 @@ from repro.analysis.decoders import (
     ZigbeeStreamDecoder,
 )
 from repro.core.accounting import StageClock
+from repro.core.config import UNSET, MonitorConfig, resolve_monitor_config
+from repro.core.monitor import Monitor
 from repro.core.pipeline import MonitorReport
 from repro.dsp.energy import chunk_average_power
 from repro.dsp.samples import SampleBuffer
+from repro.obs import NULL
 from repro.util.db import db_to_linear
 
 
-class NaiveMonitor:
-    """Figure 1: the entire input stream goes to every demodulator."""
+class NaiveMonitor(Monitor):
+    """Figure 1: the entire input stream goes to every demodulator.
+
+    Accepts the same ``config=`` / legacy-keyword split as
+    :class:`~repro.core.pipeline.RFDumpMonitor`; fields the baseline has
+    no use for (kinds, workers) are simply ignored.
+    """
 
     def __init__(
         self,
-        sample_rate: float = DEFAULT_SAMPLE_RATE,
-        center_freq: float = DEFAULT_CENTER_FREQ,
-        protocols: Sequence[str] = ("wifi", "bluetooth"),
-        demodulate: bool = True,
-        decode_payload: bool = True,
+        sample_rate: float = UNSET,
+        center_freq: float = UNSET,
+        protocols: Sequence[str] = UNSET,
+        demodulate: bool = UNSET,
+        decode_payload: bool = UNSET,
+        config: Optional[MonitorConfig] = None,
     ):
-        self.sample_rate = sample_rate
-        self.center_freq = center_freq
-        self.protocols = tuple(protocols)
-        self.demodulate = demodulate
+        cfg = resolve_monitor_config(
+            config,
+            sample_rate=sample_rate,
+            center_freq=center_freq,
+            protocols=protocols,
+            demodulate=demodulate,
+            decode_payload=decode_payload,
+        )
+        self.config = cfg
+        self.obs = cfg.obs
+        self.sample_rate = cfg.sample_rate
+        self.center_freq = cfg.center_freq
+        self.protocols = cfg.protocols
+        self.demodulate = cfg.demodulate
         self._decoders = {}
         for protocol in self.protocols:
-            self._decoders[protocol] = self._make_decoder(protocol, decode_payload)
+            self._decoders[protocol] = self._make_decoder(
+                protocol, cfg.decode_payload
+            )
 
     def _make_decoder(self, protocol: str, decode_payload: bool):
         if protocol == "wifi":
@@ -65,7 +81,11 @@ class NaiveMonitor:
         return [(buffer.start_sample, buffer.end_sample)]
 
     def process(self, buffer: SampleBuffer) -> MonitorReport:
-        clock = StageClock()
+        clock = StageClock(obs=self.obs)
+        obs = self.obs or NULL
+        obs.counter(
+            "rfdump_samples_total", help="samples entering the monitor"
+        ).inc(len(buffer))
         regions = self._regions(buffer, clock)
         ranges = {
             protocol: [
@@ -78,11 +98,19 @@ class NaiveMonitor:
         if self.demodulate:
             for protocol in self.protocols:
                 decoder = self._decoders[protocol]
-                with clock.stage("demodulation"):
-                    for start, end in regions:
-                        sub = buffer.slice(start, end)
-                        clock.touch("demodulation", len(sub))
-                        packets.extend(decoder.scan(sub))
+                with obs.span(f"demod[{protocol}]", category="task",
+                              protocol=protocol):
+                    with clock.stage("demodulation"):
+                        for start, end in regions:
+                            sub = buffer.slice(start, end)
+                            clock.touch("demodulation", len(sub))
+                            packets.extend(decoder.scan(sub))
+        for packet in packets:
+            obs.counter(
+                "rfdump_packets_decoded_total",
+                help="packets the analysis stage decoded",
+                protocol=packet.protocol,
+            ).inc()
         return MonitorReport(
             total_samples=len(buffer),
             duration=buffer.duration,
@@ -114,20 +142,25 @@ class EnergyNaiveMonitor(NaiveMonitor):
 
     def __init__(
         self,
-        sample_rate: float = DEFAULT_SAMPLE_RATE,
-        center_freq: float = DEFAULT_CENTER_FREQ,
-        protocols: Sequence[str] = ("wifi", "bluetooth"),
-        demodulate: bool = True,
-        decode_payload: bool = True,
+        sample_rate: float = UNSET,
+        center_freq: float = UNSET,
+        protocols: Sequence[str] = UNSET,
+        demodulate: bool = UNSET,
+        decode_payload: bool = UNSET,
         chunk_samples: int = DEFAULT_CHUNK_SAMPLES,
         threshold_db: float = DEFAULT_ENERGY_THRESHOLD_DB,
-        noise_floor: Optional[float] = None,
+        noise_floor: Optional[float] = UNSET,
         margin_chunks: int = 1,
+        config: Optional[MonitorConfig] = None,
     ):
-        super().__init__(sample_rate, center_freq, protocols, demodulate, decode_payload)
+        super().__init__(sample_rate, center_freq, protocols, demodulate,
+                         decode_payload, config=config)
         self.chunk_samples = chunk_samples
         self.threshold_db = threshold_db
-        self.noise_floor = noise_floor
+        if noise_floor is not UNSET:
+            self.noise_floor = noise_floor
+        else:
+            self.noise_floor = self.config.noise_floor
         self.margin_chunks = margin_chunks
 
     def _regions(self, buffer: SampleBuffer, clock: StageClock) -> List[Tuple[int, int]]:

@@ -22,6 +22,8 @@ a :mod:`concurrent.futures` pool, with
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from concurrent import futures
 from dataclasses import dataclass, field
@@ -31,6 +33,7 @@ from repro.analysis.decoders import PacketRecord
 from repro.core.accounting import StageClock
 from repro.core.dispatcher import DispatchedRange
 from repro.dsp.samples import SampleBuffer
+from repro.obs import NULL
 
 BACKENDS = ("thread", "process")
 GRANULARITIES = ("protocol", "range")
@@ -78,20 +81,42 @@ class TaskOutcome:
     packets: List[PacketRecord]
     clock: StageClock
     fell_back: bool = False
+    #: worker-side span measurements as plain (picklable) dicts — one
+    #: per decoded range, carrying absolute sample bounds, the measured
+    #: duration and the worker identity; replayed into the caller's
+    #: tracer in deterministic order
+    spans: List[dict] = field(default_factory=list)
+    worker: str = "main"
+
+
+def _worker_id() -> str:
+    """Stable-enough identity of the executing worker for traces."""
+    thread = threading.current_thread().name
+    if thread == "MainThread":
+        return f"pid-{os.getpid()}"
+    return thread
 
 
 def decode_task(decoder, task: AnalysisTask) -> TaskOutcome:
     """Decode every range of one task; runs inside a worker (or inline)."""
     clock = StageClock()
     packets: List[PacketRecord] = []
+    worker = _worker_id()
+    spans: List[dict] = []
     with clock.stage("demodulation"):
         for buf, hint in task.jobs:
             clock.touch("demodulation", len(buf))
+            t0 = time.perf_counter()
             if task.protocol == "bluetooth":
                 packets.extend(decoder.scan(buf, channel_hint=hint))
             else:
                 packets.extend(decoder.scan(buf))
-    return TaskOutcome(task.protocol, packets, clock)
+            spans.append({
+                "start_sample": buf.start_sample,
+                "end_sample": buf.end_sample,
+                "duration": time.perf_counter() - t0,
+            })
+    return TaskOutcome(task.protocol, packets, clock, spans=spans, worker=worker)
 
 
 # Process workers receive the decoder map once (via the pool initializer)
@@ -142,6 +167,7 @@ class ParallelAnalysisStage:
         backend: str = "thread",
         granularity: str = "protocol",
         timeout_per_range: Optional[float] = None,
+        obs=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -156,6 +182,8 @@ class ParallelAnalysisStage:
         self.backend = backend
         self.granularity = granularity
         self.timeout_per_range = timeout_per_range
+        #: optional repro.obs.Observability for spans and fallback counts
+        self.obs = obs
         #: lifetime count of tasks that fell back to serial execution
         self.fallbacks = 0
         self._executor: Optional[futures.Executor] = None
@@ -246,6 +274,7 @@ class ParallelAnalysisStage:
         serial run while still exposing the achieved overlap.
         """
         clock = clock if clock is not None else StageClock()
+        obs = self.obs or NULL
         tasks = self.tasks_for(buffer, ranges)
         wall_start = time.perf_counter()
         try:
@@ -278,6 +307,13 @@ class ParallelAnalysisStage:
             outcomes.append(outcome)
         wall = time.perf_counter() - wall_start
         self.fallbacks += fallbacks
+        if fallbacks:
+            obs.counter(
+                "rfdump_parallel_fallbacks_total",
+                help="analysis tasks re-run serially after worker failure "
+                     "or timeout",
+            ).inc(fallbacks)
+        self._record_spans(obs, outcomes, wall)
 
         packets: List[PacketRecord] = []
         demod_by_protocol: Dict[str, float] = {}
@@ -292,3 +328,42 @@ class ParallelAnalysisStage:
         )
         packets.sort(key=packet_sort_key)
         return packets, demod_by_protocol, fallbacks
+
+    @staticmethod
+    def _task_sort_key(outcome: TaskOutcome) -> Tuple:
+        first = min(
+            (s["start_sample"] for s in outcome.spans), default=0
+        )
+        return (outcome.protocol, first)
+
+    def _record_spans(self, obs, outcomes: List[TaskOutcome], wall: float) -> None:
+        """Replay worker-measured spans into the tracer.
+
+        Outcomes are sorted by (protocol, first range start) — not by
+        completion order — so the *structure* of the exported trace is
+        deterministic across runs and worker counts; only the measured
+        durations differ.
+        """
+        if not obs:
+            return
+        with obs.span("analysis", workers=self.workers, backend=self.backend):
+            for outcome in sorted(outcomes, key=self._task_sort_key):
+                task_span = obs.record(
+                    f"demod[{outcome.protocol}]",
+                    outcome.clock.seconds.get("demodulation", 0.0),
+                    category="task",
+                    worker=outcome.worker,
+                    protocol=outcome.protocol,
+                    fell_back=outcome.fell_back,
+                )
+                for span in outcome.spans:
+                    obs.record(
+                        "range",
+                        span["duration"],
+                        category="range",
+                        worker=outcome.worker,
+                        parent=task_span.id if task_span else None,
+                        start_sample=span["start_sample"],
+                        end_sample=span["end_sample"],
+                        protocol=outcome.protocol,
+                    )

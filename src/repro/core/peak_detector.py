@@ -90,10 +90,16 @@ class PeakDetectionResult:
 
 
 class PeakDetector:
-    """The protocol-agnostic detection stage."""
+    """The protocol-agnostic detection stage.
 
-    def __init__(self, config: PeakDetectorConfig = None):
+    ``obs`` (an :class:`repro.obs.Observability`, settable after
+    construction) records the deterministic detection metrics: peaks
+    found, samples scanned, and the tracked noise floor.
+    """
+
+    def __init__(self, config: PeakDetectorConfig = None, obs=None):
         self.config = config or PeakDetectorConfig()
+        self.obs = obs
 
     def estimate_noise_floor(self, buffer: SampleBuffer) -> float:
         """Noise floor as a low percentile of per-chunk powers."""
@@ -128,6 +134,19 @@ class PeakDetector:
                 float(seg.mean()),
                 float(seg.max()),
             )
+
+        if self.obs:
+            self.obs.counter(
+                "rfdump_peaks_total", help="peaks found by the detection stage"
+            ).inc(len(history))
+            self.obs.counter(
+                "rfdump_peak_scan_samples_total",
+                help="samples scanned by the peak detector",
+            ).inc(len(samples))
+            self.obs.gauge(
+                "rfdump_noise_floor_power",
+                help="tracked noise-floor estimate (linear power)",
+            ).set(noise_floor)
 
         return PeakDetectionResult(
             history=history,

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.constants import DEFAULT_CENTER_FREQ, DEFAULT_SAMPLE_RATE
+from repro.constants import DEFAULT_CENTER_FREQ
 from repro.analysis.decoders import (
     BluetoothStreamDecoder,
     PacketRecord,
@@ -20,6 +20,8 @@ from repro.analysis.decoders import (
     ZigbeeStreamDecoder,
 )
 from repro.core.accounting import StageClock
+from repro.core.config import UNSET, MonitorConfig, resolve_monitor_config
+from repro.core.monitor import Monitor
 from repro.core.detectors import (
     BluetoothTimingDetector,
     DbpskPhaseDetector,
@@ -36,6 +38,7 @@ from repro.core.metadata import PeakHistory
 from repro.core.parallel import ParallelAnalysisStage, packet_sort_key
 from repro.core.peak_detector import PeakDetectionResult, PeakDetector, PeakDetectorConfig
 from repro.dsp.samples import SampleBuffer
+from repro.obs import NULL
 
 
 def default_detectors(protocols: Sequence[str], kinds: Sequence[str],
@@ -123,11 +126,21 @@ class MonitorReport:
 
     @property
     def cpu_over_realtime(self) -> float:
+        """CPU time / real time; 0.0 for a zero-duration (empty) buffer
+        — there is no real time to be a ratio of, and ``inf``/raising
+        would poison aggregations over per-window reports."""
+        if self.duration <= 0:
+            return 0.0
         return self.clock.cpu_over_realtime(self.duration)
 
 
-class RFDumpMonitor:
+class RFDumpMonitor(Monitor):
     """The full RFDump pipeline over recorded traces.
+
+    Configuration comes from a :class:`~repro.core.config.MonitorConfig`
+    (``config=``) or — the legacy path — from individual keyword
+    arguments; both may be given, and an explicit keyword disagreeing
+    with the config wins with a DeprecationWarning.
 
     Parameters
     ----------
@@ -149,49 +162,75 @@ class RFDumpMonitor:
         the monitor as a context manager) to release the pool.
     parallel_backend / parallel_granularity / parallel_timeout:
         Forwarded to :class:`ParallelAnalysisStage`.
+    config:
+        A :class:`MonitorConfig`; its ``obs`` field attaches the
+        metrics/tracing sink for the whole pipeline.
     """
 
     def __init__(
         self,
-        sample_rate: float = DEFAULT_SAMPLE_RATE,
-        center_freq: float = DEFAULT_CENTER_FREQ,
-        protocols: Sequence[str] = ("wifi", "bluetooth"),
-        kinds: Sequence[str] = ("timing", "phase"),
-        demodulate: bool = True,
-        decode_payload: bool = True,
+        sample_rate: float = UNSET,
+        center_freq: float = UNSET,
+        protocols: Sequence[str] = UNSET,
+        kinds: Sequence[str] = UNSET,
+        demodulate: bool = UNSET,
+        decode_payload: bool = UNSET,
         detectors: Optional[Iterable[Detector]] = None,
         peak_config: Optional[PeakDetectorConfig] = None,
-        noise_floor: Optional[float] = None,
-        workers: int = 1,
-        parallel_backend: str = "thread",
-        parallel_granularity: str = "protocol",
-        parallel_timeout: Optional[float] = None,
+        noise_floor: Optional[float] = UNSET,
+        workers: int = UNSET,
+        parallel_backend: str = UNSET,
+        parallel_granularity: str = UNSET,
+        parallel_timeout: Optional[float] = UNSET,
+        config: Optional[MonitorConfig] = None,
     ):
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        self.sample_rate = sample_rate
-        self.center_freq = center_freq
-        self.protocols = tuple(protocols)
-        self.demodulate = demodulate
-        self.noise_floor = noise_floor
-        self.workers = int(workers)
-        self.peak_detector = PeakDetector(peak_config)
-        self.dispatcher = Dispatcher(self.peak_detector.config.chunk_samples)
+        cfg = resolve_monitor_config(
+            config,
+            sample_rate=sample_rate,
+            center_freq=center_freq,
+            protocols=protocols,
+            kinds=kinds,
+            demodulate=demodulate,
+            decode_payload=decode_payload,
+            noise_floor=noise_floor,
+            workers=workers,
+            parallel_backend=parallel_backend,
+            parallel_granularity=parallel_granularity,
+            parallel_timeout=parallel_timeout,
+        )
+        self.config = cfg
+        self.obs = cfg.obs
+        self.sample_rate = cfg.sample_rate
+        self.center_freq = cfg.center_freq
+        self.protocols = cfg.protocols
+        self.kinds = cfg.kinds
+        self.demodulate = cfg.demodulate
+        self.noise_floor = cfg.noise_floor
+        self.workers = int(cfg.workers)
+        self.peak_detector = PeakDetector(peak_config, obs=self.obs)
+        self.dispatcher = Dispatcher(
+            self.peak_detector.config.chunk_samples, obs=self.obs
+        )
         if detectors is None:
-            detectors = default_detectors(self.protocols, tuple(kinds), center_freq)
+            detectors = default_detectors(
+                self.protocols, self.kinds, self.center_freq
+            )
         self.detectors = list(detectors)
         self._decoders = {}
-        if demodulate:
+        if cfg.demodulate:
             for protocol in self.protocols:
-                self._decoders[protocol] = self._make_decoder(protocol, decode_payload)
+                self._decoders[protocol] = self._make_decoder(
+                    protocol, cfg.decode_payload
+                )
         self._parallel: Optional[ParallelAnalysisStage] = None
-        if demodulate and self.workers > 1:
+        if cfg.demodulate and self.workers > 1:
             self._parallel = ParallelAnalysisStage(
                 self._decoders,
                 workers=self.workers,
-                backend=parallel_backend,
-                granularity=parallel_granularity,
-                timeout_per_range=parallel_timeout,
+                backend=cfg.backend,
+                granularity=cfg.granularity,
+                timeout_per_range=cfg.timeout,
+                obs=self.obs,
             )
 
     def _make_decoder(self, protocol: str, decode_payload: bool):
@@ -215,15 +254,26 @@ class RFDumpMonitor:
         PeakDetectionResult, List[Classification]
     ]:
         """Run the detection stage only."""
-        clock = clock if clock is not None else StageClock()
-        with clock.stage("peak_detection"):
-            detection = self.peak_detector.detect(buffer, self.noise_floor)
-            clock.touch("peak_detection", len(buffer))
+        clock = clock if clock is not None else StageClock(obs=self.obs)
+        obs = self.obs or NULL
+        with obs.span("peak_detection", start_sample=buffer.start_sample,
+                      end_sample=buffer.end_sample):
+            with clock.stage("peak_detection"):
+                detection = self.peak_detector.detect(buffer, self.noise_floor)
+                clock.touch("peak_detection", len(buffer))
         classifications: List[Classification] = []
         for detector in self.detectors:
-            with clock.stage(f"{detector.kind}_detection"):
-                found = detector.classify(detection, buffer)
+            with obs.span(detector.name, category="detector",
+                          kind=detector.kind, protocol=detector.protocol):
+                with clock.stage(f"{detector.kind}_detection"):
+                    found = detector.classify(detection, buffer)
             classifications.extend(found)
+        for c in classifications:
+            obs.counter(
+                "rfdump_classifications_total",
+                help="peak classifications by protocol",
+                protocol=c.protocol,
+            ).inc()
         return detection, classifications
 
     @staticmethod
@@ -253,46 +303,71 @@ class RFDumpMonitor:
 
     def process(self, buffer: SampleBuffer) -> MonitorReport:
         """Run the full pipeline over a buffer."""
-        clock = StageClock()
-        detection, classifications = self.detect(buffer, clock)
+        clock = StageClock(obs=self.obs)
+        obs = self.obs or NULL
+        obs.counter(
+            "rfdump_samples_total", help="samples entering the monitor"
+        ).inc(len(buffer))
+        with obs.span("process", start_sample=buffer.start_sample,
+                      end_sample=buffer.end_sample):
+            detection, classifications = self.detect(buffer, clock)
 
-        with clock.stage("dispatch"):
-            ranges = self.dispatcher.dispatch(
-                classifications, buffer.end_sample, buffer.start_sample
-            )
-
-        packets: List[PacketRecord] = []
-        demod_by_protocol: Dict[str, float] = {}
-        parallel_fallbacks = 0
-        if self.demodulate:
-            if self._parallel is not None:
-                packets, demod_by_protocol, parallel_fallbacks = (
-                    self._parallel.run(buffer, ranges, clock)
+            with obs.span("dispatch"), clock.stage("dispatch"):
+                ranges = self.dispatcher.dispatch(
+                    classifications, buffer.end_sample, buffer.start_sample
                 )
-            else:
-                import time as _time
 
-                for protocol, proto_ranges in ranges.items():
-                    decoder = self._decoders.get(protocol)
-                    if decoder is None:
-                        continue
-                    with clock.stage("demodulation"):
-                        t0 = _time.perf_counter()
-                        for rng in proto_ranges:
-                            sub = buffer.slice(rng.start_sample, rng.end_sample)
-                            clock.touch("demodulation", len(sub))
-                            if protocol == "bluetooth":
-                                packets.extend(decoder.scan(sub, channel_hint=rng.channel))
-                            else:
-                                packets.extend(decoder.scan(sub))
-                        demod_by_protocol[protocol] = (
-                            demod_by_protocol.get(protocol, 0.0)
-                            + _time.perf_counter() - t0
-                        )
-                # the same deterministic order the parallel stage emits,
-                # so serial and parallel runs are list-identical
-                packets.sort(key=packet_sort_key)
-            self._annotate_snr(packets, detection)
+            packets: List[PacketRecord] = []
+            demod_by_protocol: Dict[str, float] = {}
+            parallel_fallbacks = 0
+            if self.demodulate:
+                if self._parallel is not None:
+                    packets, demod_by_protocol, parallel_fallbacks = (
+                        self._parallel.run(buffer, ranges, clock)
+                    )
+                else:
+                    import time as _time
+
+                    with obs.span("analysis"):
+                        for protocol, proto_ranges in ranges.items():
+                            decoder = self._decoders.get(protocol)
+                            if decoder is None:
+                                continue
+                            with obs.span(f"demod[{protocol}]", category="task",
+                                          protocol=protocol):
+                                with clock.stage("demodulation"):
+                                    t0 = _time.perf_counter()
+                                    for rng in proto_ranges:
+                                        sub = buffer.slice(
+                                            rng.start_sample, rng.end_sample
+                                        )
+                                        clock.touch("demodulation", len(sub))
+                                        with obs.span(
+                                            "range", category="range",
+                                            start_sample=rng.start_sample,
+                                            end_sample=rng.end_sample,
+                                            protocol=protocol,
+                                        ):
+                                            if protocol == "bluetooth":
+                                                packets.extend(decoder.scan(
+                                                    sub, channel_hint=rng.channel
+                                                ))
+                                            else:
+                                                packets.extend(decoder.scan(sub))
+                                    demod_by_protocol[protocol] = (
+                                        demod_by_protocol.get(protocol, 0.0)
+                                        + _time.perf_counter() - t0
+                                    )
+                    # the same deterministic order the parallel stage emits,
+                    # so serial and parallel runs are list-identical
+                    packets.sort(key=packet_sort_key)
+                self._annotate_snr(packets, detection)
+                for packet in packets:
+                    obs.counter(
+                        "rfdump_packets_decoded_total",
+                        help="packets the analysis stage decoded",
+                        protocol=packet.protocol,
+                    ).inc()
 
         return MonitorReport(
             total_samples=len(buffer),

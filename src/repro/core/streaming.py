@@ -17,27 +17,39 @@ import numpy as np
 
 from repro.analysis.decoders import PacketRecord
 from repro.core.accounting import StageClock
+from repro.core.config import MonitorConfig
+from repro.core.monitor import Monitor
 from repro.core.pipeline import MonitorReport, RFDumpMonitor
 from repro.dsp.samples import SampleBuffer
+from repro.obs import NULL
 
 
-class StreamingMonitor:
+class StreamingMonitor(Monitor):
     """Wraps an :class:`RFDumpMonitor` with window-overlap handling.
 
     Parameters
     ----------
     monitor:
         The underlying monitor (its ``noise_floor`` is managed here).
+        May be omitted when ``config`` is given — the streaming monitor
+        then builds its own :class:`RFDumpMonitor` from the config.
     overlap:
         Samples carried from the end of each window into the next; size it
         to the longest packet plus margin (default 6 ms at 8 Msps — a
         maximum-length 1 Mbps 802.11b frame).
     """
 
-    def __init__(self, monitor: RFDumpMonitor, overlap: int = 48_000):
+    def __init__(self, monitor: Optional[RFDumpMonitor] = None,
+                 overlap: int = 48_000,
+                 config: Optional[MonitorConfig] = None):
         if overlap < 0:
             raise ValueError("overlap must be non-negative")
+        if monitor is None:
+            if config is None:
+                raise ValueError("pass a monitor or a MonitorConfig")
+            monitor = RFDumpMonitor(config=config)
         self.monitor = monitor
+        self.obs = getattr(monitor, "obs", None)
         self.overlap = overlap
         self._tail: Optional[SampleBuffer] = None
         self._emitted_to = 0  # absolute sample up to which output is final
@@ -71,6 +83,7 @@ class StreamingMonitor:
         (deduplicated across overlaps); the per-window report is returned
         for callers that want window-level detail.
         """
+        obs = self.obs or NULL
         stitched = self._stitch(window)
         if len(window) == 0:
             # Nothing new to analyze; keep the tail and frontier intact.
@@ -79,6 +92,13 @@ class StreamingMonitor:
                 classifications=[], ranges={}, packets=[],
                 clock=StageClock(), noise_floor=self._noise_floor,
             )
+        obs.counter(
+            "rfdump_stream_windows_total", help="stream windows processed"
+        ).inc()
+        obs.counter(
+            "rfdump_stream_overlap_samples_total",
+            help="samples re-analyzed from the carried tail",
+        ).inc(len(stitched) - len(window))
         self.monitor.noise_floor = self._noise_floor
         report = self.monitor.process(stitched)
         self._noise_floor = report.noise_floor
@@ -91,12 +111,15 @@ class StreamingMonitor:
         # shorter than the overlap (or a mid-stream flush) must not cause
         # already-emitted packets to be re-emitted as duplicates.
         new_emitted_to = max(self._emitted_to, stitched.end_sample - self.overlap)
+        dedup_hits = 0
         self._deferred_packets = []
         self._deferred_classifications = []
         for packet in report.packets:
             if packet.start_sample < self._emitted_to:
+                dedup_hits += 1
                 continue
             if self._packet_key(packet) in self._early_packets:
+                dedup_hits += 1
                 continue  # a mid-stream flush already released it
             if packet.start_sample < new_emitted_to:
                 self.packets.append(packet)
@@ -113,6 +136,19 @@ class StreamingMonitor:
                 self._deferred_classifications.append(c)
 
         self._emitted_to = new_emitted_to
+        if dedup_hits:
+            obs.counter(
+                "rfdump_stream_dedup_hits_total",
+                help="packets suppressed as overlap-region duplicates",
+            ).inc(dedup_hits)
+        obs.gauge(
+            "rfdump_stream_frontier_lag_samples",
+            help="samples between the stream head and the emission frontier",
+        ).set(stitched.end_sample - new_emitted_to)
+        obs.gauge(
+            "rfdump_stream_deferred_packets",
+            help="decoded packets held back until the frontier passes them",
+        ).set(len(self._deferred_packets))
         # keys behind the frontier are now covered by the `_emitted_to`
         # guard and can be forgotten
         self._early_packets = {
@@ -146,6 +182,15 @@ class StreamingMonitor:
         cannot emit duplicates — and a packet still undecodable (it
         straddles the stream head) stays pending rather than being lost.
         """
+        obs = self.obs or NULL
+        obs.counter(
+            "rfdump_stream_flushes_total", help="flush() calls"
+        ).inc()
+        if self._deferred_packets:
+            obs.counter(
+                "rfdump_stream_flushed_packets_total",
+                help="deferred packets released by flush()",
+            ).inc(len(self._deferred_packets))
         for packet in self._deferred_packets:
             self.packets.append(packet)
             self._early_packets.add(self._packet_key(packet))

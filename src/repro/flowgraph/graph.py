@@ -16,11 +16,33 @@ class FlowGraph:
     then :meth:`run`.  The scheduler is single-threaded and deterministic —
     items propagate depth-first in connection order — which matches the
     paper's measurement setup (GNU Radio had no multithreading in 2009).
+
+    With ``obs`` (a :class:`repro.obs.Observability`) attached, the
+    scheduler counts every item each block consumes — and, for items
+    that look like sample buffers, the samples — under
+    ``flowgraph_items_total{block=...}`` / ``flowgraph_samples_total``,
+    the per-block load numbers Table 1 reasons about.
     """
 
-    def __init__(self):
+    def __init__(self, obs=None):
         self._edges: Dict[Block, List[Block]] = {}
         self._blocks: List[Block] = []
+        self.obs = obs
+
+    def _count(self, block: Block, item: Any) -> None:
+        if not self.obs:
+            return
+        self.obs.counter(
+            "flowgraph_items_total",
+            help="items processed per flowgraph block",
+            block=block.name,
+        ).inc()
+        if hasattr(item, "samples") and hasattr(item, "__len__"):
+            self.obs.counter(
+                "flowgraph_samples_total",
+                help="samples processed per flowgraph block",
+                block=block.name,
+            ).inc(len(item))
 
     def add(self, block: Block) -> Block:
         if block not in self._blocks:
@@ -90,6 +112,7 @@ class FlowGraph:
     # -- execution -----------------------------------------------------------
 
     def _propagate(self, block: Block, item: Any) -> None:
+        self._count(block, item)
         outputs = block.work(item)
         if outputs is None:
             return
@@ -107,6 +130,7 @@ class FlowGraph:
             block.start()
         for source in sources:
             for item in source.items():
+                self._count(source, item)
                 for nxt in self._edges.get(source, []):
                     self._propagate(nxt, item)
         # flush in topological order so downstream blocks see upstream tails

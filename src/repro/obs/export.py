@@ -1,0 +1,99 @@
+"""Rendering and file export for metrics and traces.
+
+``render_prometheus`` produces the standard text exposition format
+(HELP/TYPE comments, ``_bucket{le=...}``/``_sum``/``_count`` series for
+histograms) so the page can be scraped or diffed; ``render_metrics_table``
+reuses :func:`repro.analysis.report.render_summary` for the human view
+the CLI prints.  Ordering is deterministic everywhere: metrics sort by
+(name, labels), so two identical runs export byte-identical pages apart
+from timing-valued series.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.report import render_summary
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(pairs) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _num(value) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as a Prometheus text-format exposition page."""
+    lines: List[str] = []
+    seen_header = set()
+    for metric in registry.collect():
+        if metric.name not in seen_header:
+            seen_header.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for bound, cum in metric.cumulative():
+                pairs = (*metric.labels, ("le", _num(bound)))
+                lines.append(f"{metric.name}_bucket{_labels(pairs)} {cum}")
+            lines.append(f"{metric.name}_sum{_labels(metric.labels)} {_num(metric.sum)}")
+            lines.append(f"{metric.name}_count{_labels(metric.labels)} {metric.count}")
+        elif isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{metric.name}{_labels(metric.labels)} {_num(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_metrics_table(registry: MetricsRegistry, title: str = "metrics") -> str:
+    """Human summary table of every series (histograms as count/sum)."""
+    rows = []
+    for metric in registry.collect():
+        labels = ",".join(f"{k}={v}" for k, v in metric.labels)
+        if isinstance(metric, Histogram):
+            value = f"n={metric.count} sum={metric.sum:.4g}"
+        else:
+            value = metric.value
+        rows.append({
+            "metric": metric.name, "labels": labels or "-",
+            "type": metric.kind, "value": value,
+        })
+    return render_summary(title, rows, ["metric", "labels", "type", "value"])
+
+
+# -- file export --------------------------------------------------------------
+
+
+def write_metrics(registry: MetricsRegistry, path) -> None:
+    """Write the Prometheus text page to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(render_prometheus(registry))
+
+
+def write_trace(tracer: Tracer, path) -> None:
+    """Write the trace to ``path``; format chosen by extension.
+
+    ``*.jsonl`` gets JSON-lines (one span per line), anything else a
+    Chrome ``trace_event`` JSON document.
+    """
+    text = str(path)
+    with open(path, "w") as fh:
+        if text.endswith(".jsonl"):
+            fh.write(tracer.to_jsonl() + "\n")
+        else:
+            json.dump(tracer.to_chrome(), fh, indent=1)
+            fh.write("\n")

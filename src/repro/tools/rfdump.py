@@ -5,10 +5,15 @@ Usage::
     python -m repro.tools.rfdump capture.iq
     python -m repro.tools.rfdump capture.iq --protocols wifi,bluetooth \
         --detectors timing,phase --window-ms 100 --summary
+    python -m repro.tools.rfdump capture.iq --workers 4 \
+        --metrics-out metrics.txt --trace-out trace.json
 
 The trace must have been written by :mod:`repro.trace` (raw complex64 +
 JSON sidecar).  The monitor streams the file in windows, so traces larger
-than memory are fine.
+than memory are fine.  ``--metrics-out`` writes a Prometheus-style text
+page of the run's metrics; ``--trace-out`` writes an execution trace
+(``.jsonl`` for JSON-lines, anything else a Chrome ``trace_event`` file
+that loads in ``chrome://tracing``).
 """
 
 from __future__ import annotations
@@ -18,9 +23,10 @@ import sys
 from collections import Counter
 
 from repro.analysis import render_packet_log, render_summary
-from repro.core.pipeline import RFDumpMonitor
-from repro.core.streaming import StreamingMonitor
+from repro.core.config import MonitorConfig
+from repro.core.monitor import make_monitor
 from repro.errors import TraceFormatError
+from repro.obs import Observability, write_metrics, write_trace
 from repro.trace import TraceReader
 from repro.trace.io import read_meta
 
@@ -57,8 +63,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool backend when --workers > 1",
     )
     parser.add_argument(
+        "--monitor", choices=("rfdump", "naive", "energy"), default="rfdump",
+        help="monitoring architecture (baselines for cost comparison)",
+    )
+    parser.add_argument(
         "--summary", action="store_true",
         help="print per-protocol statistics instead of the packet log",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write a Prometheus-style metrics page after the run",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write an execution trace (.jsonl = JSON-lines, "
+             "otherwise Chrome trace_event JSON)",
     )
     return parser
 
@@ -71,28 +90,50 @@ def run(args) -> int:
     if args.workers < 1:
         print("rfdump: --workers must be >= 1", file=sys.stderr)
         return 2
-    monitor = RFDumpMonitor(
+    obs = Observability() if (args.metrics_out or args.trace_out) else None
+    config = MonitorConfig(
         sample_rate=meta.sample_rate,
         center_freq=meta.center_freq,
         protocols=protocols,
         kinds=kinds,
         demodulate=not args.no_demod,
         workers=args.workers,
-        parallel_backend=args.parallel_backend,
+        backend=args.parallel_backend,
+        obs=obs,
     )
     window = max(int(args.window_ms * 1e-3 * meta.sample_rate), 1)
     reader = TraceReader(args.trace, window_samples=window)
 
     peaks = 0
     duration = meta.nsamples / meta.sample_rate
-    with StreamingMonitor(monitor) as streaming:
-        for buf in reader:
-            report = streaming.process(buf)
-            peaks += len(report.peaks)
-        streaming.flush()
-    packets = streaming.packets
-    classified = Counter(c.protocol for c in streaming.classifications)
-    clock = streaming.clock
+    if args.monitor == "rfdump":
+        with make_monitor("streaming", config) as streaming:
+            for buf in reader:
+                report = streaming.process(buf)
+                peaks += len(report.peaks)
+            streaming.flush()
+        packets = streaming.packets
+        classifications = streaming.classifications
+        clock = streaming.clock
+    else:
+        # baselines have no cross-window state; process windows directly
+        packets = []
+        classifications = []
+        clock = None
+        with make_monitor(args.monitor, config) as monitor:
+            for buf in reader:
+                report = monitor.process(buf)
+                packets.extend(report.packets)
+                classifications.extend(report.classifications)
+                peaks += len(report.peaks or [])
+                clock = report.clock if clock is None else clock.merged(report.clock)
+    classified = Counter(c.protocol for c in classifications)
+
+    if obs is not None:
+        if args.metrics_out:
+            write_metrics(obs.registry, args.metrics_out)
+        if args.trace_out:
+            write_trace(obs.tracer, args.trace_out)
 
     if args.summary:
         rows = []

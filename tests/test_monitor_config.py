@@ -1,0 +1,168 @@
+"""Tests for MonitorConfig, the Monitor protocol and make_monitor."""
+
+import dataclasses
+
+import pytest
+
+from repro import Monitor, MonitorConfig, make_monitor
+from repro.core import EnergyNaiveMonitor, NaiveMonitor, RFDumpMonitor
+from repro.core.config import LEGACY_ALIASES, resolve_monitor_config
+from repro.core.monitor import MONITOR_NAMES
+from repro.core.streaming import StreamingMonitor
+
+
+class TestMonitorConfig:
+    def test_defaults(self):
+        cfg = MonitorConfig()
+        assert cfg.protocols == ("wifi", "bluetooth")
+        assert cfg.kinds == ("timing", "phase")
+        assert cfg.workers == 1
+        assert cfg.backend == "thread"
+        assert cfg.obs is None
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            MonitorConfig().workers = 4
+
+    def test_sequences_normalised_to_tuples(self):
+        cfg = MonitorConfig(protocols=["wifi"], kinds=["timing"])
+        assert cfg.protocols == ("wifi",)
+        assert cfg.kinds == ("timing",)
+
+    @pytest.mark.parametrize("bad", [
+        {"sample_rate": 0},
+        {"workers": 0},
+        {"backend": "greenlet"},
+        {"granularity": "chunk"},
+        {"timeout": -1.0},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            MonitorConfig(**bad)
+
+    def test_round_trip(self):
+        cfg = MonitorConfig(
+            sample_rate=8e6, protocols=("zigbee",), workers=3,
+            backend="process", granularity="range", timeout=2.0,
+        )
+        assert MonitorConfig.from_kwargs(**cfg.to_kwargs()) == cfg
+
+    def test_legacy_round_trip(self):
+        cfg = MonitorConfig(workers=2, backend="process", timeout=1.5)
+        legacy = cfg.to_kwargs(legacy=True)
+        for old in LEGACY_ALIASES:
+            assert old in legacy
+        assert MonitorConfig.from_kwargs(**legacy) == cfg
+
+    def test_from_kwargs_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            MonitorConfig.from_kwargs(warp_factor=9)
+
+    def test_from_kwargs_rejects_alias_conflict(self):
+        with pytest.raises(ValueError):
+            MonitorConfig.from_kwargs(backend="thread", parallel_backend="process")
+
+    def test_replace_revalidates(self):
+        cfg = MonitorConfig()
+        assert cfg.replace(workers=4).workers == 4
+        with pytest.raises(ValueError):
+            cfg.replace(workers=0)
+
+
+class TestResolve:
+    def test_kwargs_only(self):
+        cfg = resolve_monitor_config(None, workers=2)
+        assert cfg.workers == 2
+
+    def test_config_only_passthrough(self):
+        cfg = MonitorConfig(workers=2)
+        assert resolve_monitor_config(cfg) is cfg
+
+    def test_consistent_mix_no_warning(self, recwarn):
+        cfg = MonitorConfig(workers=2)
+        out = resolve_monitor_config(cfg, workers=2)
+        assert out.workers == 2
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_inconsistent_mix_warns_and_keyword_wins(self):
+        cfg = MonitorConfig(workers=2)
+        with pytest.warns(DeprecationWarning, match="workers"):
+            out = resolve_monitor_config(cfg, workers=4)
+        assert out.workers == 4
+
+    def test_legacy_alias_in_override(self):
+        cfg = MonitorConfig(backend="thread")
+        with pytest.warns(DeprecationWarning, match="backend"):
+            out = resolve_monitor_config(cfg, parallel_backend="process")
+        assert out.backend == "process"
+
+
+class TestMonitorsAcceptConfig:
+    def test_rfdump_config_equivalent_to_kwargs(self):
+        cfg = MonitorConfig(protocols=("wifi",), kinds=("timing",), workers=2)
+        a = RFDumpMonitor(config=cfg)
+        b = RFDumpMonitor(protocols=("wifi",), kinds=("timing",), workers=2)
+        assert a.config == b.config
+        assert a.protocols == b.protocols == ("wifi",)
+
+    def test_rfdump_mixed_warns(self):
+        cfg = MonitorConfig(protocols=("wifi",))
+        with pytest.warns(DeprecationWarning):
+            monitor = RFDumpMonitor(config=cfg, protocols=("bluetooth",))
+        assert monitor.protocols == ("bluetooth",)
+
+    def test_naive_accepts_config(self):
+        cfg = MonitorConfig(protocols=("wifi",), demodulate=False)
+        monitor = NaiveMonitor(config=cfg)
+        assert monitor.protocols == ("wifi",)
+        assert monitor.demodulate is False
+
+    def test_energy_accepts_config(self):
+        cfg = MonitorConfig(protocols=("wifi",), noise_floor=1e-6)
+        monitor = EnergyNaiveMonitor(config=cfg)
+        assert monitor.noise_floor == 1e-6
+
+    def test_streaming_builds_inner_monitor_from_config(self):
+        cfg = MonitorConfig(protocols=("wifi",))
+        streaming = StreamingMonitor(config=cfg)
+        assert streaming.monitor.protocols == ("wifi",)
+
+    def test_streaming_requires_monitor_or_config(self):
+        with pytest.raises(ValueError):
+            StreamingMonitor()
+
+
+class TestMakeMonitor:
+    @pytest.mark.parametrize("name,cls", [
+        ("rfdump", RFDumpMonitor),
+        ("naive", NaiveMonitor),
+        ("energy", EnergyNaiveMonitor),
+        ("naive+energy", EnergyNaiveMonitor),
+        ("streaming", StreamingMonitor),
+    ])
+    def test_factory_names(self, name, cls):
+        monitor = make_monitor(name, MonitorConfig())
+        assert isinstance(monitor, cls)
+        assert isinstance(monitor, Monitor)
+
+    def test_name_normalised(self):
+        assert isinstance(make_monitor("  RFDump "), RFDumpMonitor)
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError) as err:
+            make_monitor("quantum")
+        for name in MONITOR_NAMES:
+            assert name in str(err.value)
+
+    def test_default_config(self):
+        monitor = make_monitor("rfdump")
+        assert monitor.config == MonitorConfig()
+
+    def test_context_manager_protocol(self, wifi_trace):
+        with make_monitor("rfdump", MonitorConfig(
+            sample_rate=wifi_trace.sample_rate,
+            center_freq=wifi_trace.center_freq,
+            protocols=("wifi",),
+        )) as monitor:
+            report = monitor.process(wifi_trace.buffer)
+        assert report.packets

@@ -1,0 +1,232 @@
+"""End-to-end observability: the pipeline's metrics and traces.
+
+The acceptance bar for the obs subsystem: deterministic counters are
+identical across serial and parallel runs (the paper's Table 1 / Fig 9
+quantities must not depend on the worker pool), spans nest stage ->
+detector/task -> range under both pool backends, and the streaming /
+flowgraph layers report their own load.
+"""
+
+import pytest
+
+from repro import MonitorConfig, Observability, RFDumpMonitor
+from repro.core.accounting import StageClock
+from repro.core.pipeline import MonitorReport
+from repro.core.streaming import StreamingMonitor
+from repro.flowgraph import CollectSink, FlowGraph, FunctionBlock, SourceBlock
+from repro.obs.metrics import Counter
+
+
+class _ItemSource(SourceBlock):
+    def __init__(self, values):
+        super().__init__("item-source")
+        self._values = values
+
+    def items(self):
+        return iter(self._values)
+
+
+def _monitor(trace, obs, **overrides):
+    config = MonitorConfig(
+        sample_rate=trace.sample_rate,
+        center_freq=trace.center_freq,
+        obs=obs,
+        **overrides,
+    )
+    return RFDumpMonitor(config=config)
+
+
+def _counter_values(obs):
+    """Every counter series as {(name, labels): value}."""
+    return {
+        m.key: m.value
+        for m in obs.registry.collect()
+        if isinstance(m, Counter)
+    }
+
+
+class TestPipelineMetrics:
+    def test_core_counters_present(self, mixed_trace):
+        obs = Observability()
+        report = _monitor(mixed_trace, obs).process(mixed_trace.buffer)
+        reg = obs.registry
+        assert reg.value("rfdump_samples_total") == len(mixed_trace.buffer)
+        assert reg.value("rfdump_peaks_total") == len(report.peaks)
+        decoded = sum(
+            m.value for m in reg.series("rfdump_packets_decoded_total")
+        )
+        assert decoded == len(report.packets)
+        classified = sum(
+            m.value for m in reg.series("rfdump_classifications_total")
+        )
+        assert classified == len(report.classifications)
+        # stage clock forwarded into the registry exactly once
+        assert reg.value(
+            "rfdump_stage_samples_total", stage="peak_detection"
+        ) == report.clock.samples_touched["peak_detection"]
+
+    def test_serial_parallel_counters_identical(self, mixed_trace):
+        runs = {}
+        for workers in (1, 4):
+            obs = Observability()
+            _monitor(mixed_trace, obs, workers=workers).process(
+                mixed_trace.buffer
+            )
+            runs[workers] = _counter_values(obs)
+        assert runs[1] == runs[4]
+
+    def test_serial_parallel_counters_identical_process_backend(self, wifi_trace):
+        runs = {}
+        for workers, backend in ((1, "thread"), (2, "process")):
+            obs = Observability()
+            _monitor(
+                wifi_trace, obs, protocols=("wifi",),
+                workers=workers, backend=backend,
+            ).process(wifi_trace.buffer)
+            runs[backend] = _counter_values(obs)
+        assert runs["thread"] == runs["process"]
+
+    def test_noise_floor_gauge(self, wifi_trace):
+        obs = Observability()
+        report = _monitor(wifi_trace, obs, protocols=("wifi",)).process(
+            wifi_trace.buffer
+        )
+        assert obs.registry.value("rfdump_noise_floor_power") == pytest.approx(
+            report.noise_floor
+        )
+
+
+def _span_tree(obs):
+    """{name: span} plus children lists, for nesting assertions."""
+    spans = obs.tracer.spans
+    children = {s.id: [] for s in spans}
+    for s in spans:
+        if s.parent is not None:
+            children[s.parent].append(s)
+    return spans, children
+
+
+class TestPipelineSpans:
+    @pytest.mark.parametrize("workers,backend", [
+        (1, "thread"),   # serial: spans opened inline
+        (2, "thread"),   # pool: spans replayed from worker measurements
+        (2, "process"),  # cross-process: spans shipped back as dicts
+    ])
+    def test_nesting_stage_task_range(self, wifi_trace, workers, backend):
+        obs = Observability()
+        _monitor(
+            wifi_trace, obs, protocols=("wifi",),
+            workers=workers, backend=backend,
+        ).process(wifi_trace.buffer)
+        spans, children = _span_tree(obs)
+        by_name = {}
+        for s in spans:
+            by_name.setdefault(s.name, s)
+        process = by_name["process"]
+        assert process.parent is None
+        kid_names = {s.name for s in children[process.id]}
+        assert "peak_detection" in kid_names
+        assert "analysis" in kid_names
+        analysis = by_name["analysis"]
+        tasks = children[analysis.id]
+        assert tasks and all(t.name.startswith("demod[") for t in tasks)
+        ranges = [r for t in tasks for r in children[t.id]]
+        assert ranges and all(r.category == "range" for r in ranges)
+        assert all(
+            r.start_sample is not None and r.end_sample > r.start_sample
+            for r in ranges
+        )
+
+    def test_trace_structure_matches_across_worker_counts(self, wifi_trace):
+        structures = []
+        for workers in (1, 2):
+            obs = Observability()
+            _monitor(
+                wifi_trace, obs, protocols=("wifi",), workers=workers,
+            ).process(wifi_trace.buffer)
+            spans, children = _span_tree(obs)
+
+            def shape(span):
+                return (
+                    span.name, span.category,
+                    span.start_sample, span.end_sample,
+                    sorted(shape(c) for c in children[span.id]),
+                )
+
+            roots = [s for s in spans if s.parent is None]
+            structures.append(sorted(shape(r) for r in roots))
+        assert structures[0] == structures[1]
+
+
+class TestStreamingMetrics:
+    def test_window_flush_and_frontier_metrics(self, mixed_trace):
+        obs = Observability()
+        config = MonitorConfig(
+            sample_rate=mixed_trace.sample_rate,
+            center_freq=mixed_trace.center_freq,
+            obs=obs,
+        )
+        streaming = StreamingMonitor(config=config)
+        total = len(mixed_trace.buffer)
+        window = total // 3
+        for start in range(0, total, window):
+            streaming.process(
+                mixed_trace.buffer.slice(start, min(start + window, total))
+            )
+        streaming.flush()
+        reg = obs.registry
+        assert reg.value("rfdump_stream_windows_total") >= 3
+        assert reg.value("rfdump_stream_flushes_total") == 1
+        # gauges exist once a window has been stitched
+        assert reg.value("rfdump_stream_frontier_lag_samples") is not None
+
+    def test_streaming_inherits_inner_monitor_obs(self, wifi_trace):
+        obs = Observability()
+        monitor = _monitor(wifi_trace, obs, protocols=("wifi",))
+        streaming = StreamingMonitor(monitor)
+        assert streaming.obs is obs
+
+
+class TestFlowgraphMetrics:
+    def test_per_block_item_counts(self):
+        obs = Observability()
+        sink = CollectSink()
+        double = FunctionBlock(lambda x: x * 2, "double")
+        graph = FlowGraph(obs=obs)
+        graph.chain(_ItemSource([1, 2, 3]), double, sink)
+        graph.run()
+        assert obs.registry.value(
+            "flowgraph_items_total", block="double"
+        ) == 3
+        assert obs.registry.value(
+            "flowgraph_items_total", block=sink.name
+        ) == 3
+
+    def test_sample_counts_for_buffers(self, wifi_trace):
+        obs = Observability()
+        sink = CollectSink()
+        graph = FlowGraph(obs=obs)
+        graph.chain(_ItemSource([wifi_trace.buffer]), sink)
+        graph.run()
+        assert obs.registry.value(
+            "flowgraph_samples_total", block=sink.name
+        ) == len(wifi_trace.buffer)
+
+    def test_no_obs_is_free(self):
+        sink = CollectSink()
+        graph = FlowGraph()
+        graph.chain(_ItemSource([1]), sink)
+        graph.run()
+        assert sink.items == [1]
+
+
+class TestCpuOverRealtime:
+    def test_zero_duration_report_is_zero(self):
+        report = MonitorReport(
+            total_samples=0, duration=0.0, peaks=None,
+            classifications=[], ranges={}, packets=[], clock=StageClock(),
+        )
+        assert report.cpu_over_realtime == 0.0
+
+    def test_positive_duration_ratio(self, wifi_report):
+        assert wifi_report.cpu_over_realtime > 0.0

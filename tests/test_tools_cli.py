@@ -78,3 +78,72 @@ class TestRfdump:
 
     def test_rejects_bad_workers(self, recorded, capsys):
         assert rfdump.main([str(recorded), "--workers", "0"]) == 2
+
+    def test_monitor_baseline_selection(self, recorded, capsys):
+        code = rfdump.main([str(recorded), "--monitor", "naive", "--summary"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decoded packets" in out
+
+
+class TestRfdumpObservability:
+    def test_metrics_out_is_prometheus_parseable(self, recorded, tmp_path, capsys):
+        out_path = tmp_path / "metrics.txt"
+        code = rfdump.main([str(recorded), "--summary",
+                            "--metrics-out", str(out_path)])
+        assert code == 0
+        page = out_path.read_text()
+        assert "# TYPE rfdump_samples_total counter" in page
+        assert "rfdump_packets_decoded_total" in page
+        # every non-comment line is `name{labels} value`
+        for line in page.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            assert name_part
+            if value != "+Inf":
+                float(value)
+
+    def test_trace_out_chrome_format(self, recorded, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        code = rfdump.main([str(recorded), "--summary",
+                            "--trace-out", str(out_path)])
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        events = doc["traceEvents"]
+        names = {e["name"] for e in events if e.get("ph") == "X"}
+        assert "process" in names
+        assert "peak_detection" in names
+        assert all({"name", "ph", "pid", "tid", "ts"} <= set(e)
+                   for e in events if e.get("ph") == "X")
+
+    def test_trace_out_jsonl_format(self, recorded, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.jsonl"
+        code = rfdump.main([str(recorded), "--summary",
+                            "--trace-out", str(out_path)])
+        assert code == 0
+        spans = [json.loads(line)
+                 for line in out_path.read_text().splitlines() if line]
+        assert spans
+        assert all("t_start" in s and "name" in s for s in spans)
+
+    def test_deterministic_counters_across_workers(self, recorded, tmp_path, capsys):
+        pages = []
+        for workers in (1, 3):
+            out_path = tmp_path / f"metrics-w{workers}.txt"
+            code = rfdump.main([str(recorded), "--summary",
+                                "--workers", str(workers),
+                                "--metrics-out", str(out_path)])
+            assert code == 0
+            # timing-valued series (seconds histograms) legitimately vary;
+            # every deterministic counter must match exactly
+            pages.append("\n".join(
+                line for line in out_path.read_text().splitlines()
+                if "_total" in line and "_seconds" not in line
+                and not line.startswith("#")
+            ))
+        assert pages[0] == pages[1]
