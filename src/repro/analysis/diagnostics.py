@@ -16,7 +16,7 @@ three such modules operating on monitor output:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, List
+from typing import TYPE_CHECKING, Dict, Iterable
 
 from repro.analysis.decoders import PacketRecord
 

@@ -70,7 +70,7 @@ class StageClock:
     def total_seconds(self) -> float:
         return sum(self.seconds.values())
 
-    def cpu_over_realtime(self, trace_duration: float, stage: str = None) -> float:
+    def cpu_over_realtime(self, trace_duration: float, stage: Optional[str] = None) -> float:
         """CPU time / real time, for one stage or the whole run."""
         if trace_duration <= 0:
             raise ValueError("trace_duration must be positive")

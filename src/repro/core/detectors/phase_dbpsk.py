@@ -10,7 +10,7 @@ when some (alignment, chip-phase) template correlates strongly.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
 
 from repro.constants import BT_SLOT
 from repro.core.detectors.base import Classification, Detector

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-import numpy as np
 
 from repro.constants import MICROWAVE_AC_PERIOD_50HZ, MICROWAVE_AC_PERIOD_60HZ
 from repro.core.detectors.base import Classification, Detector

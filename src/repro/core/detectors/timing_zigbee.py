@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-import numpy as np
 
 from repro.constants import (
     ZIGBEE_BACKOFF_PERIOD,

@@ -83,7 +83,7 @@ class PeakHistory:
     def ends(self) -> np.ndarray:
         return np.asarray(self._ends, dtype=np.int64)
 
-    def before(self, index: int, window: int = None) -> List[Peak]:
+    def before(self, index: int, window: Optional[int] = None) -> List[Peak]:
         """Peaks preceding ``index``, optionally only the last ``window``."""
         lo = 0 if window is None else max(index - window, 0)
         return self._peaks[lo:index]

@@ -97,7 +97,7 @@ class PeakDetector:
     found, samples scanned, and the tracked noise floor.
     """
 
-    def __init__(self, config: PeakDetectorConfig = None, obs=None):
+    def __init__(self, config: Optional[PeakDetectorConfig] = None, obs=None):
         self.config = config or PeakDetectorConfig()
         self.obs = obs
 
@@ -108,7 +108,7 @@ class PeakDetector:
             raise ValueError("empty buffer")
         return float(np.percentile(powers, 10.0))
 
-    def detect(self, buffer: SampleBuffer, noise_floor: float = None) -> PeakDetectionResult:
+    def detect(self, buffer: SampleBuffer, noise_floor: Optional[float] = None) -> PeakDetectionResult:
         """Find peaks and build chunk metadata for a buffer."""
         cfg = self.config
         samples = buffer.samples

@@ -116,7 +116,7 @@ class MonitorReport:
     def packets_for(self, protocol: str) -> List[PacketRecord]:
         return [p for p in self.packets if p.protocol == protocol]
 
-    def forwarded_samples(self, protocol: str = None) -> int:
+    def forwarded_samples(self, protocol: Optional[str] = None) -> int:
         if protocol is not None:
             return sum(r.length for r in self.ranges.get(protocol, []))
         return sum(r.length for rs in self.ranges.values() for r in rs)
@@ -250,7 +250,7 @@ class RFDumpMonitor(Monitor):
 
     # -- pipeline -------------------------------------------------------------
 
-    def detect(self, buffer: SampleBuffer, clock: StageClock = None) -> Tuple[
+    def detect(self, buffer: SampleBuffer, clock: Optional[StageClock] = None) -> Tuple[
         PeakDetectionResult, List[Classification]
     ]:
         """Run the detection stage only."""

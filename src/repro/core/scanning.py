@@ -11,7 +11,7 @@ output a scanning deployment wants.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.constants import DEFAULT_SAMPLE_RATE
 from repro.core.pipeline import MonitorReport, RFDumpMonitor
@@ -28,7 +28,7 @@ class BandSummary:
     busy_samples: int = 0
     total_samples: int = 0
     classifications: Dict[str, int] = field(default_factory=dict)
-    noise_floor: float = None
+    noise_floor: Optional[float] = None
 
     @property
     def occupancy(self) -> float:

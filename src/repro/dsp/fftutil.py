@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 
-def spectrogram(samples: np.ndarray, fft_size: int = 256, hop: int = None) -> np.ndarray:
+def spectrogram(samples: np.ndarray, fft_size: int = 256, hop: Optional[int] = None) -> np.ndarray:
     """Power spectrogram with fftshifted bins.
 
     Returns shape ``(n_frames, fft_size)``; frame ``i`` covers samples
@@ -30,7 +32,7 @@ def spectrogram(samples: np.ndarray, fft_size: int = 256, hop: int = None) -> np
 
 
 def channelize_power(
-    samples: np.ndarray, nchannels: int, fft_size: int = 256, hop: int = None
+    samples: np.ndarray, nchannels: int, fft_size: int = 256, hop: Optional[int] = None
 ) -> np.ndarray:
     """Per-frame power in ``nchannels`` equal sub-bands of the monitored band.
 

@@ -45,7 +45,7 @@ class GroundTruth:
     timebase: Timebase
     duration: float
 
-    def observable(self, protocol: str = None) -> List[Transmission]:
+    def observable(self, protocol: Optional[str] = None) -> List[Transmission]:
         """Transmissions a monitor of this band could possibly have seen."""
         return [
             t
@@ -82,7 +82,7 @@ class GroundTruth:
             last = time
         return covered / self.duration
 
-    def sample_mask(self, nsamples: int, protocol: str = None):
+    def sample_mask(self, nsamples: int, protocol: Optional[str] = None):
         """Boolean array marking samples inside observable transmissions.
 
         With ``protocol`` given, only that protocol's transmissions count —

@@ -9,7 +9,7 @@ rate and center frequency, and returns it together with the exact
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -121,7 +121,7 @@ class Scenario:
         center_freq: float = DEFAULT_CENTER_FREQ,
         noise_power: float = 1.0,
         seed: int = 0,
-        impairments: "ChannelImpairments" = None,
+        impairments: Optional["ChannelImpairments"] = None,
     ):
         if duration <= 0:
             raise ValueError("duration must be positive")

@@ -9,7 +9,6 @@ so generators stay cheap and trace synthesis happens in one place.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -473,7 +472,7 @@ class OfdmBurstSource(TrafficSource):
     def __init__(self, src: str = "g-node", n_packets: int = 20,
                  payload_size: int = 200, interval: float = 8e-3,
                  snr_db: float = 20.0, start: float = 1.5e-3,
-                 sample_rate: float = None):
+                 sample_rate: Optional[float] = None):
         from repro.constants import DEFAULT_SAMPLE_RATE
         from repro.phy.ofdm import OfdmModem
 
@@ -571,7 +570,7 @@ class MicrowaveSource(TrafficSource):
 
     def __init__(self, source: str = "microwave", start: float = 0.0,
                  duration: float = 0.1, snr_db: float = 15.0,
-                 emitter: MicrowaveEmitter = None):
+                 emitter: Optional[MicrowaveEmitter] = None):
         self.source = source
         self.start = start
         self.duration = duration

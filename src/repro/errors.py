@@ -7,6 +7,8 @@ Every error raised on purpose by this package derives from
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class RFDumpError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
@@ -38,7 +40,8 @@ class SyncError(DecodeError):
 class ChecksumError(DecodeError):
     """A frame was demodulated but its integrity check failed."""
 
-    def __init__(self, message: str, expected: int = None, actual: int = None):
+    def __init__(self, message: str, expected: Optional[int] = None,
+                 actual: Optional[int] = None):
         super().__init__(message)
         self.expected = expected
         self.actual = actual

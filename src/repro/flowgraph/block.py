@@ -1,8 +1,79 @@
-"""Block base classes for the flowgraph framework."""
+"""Block base classes and port signatures for the flowgraph framework."""
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+# -- item kinds ---------------------------------------------------------------
+#
+# Every item that travels a flowgraph edge has a *kind*, the coarse type
+# tag the static checker reasons about (GNU Radio's ``io_signature`` uses
+# item size; our items are Python objects, so we tag them by shape):
+
+#: wildcard — the port accepts / produces any item
+ITEM_ANY = "any"
+#: ``(start_sample, ndarray)`` chunk of IQ samples
+ITEM_CHUNK = "chunk"
+#: ``(PeakDetectionResult, SampleBuffer)`` detection-stage output
+ITEM_DETECTION = "detection"
+#: a :class:`repro.core.detectors.base.Classification`
+ITEM_CLASSIFICATION = "classification"
+#: ``(protocol, DispatchedRange, SampleBuffer)`` dispatched work unit
+ITEM_DISPATCH = "dispatch"
+#: a decoded :class:`repro.analysis.decoders.PacketRecord`
+ITEM_PACKET = "packet"
+
+
+class IOSignature:
+    """A GNU-Radio-``io_signature``-style port declaration.
+
+    A signature names the item *kinds* a port carries and, for
+    sample-bearing kinds, the numpy dtype of the payload.  ``dtype=None``
+    means "any dtype"; a port may accept several kinds (the dispatcher
+    consumes both detections and classifications).
+
+    Signatures are checked *before* any sample flows by
+    :meth:`repro.flowgraph.graph.FlowGraph.check`.
+    """
+
+    __slots__ = ("kinds", "dtype")
+
+    def __init__(self, *kinds: str, dtype: Any = None):
+        if not kinds:
+            kinds = (ITEM_ANY,)
+        self.kinds: Tuple[str, ...] = tuple(kinds)
+        self.dtype = dtype
+
+    @property
+    def is_any(self) -> bool:
+        return ITEM_ANY in self.kinds
+
+    def accepts(self, upstream: "IOSignature") -> bool:
+        """Can items produced under ``upstream`` flow into this port?"""
+        if not (self.is_any or upstream.is_any
+                or set(self.kinds) & set(upstream.kinds)):
+            return False
+        if self.dtype is None or upstream.dtype is None:
+            return True
+        import numpy as np
+
+        return np.dtype(self.dtype) == np.dtype(upstream.dtype)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, IOSignature)
+                and self.kinds == other.kinds and self.dtype == other.dtype)
+
+    def __repr__(self) -> str:
+        kinds = "|".join(self.kinds)
+        if self.dtype is not None:
+            import numpy as np
+
+            return f"sig({kinds}, dtype={np.dtype(self.dtype).name})"
+        return f"sig({kinds})"
+
+
+#: the permissive default signature: any kind, any dtype
+SIG_ANY = IOSignature(ITEM_ANY)
 
 
 class Block:
@@ -12,9 +83,19 @@ class Block:
     returns an iterable of output items (possibly empty — blocks may
     buffer internally and emit later).  :meth:`finish` is called once when
     the upstream is exhausted, to flush buffered state.
+
+    ``in_sig`` / ``out_sig`` declare what the block's ports carry; they
+    default to the permissive :data:`SIG_ANY` so ad-hoc blocks keep
+    working, but the standard blocks declare precise signatures and
+    :meth:`FlowGraph.check` enforces edge compatibility statically.
     """
 
-    def __init__(self, name: str = None):
+    #: what the input port accepts (``None`` = no input port, i.e. a source)
+    in_sig: Optional[IOSignature] = SIG_ANY
+    #: what the output port produces (``None`` = no output port, i.e. a sink)
+    out_sig: Optional[IOSignature] = SIG_ANY
+
+    def __init__(self, name: Optional[str] = None):
         self.name = name or type(self).__name__
 
     def start(self) -> None:
@@ -35,6 +116,8 @@ class Block:
 class SourceBlock(Block):
     """A stream origin: produces items instead of consuming them."""
 
+    in_sig = None
+
     def items(self) -> Iterable[Any]:
         """Yield the finite stream this source produces."""
         raise NotImplementedError
@@ -45,6 +128,8 @@ class SourceBlock(Block):
 
 class SinkBlock(Block):
     """A stream terminus: consumes items and produces nothing."""
+
+    out_sig = None
 
     def work(self, item: Any) -> Iterable[Any]:
         self.consume(item)
@@ -57,7 +142,7 @@ class SinkBlock(Block):
 class FunctionBlock(Block):
     """Wrap a plain function ``item -> item | list | None`` as a block."""
 
-    def __init__(self, func: Callable[[Any], Any], name: str = None):
+    def __init__(self, func: Callable[[Any], Any], name: Optional[str] = None):
         super().__init__(name or getattr(func, "__name__", "function"))
         self._func = func
 

@@ -8,12 +8,20 @@ import numpy as np
 
 from repro.constants import DEFAULT_CHUNK_SAMPLES, DEFAULT_ENERGY_THRESHOLD_DB
 from repro.dsp.samples import SampleBuffer, iter_chunks
-from repro.flowgraph.block import SinkBlock, SourceBlock, Block
+from repro.flowgraph.block import (
+    ITEM_CHUNK,
+    IOSignature,
+    SinkBlock,
+    SourceBlock,
+    Block,
+)
 from repro.util.db import db_to_linear
 
 
 class BufferChunkSource(SourceBlock):
     """Streams a :class:`SampleBuffer` as (start_sample, chunk) items."""
+
+    out_sig = IOSignature(ITEM_CHUNK, dtype=np.complex64)
 
     def __init__(self, buffer: SampleBuffer, chunk_samples: int = DEFAULT_CHUNK_SAMPLES,
                  name: str = "chunk-source"):
@@ -57,6 +65,9 @@ class EnergyFilterBlock(Block):
     baseline (Section 2.1).  ``threshold_db`` is relative to the supplied
     noise floor.
     """
+
+    in_sig = IOSignature(ITEM_CHUNK, dtype=np.complex64)
+    out_sig = IOSignature(ITEM_CHUNK, dtype=np.complex64)
 
     def __init__(self, noise_floor: float,
                  threshold_db: float = DEFAULT_ENERGY_THRESHOLD_DB,

@@ -55,7 +55,10 @@ class FlowGraph:
         self.add(src)
         self.add(dst)
         if isinstance(dst, SourceBlock):
-            raise FlowGraphError(f"cannot connect into source block {dst.name!r}")
+            raise FlowGraphError(
+                f"cannot connect {src.name!r} into source block {dst.name!r}: "
+                "sources have no input port"
+            )
         self._edges[src].append(dst)
         self._check_acyclic()
         return self
@@ -75,21 +78,78 @@ class FlowGraph:
 
     def _check_acyclic(self) -> None:
         seen: Set[Block] = set()
-        stack: Set[Block] = set()
+        stack: List[Block] = []
+        on_stack: Set[Block] = set()
 
         def visit(node: Block):
-            if node in stack:
-                raise FlowGraphError("flowgraph contains a cycle")
+            if node in on_stack:
+                cycle = stack[stack.index(node):] + [node]
+                path = " -> ".join(repr(b.name) for b in cycle)
+                raise FlowGraphError(f"flowgraph contains a cycle: {path}")
             if node in seen:
                 return
-            stack.add(node)
+            stack.append(node)
+            on_stack.add(node)
             for nxt in self._edges.get(node, []):
                 visit(nxt)
-            stack.discard(node)
+            stack.pop()
+            on_stack.discard(node)
             seen.add(node)
 
         for block in self._blocks:
             visit(block)
+
+    # -- static validation ---------------------------------------------------
+
+    def check(self) -> "FlowGraph":
+        """Validate the wiring before any sample flows.
+
+        The static analogue of GNU Radio's ``io_signature`` validation:
+        every edge must connect an output port to a compatible input port,
+        every registered block must actually be wired into the stream, the
+        graph must be acyclic, and there must be something to stream from.
+        Raises :class:`FlowGraphError` (or its :class:`SchedulerError`
+        subclass for the no-source case) with a message naming the
+        offending blocks.  Called by :meth:`run` before execution, so a
+        mis-wired graph fails at build time, not mid-stream.
+        """
+        if not any(isinstance(b, SourceBlock) for b in self._blocks):
+            raise SchedulerError("flowgraph has no source block")
+        self._check_acyclic()
+
+        predecessors: Dict[Block, List[Block]] = {b: [] for b in self._blocks}
+        for src, dsts in self._edges.items():
+            for dst in dsts:
+                predecessors[dst].append(src)
+                if isinstance(dst, SourceBlock) or dst.in_sig is None:
+                    raise FlowGraphError(
+                        f"cannot connect {src.name!r} into {dst.name!r}: "
+                        f"{dst.name!r} has no input port"
+                    )
+                if src.out_sig is None:
+                    raise FlowGraphError(
+                        f"cannot connect {src.name!r} into {dst.name!r}: "
+                        f"sink block {src.name!r} has no output port"
+                    )
+                if not dst.in_sig.accepts(src.out_sig):
+                    raise FlowGraphError(
+                        f"signature mismatch on edge {src.name!r} -> "
+                        f"{dst.name!r}: upstream produces {src.out_sig} but "
+                        f"downstream accepts {dst.in_sig}"
+                    )
+
+        for block in self._blocks:
+            if not isinstance(block, SourceBlock) and not predecessors[block]:
+                raise FlowGraphError(
+                    f"input port of block {block.name!r} is unconnected: "
+                    "no upstream feeds it"
+                )
+            if block.out_sig is not None and not self._edges.get(block):
+                raise FlowGraphError(
+                    f"output port of block {block.name!r} is unconnected: "
+                    "its items would be silently dropped"
+                )
+        return self
 
     def _topological(self) -> List[Block]:
         order: List[Block] = []
@@ -121,10 +181,13 @@ class FlowGraph:
                 self._propagate(nxt, out)
 
     def run(self) -> None:
-        """Stream every source to exhaustion, then flush all blocks."""
+        """Stream every source to exhaustion, then flush all blocks.
+
+        :meth:`check` runs first: a mis-wired graph (type mismatch,
+        dangling port, cycle) fails here, before any sample flows.
+        """
+        self.check()
         sources = [b for b in self._blocks if isinstance(b, SourceBlock)]
-        if not sources:
-            raise SchedulerError("flowgraph has no source block")
         order = self._topological()
         for block in order:
             block.start()

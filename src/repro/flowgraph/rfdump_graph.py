@@ -24,7 +24,15 @@ from repro.core.dispatcher import Dispatcher
 from repro.core.peak_detector import PeakDetector, PeakDetectorConfig
 from repro.core.pipeline import default_detectors
 from repro.dsp.samples import SampleBuffer
-from repro.flowgraph.block import Block, SinkBlock
+from repro.flowgraph.block import (
+    ITEM_CHUNK,
+    ITEM_CLASSIFICATION,
+    ITEM_DETECTION,
+    ITEM_DISPATCH,
+    ITEM_PACKET,
+    Block,
+    IOSignature,
+)
 from repro.flowgraph.blocks import BufferChunkSource, CollectSink
 from repro.flowgraph.graph import FlowGraph
 from repro.util.timebase import Timebase
@@ -37,8 +45,13 @@ class PeakDetectionBlock(Block):
     latency — Section 2.2) and emits one detection result at flush time.
     """
 
-    def __init__(self, sample_rate: float, config: PeakDetectorConfig = None,
-                 noise_floor: float = None, name: str = "peak-detector"):
+    in_sig = IOSignature(ITEM_CHUNK, dtype=np.complex64)
+    out_sig = IOSignature(ITEM_DETECTION)
+
+    def __init__(self, sample_rate: float,
+                 config: Optional[PeakDetectorConfig] = None,
+                 noise_floor: Optional[float] = None,
+                 name: str = "peak-detector"):
         super().__init__(name)
         self._detector = PeakDetector(config)
         self._sample_rate = sample_rate
@@ -69,6 +82,9 @@ class PeakDetectionBlock(Block):
 class DetectorBlock(Block):
     """Protocol-specific stage: wraps one fast detector."""
 
+    in_sig = IOSignature(ITEM_DETECTION)
+    out_sig = IOSignature(ITEM_CLASSIFICATION)
+
     def __init__(self, detector: Detector):
         super().__init__(detector.name)
         self._detector = detector
@@ -80,6 +96,9 @@ class DetectorBlock(Block):
 
 class DispatcherBlock(Block):
     """Collects classifications; emits per-protocol dispatched ranges."""
+
+    in_sig = IOSignature(ITEM_DETECTION, ITEM_CLASSIFICATION)
+    out_sig = IOSignature(ITEM_DISPATCH)
 
     def __init__(self, chunk_samples: int, name: str = "dispatcher"):
         super().__init__(name)
@@ -115,6 +134,9 @@ class DispatcherBlock(Block):
 class AnalyzerBlock(Block):
     """Analysis stage: demodulates ranges dispatched to its protocol."""
 
+    in_sig = IOSignature(ITEM_DISPATCH)
+    out_sig = IOSignature(ITEM_PACKET)
+
     def __init__(self, protocol: str, decoder):
         super().__init__(f"{protocol}-analyzer")
         self.protocol = protocol
@@ -137,8 +159,8 @@ def build_rfdump_graph(
     center_freq: float = DEFAULT_CENTER_FREQ,
     detectors: Optional[Iterable[Detector]] = None,
     demodulate: bool = True,
-    noise_floor: float = None,
-    config: PeakDetectorConfig = None,
+    noise_floor: Optional[float] = None,
+    config: Optional[PeakDetectorConfig] = None,
 ):
     """Wire up Figure 2 for a buffer; returns (graph, packet_sink, cls_sink).
 

@@ -1,0 +1,48 @@
+"""Static analysis for the RFDump reproduction's own invariants.
+
+The runtime never checks the contracts this codebase actually lives by:
+bit-deterministic sample paths, ``complex64`` IQ buffers, share-nothing
+executor tasks, frozen configs, stable metric names.  :mod:`repro.lint`
+turns them into machine-checked rules over the AST — the software
+analogue of GNU Radio validating ``io_signature``s before a flowgraph
+runs (the flowgraph side of that check is
+:meth:`repro.flowgraph.FlowGraph.check`).
+
+Entry points
+------------
+* ``python -m repro.tools.rflint src/`` — the CLI (human or JSON output,
+  baseline support, non-zero exit on any active finding).
+* :func:`lint_source` / :func:`lint_paths` — library API, used by the
+  test suite to lint fixtures in memory.
+
+Suppression is per-line: ``# rfdump: noqa[RFD101]`` silences exactly
+that rule on that line; a baseline file grandfathers existing findings
+per ``(file, rule)`` with a justification.
+"""
+
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.engine import (
+    SYNTAX_RULE,
+    lint_paths,
+    lint_source,
+    package_rel_path,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import RULES, ModuleContext, Rule, active_rules, register
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Rule",
+    "RULES",
+    "ModuleContext",
+    "register",
+    "active_rules",
+    "lint_source",
+    "lint_paths",
+    "package_rel_path",
+    "SYNTAX_RULE",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]

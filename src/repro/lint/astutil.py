@@ -1,0 +1,115 @@
+"""Shared AST helpers: import resolution and dotted-name expansion.
+
+Rules want to ask "is this call ``time.time()``?" without caring whether
+the module wrote ``import time``, ``import time as _time`` or
+``from time import time``.  :func:`build_imports` records what every
+top-level binding actually refers to and :func:`dotted_name` expands an
+expression through that table to its fully qualified dotted path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+
+def build_imports(tree: ast.AST) -> Dict[str, str]:
+    """Map local alias -> fully qualified dotted origin.
+
+    ``import numpy as np``            -> ``{"np": "numpy"}``
+    ``from time import perf_counter`` -> ``{"perf_counter": "time.perf_counter"}``
+    ``from numpy import random as r`` -> ``{"r": "numpy.random"}``
+    """
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                table[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports stay package-local
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = f"{node.module}.{alias.name}"
+    return table
+
+
+def dotted_name(node: ast.expr, imports: Dict[str, str]) -> Optional[str]:
+    """Expand ``np.random.seed`` -> ``"numpy.random.seed"`` (or None)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(imports.get(node.id, node.id))
+    return ".".join(reversed(parts))
+
+
+def matches(dotted: Optional[str], banned: Tuple[str, ...]) -> Optional[str]:
+    """The entry of ``banned`` that ``dotted`` is (a tail of), if any.
+
+    ``datetime.datetime.now`` matches a banned ``datetime.now`` because
+    the class is itself an attribute of the module.
+    """
+    if not dotted:
+        return None
+    for name in banned:
+        if dotted == name or dotted.endswith("." + name):
+            return name
+    return None
+
+
+def build_parents(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Child -> parent map, for rules that need enclosing context."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def walk_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def annotation_allows_none(annotation: Optional[ast.expr]) -> bool:
+    """Does this annotation already admit ``None``?
+
+    ``Optional[X]``, ``Union[..., None]``, PEP-604 ``X | None``, ``Any``
+    and ``object`` all do; a bare ``str`` / ``np.ndarray`` does not.
+    """
+    if annotation is None:
+        return True
+    if isinstance(annotation, ast.Constant):
+        if annotation.value is None:
+            return True
+        if isinstance(annotation.value, str):  # string annotation: text match
+            text = annotation.value
+            return ("Optional" in text or "None" in text or text in ("Any", "object"))
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id in ("Any", "object", "None")
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in ("Any", "object")
+    if isinstance(annotation, ast.Subscript):
+        head = annotation.value
+        name = head.attr if isinstance(head, ast.Attribute) else getattr(head, "id", "")
+        if name == "Optional":
+            return True
+        if name == "Union":
+            elts = (annotation.slice.elts
+                    if isinstance(annotation.slice, ast.Tuple)
+                    else [annotation.slice])
+            return any(annotation_allows_none(e) for e in elts)
+        return False
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return (annotation_allows_none(annotation.left)
+                or annotation_allows_none(annotation.right))
+    return False

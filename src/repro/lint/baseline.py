@@ -1,0 +1,68 @@
+"""Baseline files: grandfather existing findings without silencing new ones.
+
+A baseline entry says "this file is allowed up to *count* findings of
+*rule*, because *reason*".  Entries match on the package-rooted path and
+the rule id only — not line numbers — so unrelated edits that shift
+lines do not churn the baseline.  New findings beyond the grandfathered
+count still fail the build.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Dict[Tuple[str, str], int]:
+    """Read a baseline file into ``{(rel, rule): allowed_count}``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {doc.get('version')!r} in {path}"
+        )
+    allowed: Dict[Tuple[str, str], int] = {}
+    for entry in doc.get("entries", []):
+        key = (entry["path"], entry["rule"])
+        allowed[key] = allowed.get(key, 0) + int(entry.get("count", 1))
+    return allowed
+
+
+def write_baseline(findings: List[Finding], path: str) -> None:
+    """Grandfather every current finding (reasons left for the author)."""
+    counts = Counter(f.baseline_key for f in findings)
+    entries = [
+        {"path": rel, "rule": rule, "count": count,
+         "reason": "TODO: justify or fix"}
+        for (rel, rule), count in sorted(counts.items())
+    ]
+    doc = {"version": BASELINE_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+def apply_baseline(
+    findings: List[Finding], allowed: Dict[Tuple[str, str], int]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (active, grandfathered).
+
+    The first ``allowed[key]`` findings per key (in source order) are
+    grandfathered; any excess stays active and fails the run.
+    """
+    budget = dict(allowed)
+    active: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            grandfathered.append(finding)
+        else:
+            active.append(finding)
+    return active, grandfathered

@@ -1,0 +1,141 @@
+"""The analysis driver: parse, run rules, apply suppressions, report.
+
+The engine is deliberately runtime-free: it never imports the modules it
+analyzes, so a file with a missing optional dependency (or an
+intentionally broken fixture) lints fine.  Suppression is per-line via
+``# rfdump: noqa`` (all rules) or ``# rfdump: noqa[RFD101]`` /
+``# rfdump: noqa[RFD101,RFD201]`` (exactly those rules); suppressions
+attach to the physical line a finding is reported on.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.lint.astutil import build_imports
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ModuleContext, active_rules
+
+#: the pseudo-rule emitted when a file does not parse
+SYNTAX_RULE = "RFD000"
+
+_NOQA_RE = re.compile(
+    r"#\s*rfdump:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+
+def package_rel_path(path: str) -> str:
+    """Normalize a file path to its package-rooted form.
+
+    ``/ckpt/src/repro/phy/dsss.py`` and ``src/repro/phy/dsss.py`` both
+    become ``repro/phy/dsss.py``, so baselines and rule scopes are
+    checkout-independent.  Paths outside the package keep their own
+    (slash-normalized) shape.
+    """
+    parts = os.path.normpath(path).replace(os.sep, "/").split("/")
+    if "repro" in parts:
+        return "/".join(parts[parts.index("repro"):])
+    return "/".join(p for p in parts if p not in (".", ""))
+
+
+def noqa_directives(lines: List[str]) -> Dict[int, Optional[Set[str]]]:
+    """Line number (1-based) -> suppressed rule ids (None = all rules)."""
+    directives: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            directives[lineno] = None
+        else:
+            directives[lineno] = {
+                r.strip().upper() for r in rules.split(",") if r.strip()
+            }
+    return directives
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Analyze one module's source text; returns findings in source order."""
+    rel = package_rel_path(path)
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            rule=SYNTAX_RULE,
+            severity=Severity.ERROR,
+            path=path,
+            rel=rel,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+        )]
+    ctx = ModuleContext(
+        path=path,
+        rel=rel,
+        source=source,
+        tree=tree,
+        lines=lines,
+        imports=build_imports(tree),
+    )
+    findings: List[Finding] = []
+    for rule in active_rules(select, ignore):
+        if rule.applies_to(ctx):
+            findings.extend(rule.check(ctx))
+
+    directives = noqa_directives(lines)
+    if directives:
+        kept = []
+        for finding in findings:
+            suppressed = directives.get(finding.line)
+            if suppressed is None and finding.line in directives:
+                continue  # bare noqa: all rules on this line
+            if suppressed and finding.rule in suppressed:
+                continue
+            kept.append(finding)
+        findings = kept
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            out.append(path)
+    return out
+
+
+def lint_paths(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Analyze every ``.py`` file under the given paths."""
+    findings: List[Finding] = []
+    for filename in iter_python_files(paths):
+        with open(filename, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        findings.extend(lint_source(source, path=filename,
+                                    select=select, ignore=ignore))
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -1,0 +1,19 @@
+"""Rule modules — importing this package registers every rule.
+
+Rule id space:
+
+* ``RFD000``      file does not parse (emitted by the engine itself)
+* ``RFD1xx``      determinism (wall clocks, ambient RNG)
+* ``RFD2xx``      dtype discipline on IQ paths
+* ``RFD3xx``      concurrency safety
+* ``RFD4xx``      API contracts (frozen config, metric names)
+* ``RFD5xx``      typing hygiene
+"""
+
+from repro.lint.rules import (  # noqa: F401  (imports register the rules)
+    api_contracts,
+    concurrency,
+    determinism,
+    dtype,
+    typing_hygiene,
+)

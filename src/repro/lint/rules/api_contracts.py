@@ -1,0 +1,138 @@
+"""API-contract rules: frozen config stays frozen, metric names stay stable.
+
+``MonitorConfig`` is a frozen dataclass precisely so a config handed to
+several monitors cannot drift between them — mutating one (including via
+``object.__setattr__``) reintroduces the keyword-soup bugs PR 2 removed.
+Metric names passed to the :mod:`repro.obs` registries must be literal
+constants: exporters, dashboards and the CI counter-equality assertions
+all key on the exact string.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.astutil import dotted_name
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ModuleContext, Rule, register
+
+_CONFIG_FACTORIES = ("MonitorConfig", "resolve_monitor_config")
+_REGISTRY_METHODS = ("counter", "gauge", "histogram")
+
+
+def _config_names(tree: ast.AST) -> Set[str]:
+    """Names statically known to hold a MonitorConfig in this module."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        # x = MonitorConfig(...) / x = resolve_monitor_config(...)
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            callee = node.value.func
+            leaf = callee.attr if isinstance(callee, ast.Attribute) else (
+                callee.id if isinstance(callee, ast.Name) else "")
+            if leaf in _CONFIG_FACTORIES:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        # def f(cfg: MonitorConfig) / (cfg: Optional[MonitorConfig])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for arg in node.args.args + node.args.kwonlyargs + node.args.posonlyargs:
+                if arg.annotation is not None and "MonitorConfig" in ast.dump(
+                        arg.annotation):
+                    names.add(arg.arg)
+    return names
+
+
+@register
+class FrozenConfigMutationRule(Rule):
+    id = "RFD401"
+    severity = Severity.ERROR
+    description = ("MonitorConfig is frozen; build a new one with "
+                   "dataclasses.replace instead of mutating")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        # the dataclass machinery itself may use object.__setattr__
+        return ctx.rel != "repro/core/config.py"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        config_names = _config_names(ctx.tree)
+
+        def is_config_expr(node: ast.expr) -> bool:
+            if isinstance(node, ast.Name):
+                return node.id in config_names
+            # self.config / anything.config by naming convention
+            return isinstance(node, ast.Attribute) and node.attr == "config"
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if (isinstance(target, ast.Attribute)
+                            and is_config_expr(target.value)):
+                        owner = dotted_name(target.value, ctx.imports) or "config"
+                        yield self.finding(
+                            ctx, node,
+                            f"assignment to {owner}.{target.attr} mutates a "
+                            "frozen MonitorConfig; use dataclasses.replace "
+                            "to derive a new config",
+                        )
+            elif (isinstance(node, ast.Call)
+                  and dotted_name(node.func, ctx.imports) == "object.__setattr__"
+                  and node.args and is_config_expr(node.args[0])):
+                yield self.finding(
+                    ctx, node,
+                    "object.__setattr__ on a frozen MonitorConfig defeats "
+                    "the immutability contract",
+                )
+
+
+@register
+class MetricNameLiteralRule(Rule):
+    id = "RFD402"
+    severity = Severity.ERROR
+    description = ("metric names passed to repro.obs registries must be "
+                   "literal constants so exporter output stays stable")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        # the registry implementation forwards `name` variables by design
+        return not ctx.in_modules("repro/obs/")
+
+    @staticmethod
+    def _is_registry_receiver(node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in ("obs", "registry")
+        if isinstance(node, ast.Attribute):
+            return node.attr in ("obs", "registry")
+        return False
+
+    @staticmethod
+    def _is_constant_name(node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return True
+        # an UPPER_CASE module constant is as stable as a literal
+        if isinstance(node, ast.Name):
+            return node.id.isupper()
+        if isinstance(node, ast.Attribute):
+            return node.attr.isupper()
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _REGISTRY_METHODS
+                    and self._is_registry_receiver(node.func.value)):
+                continue
+            name_arg = node.args[0] if node.args else None
+            if name_arg is None:
+                for kw in node.keywords:
+                    if kw.arg == "name":
+                        name_arg = kw.value
+            if name_arg is not None and not self._is_constant_name(name_arg):
+                yield self.finding(
+                    ctx, name_arg,
+                    f"metric name passed to .{node.func.attr}() is computed "
+                    "at runtime; use a literal (or UPPER_CASE constant) so "
+                    "exported series stay stable",
+                )

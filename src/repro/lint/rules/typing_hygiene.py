@@ -1,0 +1,64 @@
+"""Typing hygiene: annotations must tell the truth about ``None``.
+
+``def __init__(self, name: str = None)`` lies to every type checker and
+every reader; PEP 484 dropped the implicit-``Optional`` interpretation
+years ago and mypy's ``no_implicit_optional`` (which this repo enables)
+rejects it.  The same applies to dataclass fields defaulted to ``None``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import annotation_allows_none
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ModuleContext, Rule, register
+
+
+def _is_none(node) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+@register
+class ImplicitOptionalRule(Rule):
+    id = "RFD501"
+    severity = Severity.WARNING
+    description = ("a parameter or field defaulted to None must be "
+                   "annotated Optional[...] (or a None-admitting union)")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_signature(ctx, node)
+            elif isinstance(node, ast.AnnAssign):
+                if (node.value is not None and _is_none(node.value)
+                        and node.annotation is not None
+                        and not annotation_allows_none(node.annotation)):
+                    target = (node.target.id
+                              if isinstance(node.target, ast.Name) else "field")
+                    yield self.finding(
+                        ctx, node,
+                        f"field {target!r} defaults to None but its "
+                        "annotation does not admit None; use Optional[...]",
+                    )
+
+    def _check_signature(self, ctx: ModuleContext, func) -> Iterator[Finding]:
+        args = func.args
+        positional = args.posonlyargs + args.args
+        # defaults align with the *tail* of the positional parameters
+        pos_defaults = [None] * (len(positional) - len(args.defaults))
+        pos_defaults += list(args.defaults)
+        pairs = list(zip(positional, pos_defaults))
+        pairs += list(zip(args.kwonlyargs, args.kw_defaults))
+        for arg, default in pairs:
+            if default is None or not _is_none(default):
+                continue
+            if arg.annotation is None:
+                continue
+            if not annotation_allows_none(arg.annotation):
+                yield self.finding(
+                    ctx, arg,
+                    f"parameter {arg.arg!r} of {func.name}() defaults to "
+                    "None but is annotated without Optional[...]",
+                )

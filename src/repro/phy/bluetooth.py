@@ -30,7 +30,6 @@ from repro.constants import (
     BT_DH1_MAX_PAYLOAD,
     BT_DH3_MAX_PAYLOAD,
     BT_DH5_MAX_PAYLOAD,
-    BT_SLOT,
     BT_SYMBOL_RATE,
     DEFAULT_SAMPLE_RATE,
 )

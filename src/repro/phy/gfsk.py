@@ -9,6 +9,8 @@ selection and hard decisions.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.constants import BT_GAUSSIAN_BT, BT_MODULATION_INDEX, BT_SYMBOL_RATE
@@ -80,7 +82,7 @@ class GfskModem:
         return d1 - np.mean(d1)
 
     def soft_bits(self, samples: np.ndarray, offset: int = 0,
-                  disc: np.ndarray = None) -> np.ndarray:
+                  disc: Optional[np.ndarray] = None) -> np.ndarray:
         """Per-symbol mean frequency at a given sample offset (soft values).
 
         Pass a precomputed ``disc`` (from :meth:`discriminate`) when
@@ -99,12 +101,12 @@ class GfskModem:
         return block[:, lo:hi].mean(axis=1)
 
     def demodulate(self, samples: np.ndarray, offset: int = 0,
-                   disc: np.ndarray = None) -> np.ndarray:
+                   disc: Optional[np.ndarray] = None) -> np.ndarray:
         """Hard bit decisions at a given symbol-timing offset."""
         return (self.soft_bits(samples, offset, disc) > 0).astype(np.uint8)
 
     def best_offset(self, samples: np.ndarray, sync_bits: np.ndarray,
-                    disc: np.ndarray = None):
+                    disc: Optional[np.ndarray] = None):
         """Pick the symbol-timing offset maximizing sync-word correlation.
 
         Returns ``(offset, bit_position, score)`` where ``bit_position`` is

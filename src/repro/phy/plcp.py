@@ -13,6 +13,8 @@ z^-4 + z^-7 scrambler, continuing the state from the preamble.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -154,7 +156,7 @@ def build_short_frame_bits(mpdu: bytes, rate_mbps: float, service: int = 0):
     return preamble, header, payload
 
 
-def find_sfd(descrambled_bits: np.ndarray, search_limit: int = None) -> int:
+def find_sfd(descrambled_bits: np.ndarray, search_limit: Optional[int] = None) -> int:
     """Index just past the SFD in a descrambled 1 Mbps bit stream, or -1.
 
     The descrambler self-synchronizes within 7 bits, after which the SYNC
@@ -177,7 +179,7 @@ def find_sfd(descrambled_bits: np.ndarray, search_limit: int = None) -> int:
     return -1
 
 
-def find_short_sfd(descrambled_bits: np.ndarray, search_limit: int = None) -> int:
+def find_short_sfd(descrambled_bits: np.ndarray, search_limit: Optional[int] = None) -> int:
     """Index just past the short-preamble SFD, or -1.
 
     The short SYNC descrambles to zeros, so the reversed SFD is matched

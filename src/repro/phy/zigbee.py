@@ -20,7 +20,7 @@ from repro.constants import (
     ZIGBEE_SYMBOL_RATE,
 )
 from repro.errors import ChecksumError, DecodeError, SyncError
-from repro.util.bits import bits_to_bytes, bytes_to_bits, crc16_ccitt, unpack_uint
+from repro.util.bits import bytes_to_bits, crc16_ccitt
 
 #: Base PN sequence for symbol 0 (802.15.4-2006 Table 24), chips 0/1.
 _BASE_PN = np.array(

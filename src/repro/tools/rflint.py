@@ -1,0 +1,130 @@
+"""rflint — static analysis CLI for the repo's determinism/dtype invariants.
+
+Usage::
+
+    python -m repro.tools.rflint src/
+    python -m repro.tools.rflint src/ --format json
+    python -m repro.tools.rflint src/ --json-out rflint-report.json
+    python -m repro.tools.rflint src/ --write-baseline
+    python -m repro.tools.rflint --list-rules
+
+Exit status: 0 when every finding is fixed, suppressed
+(``# rfdump: noqa[RULE]``) or grandfathered by the baseline file;
+1 when any active finding remains; 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint import (
+    Finding,
+    active_rules,
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _parse_rule_list(value: Optional[str]) -> Optional[List[str]]:
+    if not value:
+        return None
+    return [r.strip().upper() for r in value.split(",") if r.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rflint",
+        description="RFDump repo-specific static analysis "
+                    "(determinism, dtype, concurrency, API contracts, typing)",
+    )
+    parser.add_argument("paths", nargs="*", default=[],
+                        help="files or directories to analyze (e.g. src/)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format on stdout")
+    parser.add_argument("--json-out", metavar="FILE",
+                        help="also write the JSON report to FILE")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE, metavar="FILE",
+                        help="baseline file of grandfathered findings "
+                             f"(default: {DEFAULT_BASELINE} if present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="grandfather every current finding into the "
+                             "baseline file and exit 0")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--ignore", metavar="RULES",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    return parser
+
+
+def _report(findings: List[Finding], grandfathered: int, files_hint: str) -> dict:
+    return {
+        "version": 1,
+        "tool": "rflint",
+        "paths": files_hint,
+        "findings": [f.to_dict() for f in findings],
+        "counts": {
+            "active": len(findings),
+            "grandfathered": grandfathered,
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in active_rules():
+            print(f"{rule.id}  [{rule.severity}]  {rule.description}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.tools.rflint src/)")
+
+    select = _parse_rule_list(args.select)
+    ignore = _parse_rule_list(args.ignore)
+    findings = lint_paths(args.paths, select=select, ignore=ignore)
+
+    if args.write_baseline:
+        write_baseline(findings, args.baseline)
+        print(f"rflint: wrote {len(findings)} finding(s) to {args.baseline}; "
+              "fill in the 'reason' fields")
+        return 0
+
+    grandfathered: List[Finding] = []
+    if not args.no_baseline and os.path.exists(args.baseline):
+        allowed = load_baseline(args.baseline)
+        findings, grandfathered = apply_baseline(findings, allowed)
+
+    report = _report(findings, len(grandfathered), " ".join(args.paths))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+
+    if args.format == "json":
+        json.dump(report, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for finding in findings:
+            print(finding.format())
+        summary = f"rflint: {len(findings)} active finding(s)"
+        if grandfathered:
+            summary += f", {len(grandfathered)} grandfathered by {args.baseline}"
+        print(summary)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

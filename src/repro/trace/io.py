@@ -15,8 +15,8 @@ from repro.util.timebase import Timebase
 _DTYPE = np.complex64
 
 
-def write_trace(path, buffer: SampleBuffer, center_freq: float = None,
-                description: str = "", extra: dict = None) -> TraceMeta:
+def write_trace(path, buffer: SampleBuffer, center_freq: Optional[float] = None,
+                description: str = "", extra: Optional[dict] = None) -> TraceMeta:
     """Write a buffer as a raw complex64 trace + sidecar; returns the meta."""
     path = Path(path)
     samples = np.ascontiguousarray(buffer.samples, dtype=_DTYPE)

@@ -1,0 +1,165 @@
+"""Engine-level tests: baseline workflow, CLI behavior, repo cleanliness."""
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    apply_baseline,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    package_rel_path,
+    write_baseline,
+)
+from repro.tools import rflint
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+BASELINE = os.path.join(REPO_ROOT, "lint-baseline.json")
+
+
+class TestPathNormalization:
+    @pytest.mark.parametrize("path,rel", [
+        ("src/repro/phy/dsss.py", "repro/phy/dsss.py"),
+        ("/ckpt/x/src/repro/obs/tracing.py", "repro/obs/tracing.py"),
+        ("repro/core/parallel.py", "repro/core/parallel.py"),
+        ("elsewhere/module.py", "elsewhere/module.py"),
+    ])
+    def test_package_rel_path(self, path, rel):
+        assert package_rel_path(path) == rel
+
+
+class TestRepoIsClean:
+    def test_src_lints_clean_modulo_baseline(self):
+        """The acceptance gate: rflint over src/ has no active findings."""
+        findings = lint_paths([SRC])
+        active, grandfathered = apply_baseline(findings, load_baseline(BASELINE))
+        assert active == [], "\n" + "\n".join(f.format() for f in active)
+        # the baseline is tight: every grandfathered budget is spent
+        assert len(grandfathered) == sum(load_baseline(BASELINE).values())
+
+
+class TestBaseline:
+    def _findings(self, tmp_path):
+        mod = tmp_path / "src" / "repro" / "phy" / "mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(textwrap.dedent(
+            """
+            import time
+            a = time.time()
+            b = time.time()
+            """
+        ))
+        return lint_paths([str(tmp_path)])
+
+    def test_roundtrip_grandfathers_everything(self, tmp_path):
+        findings = self._findings(tmp_path)
+        assert len(findings) == 2
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(findings, str(baseline_file))
+        allowed = load_baseline(str(baseline_file))
+        active, grandfathered = apply_baseline(findings, allowed)
+        assert active == [] and len(grandfathered) == 2
+
+    def test_excess_findings_stay_active(self, tmp_path):
+        findings = self._findings(tmp_path)
+        allowed = {("repro/phy/mod.py", "RFD101"): 1}
+        active, grandfathered = apply_baseline(findings, allowed)
+        assert len(active) == 1 and len(grandfathered) == 1
+
+    def test_baseline_entry_does_not_leak_across_rules(self, tmp_path):
+        findings = self._findings(tmp_path)
+        allowed = {("repro/phy/mod.py", "RFD501"): 5}
+        active, _ = apply_baseline(findings, allowed)
+        assert len(active) == 2
+
+    def test_unknown_version_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            load_baseline(str(bad))
+
+
+class TestCli:
+    def _write_violation(self, tmp_path):
+        mod = tmp_path / "src" / "repro" / "phy" / "mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("import time\nstamp = time.time()\n")
+        return mod
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        mod = tmp_path / "src" / "repro" / "phy" / "ok.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("import numpy as np\nZERO = np.complex64(0)\n")
+        assert rflint.main([str(tmp_path), "--no-baseline"]) == 0
+
+    def test_violation_exits_nonzero_naming_rule_file_line(self, tmp_path, capsys):
+        mod = self._write_violation(tmp_path)
+        code = rflint.main([str(tmp_path), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RFD101" in out
+        assert f"{mod}:2:" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        self._write_violation(tmp_path)
+        code = rflint.main([str(tmp_path), "--no-baseline", "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert report["counts"]["active"] == 1
+        assert report["findings"][0]["rule"] == "RFD101"
+        assert report["findings"][0]["rel"] == "repro/phy/mod.py"
+
+    def test_json_out_writes_report_file(self, tmp_path, capsys):
+        self._write_violation(tmp_path)
+        out_file = tmp_path / "report.json"
+        rflint.main([str(tmp_path), "--no-baseline", "--json-out", str(out_file)])
+        report = json.loads(out_file.read_text())
+        assert report["counts"]["active"] == 1
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        self._write_violation(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert rflint.main([
+            str(tmp_path), "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        assert rflint.main([str(tmp_path), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "grandfathered" in out
+
+    def test_select_and_ignore(self, tmp_path):
+        self._write_violation(tmp_path)
+        assert rflint.main(
+            [str(tmp_path), "--no-baseline", "--select", "RFD501"]) == 0
+        assert rflint.main(
+            [str(tmp_path), "--no-baseline", "--ignore", "RFD101"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert rflint.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RFD101", "RFD102", "RFD103", "RFD201", "RFD202",
+                        "RFD301", "RFD401", "RFD402", "RFD501"):
+            assert rule_id in out
+
+    def test_no_paths_is_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            rflint.main([])
+        assert exc.value.code == 2
+
+
+class TestFindingOrdering:
+    def test_findings_sorted_by_location(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                import time
+                def f(name: str = None):
+                    return time.time()
+                """
+            ),
+            path="src/repro/phy/mod.py",
+        )
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
