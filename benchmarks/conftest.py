@@ -14,6 +14,18 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Every test under benchmarks/ carries the ``bench`` marker.
+
+    Tier-1 runs never collect this directory (``testpaths`` pins
+    ``tests/``), and with the marker a combined run can still split the
+    suites: ``pytest tests benchmarks -m "not bench"`` is tier-1 only,
+    ``-m bench`` is benchmarks only.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture
 def report_table(capsys):
     """Print a rendered table live and persist it under results/."""

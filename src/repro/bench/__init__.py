@@ -1,0 +1,65 @@
+"""repro.bench — the performance-tracking harness.
+
+Benchmarks register themselves in :mod:`repro.bench.registry`, workloads
+come from :mod:`repro.bench.scenarios` (emulator presets plus a
+peak-dense stressor), :mod:`repro.bench.runner` times them under
+:class:`~repro.core.accounting.StageClock` after the serial-vs-vectorized
+equivalence gate, and :mod:`repro.bench.results` persists
+schema-versioned ``BENCH_<name>.json`` files that the
+``python -m repro.tools.rfbench`` CLI records and compares.
+"""
+
+from repro.bench.equivalence import (
+    EquivalenceError,
+    assert_detection_equivalence,
+    compare_detections,
+)
+from repro.bench.machine import CALIBRATION_SAMPLES, calibrate
+from repro.bench.registry import (
+    BenchContext,
+    Benchmark,
+    all_benchmarks,
+    get_benchmark,
+    register_benchmark,
+)
+from repro.bench.results import (
+    SCHEMA_VERSION,
+    BenchResult,
+    Comparison,
+    compare_results,
+    load_result,
+    load_results,
+    machine_fingerprint,
+    render_comparison,
+    result_filename,
+    write_result,
+)
+from repro.bench.runner import BenchOptions, BenchRunner
+from repro.bench.scenarios import peak_soup, preset_buffer
+
+__all__ = [
+    "BenchContext",
+    "BenchOptions",
+    "BenchResult",
+    "BenchRunner",
+    "Benchmark",
+    "CALIBRATION_SAMPLES",
+    "Comparison",
+    "EquivalenceError",
+    "SCHEMA_VERSION",
+    "all_benchmarks",
+    "assert_detection_equivalence",
+    "calibrate",
+    "compare_detections",
+    "compare_results",
+    "get_benchmark",
+    "load_result",
+    "load_results",
+    "machine_fingerprint",
+    "peak_soup",
+    "preset_buffer",
+    "register_benchmark",
+    "render_comparison",
+    "result_filename",
+    "write_result",
+]

@@ -1,0 +1,130 @@
+"""Serial-vs-vectorized equivalence checks, gating every trusted timing.
+
+A benchmark number for the vectorized detection stage is only worth
+recording if the vectorized kernels still compute *the same answer* as
+the reference implementation: identical peak intervals, identical chunk
+metadata, and identical dispatch decisions (extending PR 2's
+deterministic-counter guarantees to the kernel level).  The bench runner
+calls :func:`assert_detection_equivalence` on the benchmark workload
+before timing it; the same helper backs the tier-1 equivalence tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.dispatcher import Dispatcher
+from repro.core.peak_detector import (
+    PeakDetectionResult,
+    PeakDetector,
+    PeakDetectorConfig,
+)
+from repro.dsp.samples import SampleBuffer
+
+
+class EquivalenceError(AssertionError):
+    """Vectorized kernels diverged from the reference implementation."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise EquivalenceError(message)
+
+
+def compare_detections(reference: PeakDetectionResult,
+                       vectorized: PeakDetectionResult,
+                       power_rtol: float = 1e-9) -> None:
+    """Raise :class:`EquivalenceError` unless the two results agree.
+
+    Integer-valued outputs (intervals, chunk metadata, peak indices) must
+    match exactly; per-peak float statistics may differ only by summation
+    order (``power_rtol``).
+    """
+    _check(reference.noise_floor == vectorized.noise_floor,
+           "noise floor estimates differ")
+    _check(reference.threshold == vectorized.threshold, "thresholds differ")
+    _check(reference.total_samples == vectorized.total_samples,
+           "total sample counts differ")
+    _check(len(reference.history) == len(vectorized.history),
+           f"peak counts differ: {len(reference.history)} reference vs "
+           f"{len(vectorized.history)} vectorized")
+    _check(bool(np.array_equal(reference.history.starts, vectorized.history.starts)),
+           "peak interval starts differ")
+    _check(bool(np.array_equal(reference.history.ends, vectorized.history.ends)),
+           "peak interval ends differ")
+    ref_mean = np.array([p.mean_power for p in reference.history])
+    vec_mean = np.array([p.mean_power for p in vectorized.history])
+    _check(bool(np.allclose(ref_mean, vec_mean, rtol=power_rtol, atol=0.0)),
+           "peak mean powers differ beyond summation-order tolerance")
+    ref_max = np.array([p.peak_power for p in reference.history])
+    vec_max = np.array([p.peak_power for p in vectorized.history])
+    _check(bool(np.array_equal(ref_max, vec_max)), "peak max powers differ")
+
+    ref_chunks = reference.chunks
+    vec_chunks = vectorized.chunks
+    _check(len(ref_chunks) == len(vec_chunks), "chunk counts differ")
+    for i, (a, b) in enumerate(zip(ref_chunks, vec_chunks)):
+        _check(
+            (a.start_sample, a.n_samples, a.mean_power, a.n_peaks, a.active,
+             a.peak_indices)
+            == (b.start_sample, b.n_samples, b.mean_power, b.n_peaks, b.active,
+                b.peak_indices),
+            f"chunk metadata differs at chunk {i}",
+        )
+
+
+def assert_detection_equivalence(
+    buffer: SampleBuffer,
+    config: Optional[PeakDetectorConfig] = None,
+    detectors=None,
+    power_rtol: float = 1e-9,
+) -> Dict[str, object]:
+    """Run both implementations over ``buffer`` and demand agreement.
+
+    With ``detectors`` (a list of protocol detectors) the check extends
+    through classification into the dispatcher: the chunk-aligned ranges
+    forwarded per protocol must be byte-identical.  Returns a summary
+    (peak/chunk/range counts) for benchmark metadata.
+    """
+    cfg = config or PeakDetectorConfig()
+    reference = PeakDetector(cfg, impl="reference").detect(buffer)
+    vectorized = PeakDetector(cfg, impl="vectorized").detect(buffer)
+    compare_detections(reference, vectorized, power_rtol=power_rtol)
+
+    summary: Dict[str, object] = {
+        "peaks": len(vectorized.history),
+        "chunks": len(vectorized.chunks),
+    }
+    if detectors:
+        ranges = {}
+        for label, detection in (("reference", reference),
+                                 ("vectorized", vectorized)):
+            classifications = []
+            for det in detectors:
+                classifications.extend(det.classify(detection, buffer))
+            dispatcher = Dispatcher(chunk_samples=cfg.chunk_samples)
+            ranges[label] = dispatcher.dispatch(
+                classifications, buffer.end_sample, buffer.start_sample
+            )
+        ref_ranges, vec_ranges = ranges["reference"], ranges["vectorized"]
+        _check(set(ref_ranges) == set(vec_ranges),
+               "dispatched protocol sets differ")
+        for protocol in ref_ranges:
+            pairs = zip(ref_ranges[protocol], vec_ranges[protocol])
+            _check(
+                len(ref_ranges[protocol]) == len(vec_ranges[protocol])
+                and all(
+                    (a.start_sample, a.end_sample, a.channel, a.peak_indices,
+                     a.confidence, a.channel_conflict)
+                    == (b.start_sample, b.end_sample, b.channel, b.peak_indices,
+                        b.confidence, b.channel_conflict)
+                    for a, b in pairs
+                ),
+                f"dispatch decisions differ for protocol {protocol!r}",
+            )
+        summary["dispatched_ranges"] = {
+            protocol: len(items) for protocol, items in vec_ranges.items()
+        }
+    return summary

@@ -1,0 +1,55 @@
+"""Machine calibration for cross-host comparable benchmark numbers.
+
+Committed baselines are recorded on one machine and checked on another
+(a CI runner), so raw samples/sec is meaningless across files.  The fix
+is a reference workload — the same complex64 power computation the
+detection stage performs, over a fixed seeded buffer — timed on the
+current host.  Dividing a benchmark's samples/sec by this calibrated
+reference throughput yields a dimensionless "fraction of raw numpy
+speed" that transfers between machines to first order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.accounting import StageClock
+
+#: calibration workload size (samples); large enough to leave L2 but
+#: small enough to run in a few milliseconds everywhere
+CALIBRATION_SAMPLES = 1 << 20
+
+
+def _calibration_buffer() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(2 * CALIBRATION_SAMPLES, dtype=np.float32)
+    return x.view(np.complex64)
+
+
+def calibrate(repeats: int = 5, clock: Optional[StageClock] = None) -> float:
+    """Reference throughput (samples/sec) of |x|^2 + moving sum on this host.
+
+    The median of ``repeats`` timings; timing flows through
+    :class:`StageClock` like every other measurement in the repo.
+    """
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    x = _calibration_buffer()
+    clock = clock if clock is not None else StageClock()
+    seconds = []
+    for i in range(repeats):
+        stage = f"calibrate_{i}"
+        with clock.stage(stage):
+            power = x.real.astype(np.float64) ** 2 + x.imag.astype(np.float64) ** 2
+            csum = np.cumsum(power)
+            _ = csum[-1]
+        seconds.append(clock.seconds[stage])
+    seconds.sort()
+    median = seconds[len(seconds) // 2] if len(seconds) % 2 else 0.5 * (
+        seconds[len(seconds) // 2 - 1] + seconds[len(seconds) // 2]
+    )
+    if median <= 0:
+        raise RuntimeError("calibration timer resolution too coarse")
+    return CALIBRATION_SAMPLES / median

@@ -1,0 +1,183 @@
+"""Schema-versioned benchmark results: ``BENCH_<name>.json`` files.
+
+One file per benchmark keeps diffs reviewable and lets CI upload each
+result as its own artifact.  Every file carries the schema version, a
+machine fingerprint, and both raw and machine-normalized throughput so
+results recorded on different hardware stay comparable: the normalized
+metric divides pipeline samples/sec by the machine's calibrated raw
+numpy throughput (see :mod:`repro.bench.machine`), cancelling the
+hardware term to first order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+SCHEMA_VERSION = 1
+
+#: result files are named BENCH_<benchmark name>.json
+FILE_PREFIX = "BENCH_"
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's measured throughput."""
+
+    name: str
+    n_samples: int                 #: workload size per repeat (IQ samples)
+    repeats: int
+    warmup: int
+    seconds: List[float]           #: per-repeat stage seconds (StageClock)
+    samples_per_second: float      #: n_samples / median(seconds)
+    normalized: float              #: samples_per_second / calibration_sps
+    calibration_sps: float         #: machine reference throughput
+    impl: str = "vectorized"
+    quick: bool = False
+    equivalence_checked: bool = False
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def median_seconds(self) -> float:
+        ordered = sorted(self.seconds)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """Where a result was measured (identity, not timing)."""
+    import numpy
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def result_filename(name: str) -> str:
+    return f"{FILE_PREFIX}{name}.json"
+
+
+def write_result(directory: str, result: BenchResult,
+                 machine: Optional[Dict[str, object]] = None) -> str:
+    """Write one ``BENCH_<name>.json``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, result_filename(result.name))
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "machine": machine if machine is not None else machine_fingerprint(),
+        "result": asdict(result),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_result(path: str) -> Tuple[BenchResult, Dict[str, object]]:
+    """Load one result file; raises ``ValueError`` on schema mismatch."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    version = doc.get("schema_version")
+    if not isinstance(version, int) or version > SCHEMA_VERSION or version < 1:
+        raise ValueError(
+            f"{path}: unsupported bench schema version {version!r} "
+            f"(this build reads <= {SCHEMA_VERSION})"
+        )
+    payload = doc.get("result")
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: missing result payload")
+    known = {f for f in BenchResult.__dataclass_fields__}
+    kwargs = {k: v for k, v in payload.items() if k in known}
+    return BenchResult(**kwargs), doc.get("machine", {})
+
+
+def load_results(directory: str) -> Dict[str, BenchResult]:
+    """Every ``BENCH_*.json`` under ``directory``, keyed by benchmark name."""
+    out: Dict[str, BenchResult] = {}
+    if not os.path.isdir(directory):
+        return out
+    for entry in sorted(os.listdir(directory)):
+        if entry.startswith(FILE_PREFIX) and entry.endswith(".json"):
+            result, _ = load_result(os.path.join(directory, entry))
+            out[result.name] = result
+    return out
+
+
+@dataclass
+class Comparison:
+    """One benchmark's current-vs-baseline verdict."""
+
+    name: str
+    baseline_normalized: float
+    current_normalized: float
+    #: current / baseline on the normalized metric (> 1 means faster)
+    speedup: float
+    regressed: bool
+    note: str = ""
+
+
+def compare_results(current: Dict[str, BenchResult],
+                    baseline: Dict[str, BenchResult],
+                    max_regress: float = 0.25) -> List[Comparison]:
+    """Compare normalized throughput against a baseline set.
+
+    A benchmark regresses when its normalized throughput falls more than
+    ``max_regress`` (a fraction) below the baseline.  Benchmarks present
+    on only one side are reported with a note but never fail the gate —
+    new benchmarks must be able to land together with their baselines.
+    """
+    if not 0.0 <= max_regress < 1.0:
+        raise ValueError("max_regress must be in [0, 1)")
+    rows: List[Comparison] = []
+    for name in sorted(set(current) | set(baseline)):
+        cur = current.get(name)
+        base = baseline.get(name)
+        if cur is None:
+            rows.append(Comparison(name, base.normalized, 0.0, 0.0, False,
+                                   note="missing from current run"))
+            continue
+        if base is None:
+            rows.append(Comparison(name, 0.0, cur.normalized, 0.0, False,
+                                   note="no committed baseline"))
+            continue
+        note = ""
+        if base.quick != cur.quick:
+            note = "quick-mode mismatch vs baseline"
+        if base.normalized <= 0:
+            rows.append(Comparison(name, base.normalized, cur.normalized, 0.0,
+                                   False, note or "baseline throughput is zero"))
+            continue
+        speedup = cur.normalized / base.normalized
+        regressed = speedup < (1.0 - max_regress)
+        rows.append(Comparison(name, base.normalized, cur.normalized,
+                               speedup, regressed, note))
+    return rows
+
+
+def render_comparison(rows: List[Comparison], max_regress: float) -> str:
+    """A fixed-width comparison table for terminals and CI logs."""
+    header = (f"{'benchmark':<24} {'baseline':>12} {'current':>12} "
+              f"{'speedup':>8}  verdict")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        if row.note and row.speedup == 0.0:
+            verdict = row.note
+        elif row.regressed:
+            verdict = f"REGRESSED (> {max_regress * 100:.0f}% below baseline)"
+        else:
+            verdict = "ok" + (f" ({row.note})" if row.note else "")
+        lines.append(
+            f"{row.name:<24} {row.baseline_normalized:>12.4f} "
+            f"{row.current_normalized:>12.4f} "
+            f"{(f'{row.speedup:.2f}x' if row.speedup else '-'):>8}  {verdict}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""The benchmark runner: equivalence first, then warmup/repeat/median timing.
+
+One :class:`BenchRunner` call produces a list of
+:class:`~repro.bench.results.BenchResult` rows ready for
+:func:`~repro.bench.results.write_result`.  The protocol per benchmark:
+
+1. ``setup`` builds the workload (untimed — trace synthesis is not the
+   thing being measured).
+2. The ``equivalence`` hook, if any, runs the serial reference and the
+   vectorized kernels over the workload and demands identical answers.
+   A timing for kernels that compute the wrong thing is worse than no
+   timing, so this happens *before* the clock starts and a failure
+   aborts the benchmark.
+3. ``warmup`` untimed repetitions absorb first-call costs (FFT plan
+   construction, numpy internals), then ``repeats`` timed repetitions
+   run under :class:`StageClock` and the median is kept.
+
+Throughput is additionally normalized by :func:`repro.bench.machine.calibrate`
+so committed baselines transfer across hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.machine import calibrate
+from repro.bench.registry import BenchContext, Benchmark, all_benchmarks, get_benchmark
+from repro.bench.results import BenchResult
+from repro.core.accounting import StageClock
+from repro.obs import NULL, Observability
+
+
+@dataclass(frozen=True)
+class BenchOptions:
+    """Knobs for one runner invocation."""
+
+    repeats: int = 5
+    warmup: int = 1
+    quick: bool = False
+    impl: str = "vectorized"
+    check_equivalence: bool = True
+    names: Optional[Sequence[str]] = None
+
+    def __post_init__(self):
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+class BenchRunner:
+    """Runs registered benchmarks and reports normalized throughput."""
+
+    def __init__(self, options: Optional[BenchOptions] = None,
+                 obs: Optional[Observability] = None):
+        self.options = options or BenchOptions()
+        self.obs = obs or NULL
+
+    def _selected(self) -> List[Benchmark]:
+        if self.options.names:
+            return [get_benchmark(name) for name in self.options.names]
+        return all_benchmarks()
+
+    def run_one(self, bench: Benchmark, calibration_sps: float) -> BenchResult:
+        opts = self.options
+        ctx = BenchContext(quick=opts.quick, impl=opts.impl)
+        workload = bench.setup(ctx)
+
+        meta: Dict[str, object] = {"tags": list(bench.tags)}
+        equivalence_checked = False
+        if opts.check_equivalence and bench.equivalence is not None:
+            meta["equivalence"] = bench.equivalence(workload, ctx)
+            equivalence_checked = True
+
+        clock = StageClock(obs=self.obs)
+        n_samples = 0
+        for _ in range(opts.warmup):
+            n_samples = bench.run(workload, ctx)
+        seconds: List[float] = []
+        for i in range(opts.repeats):
+            stage = f"bench_{bench.name}_{i}"
+            with clock.stage(stage):
+                n_samples = bench.run(workload, ctx)
+            seconds.append(clock.seconds[stage])
+        median = _median(seconds)
+        if median <= 0:
+            raise RuntimeError(
+                f"benchmark {bench.name!r} ran faster than the timer "
+                "resolution; increase the workload size"
+            )
+        sps = n_samples / median
+        self.obs.gauge(
+            "rfdump_bench_samples_per_second",
+            help="median benchmark throughput",
+            bench=bench.name,
+        ).set(sps)
+        return BenchResult(
+            name=bench.name,
+            n_samples=int(n_samples),
+            repeats=opts.repeats,
+            warmup=opts.warmup,
+            seconds=seconds,
+            samples_per_second=sps,
+            normalized=sps / calibration_sps,
+            calibration_sps=calibration_sps,
+            impl=opts.impl,
+            quick=opts.quick,
+            equivalence_checked=equivalence_checked,
+            meta=meta,
+        )
+
+    def run(self) -> List[BenchResult]:
+        calibration_sps = calibrate()
+        return [self.run_one(bench, calibration_sps)
+                for bench in self._selected()]

@@ -1,0 +1,57 @@
+"""Benchmark workloads: emulator presets plus a peak-dense kernel stressor.
+
+Two kinds of workload feed the suite:
+
+* **Preset traces** — rendered through :mod:`repro.emulator.presets`, so
+  the pipeline-level benchmarks time exactly the workloads the paper's
+  figures use (mix, unicast, bluetooth).
+* **The peak soup** — a seeded noise floor carrying thousands of short
+  just-above-threshold bursts.  Realistic traffic yields tens of peaks
+  per 100 ms, which under-exercises the per-peak kernels; the soup puts
+  the interval merge, per-peak statistics and peak->chunk assignment on
+  the critical path the way a busy wideband capture would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_SAMPLE_RATE
+from repro.dsp.samples import SampleBuffer
+from repro.emulator.presets import build_preset
+from repro.util.timebase import Timebase
+
+
+def preset_buffer(preset: str, duration: float, snr_db: float = 20.0,
+                  seed: int = 0) -> SampleBuffer:
+    """Render a named emulator preset to a sample buffer."""
+    return build_preset(preset, duration, snr_db=snr_db, seed=seed).render().buffer
+
+
+def peak_soup(n_samples: int, burst_len: int = 40, period: int = 100,
+              amplitude: float = 2.8, seed: int = 7,
+              sample_rate: float = DEFAULT_SAMPLE_RATE) -> SampleBuffer:
+    """A noise trace carrying ``~n_samples / period`` short bursts.
+
+    Bursts are spaced ``period`` samples apart (farther than the
+    detector's ``min_gap``, so none merge) and sit ~9 dB over the floor,
+    so every one survives the energy gate — maximizing per-peak kernel
+    work per sample scanned.  The defaults put a burst at the head of
+    every second 50-sample chunk, leaving the other half of the chunks
+    clean so the detector's percentile noise-floor estimate stays at the
+    true floor (pair with ``PeakDetectorConfig(chunk_samples=50)``).
+    Fully deterministic for a given seed.
+    """
+    if burst_len <= 0 or period <= burst_len:
+        raise ValueError("need 0 < burst_len < period")
+    rng = np.random.default_rng(seed)
+    x = np.sqrt(0.5) * (
+        rng.normal(size=n_samples) + 1j * rng.normal(size=n_samples)
+    )
+    starts = np.arange(0, max(n_samples - burst_len, 0), period)
+    offsets = np.arange(burst_len)
+    idx = (starts[:, None] + offsets[None, :]).ravel()
+    amp = np.zeros(n_samples)
+    amp[idx] = amplitude
+    x += amp
+    return SampleBuffer(x.astype(np.complex64), Timebase(sample_rate))

@@ -1,0 +1,187 @@
+"""The default benchmark suite (self-registers on import).
+
+Each benchmark times one hot path of the monitoring pipeline and reports
+IQ samples processed per second.  Sizes come in two tiers: ``quick``
+(the PR regression gate — a few hundred ms per bench) and full (the
+nightly suite).  The peak-detection benchmark is the one the
+vectorization work is judged by: its committed pre-vectorization
+baseline was recorded with ``--impl reference``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.bench.equivalence import assert_detection_equivalence
+from repro.bench.registry import Benchmark, BenchContext, register_benchmark
+from repro.bench.scenarios import peak_soup, preset_buffer
+from repro.core.peak_detector import PeakDetector, PeakDetectorConfig
+from repro.dsp.energy import chunk_average_of, instant_power, interval_stats, moving_average_of
+from repro.dsp.fftutil import spectrogram
+from repro.dsp.phase import phase_derivative_batch
+
+
+def _soup(ctx: BenchContext):
+    n = 400_000 if ctx.quick else 1_600_000
+    return peak_soup(n)
+
+
+def _soup_config() -> PeakDetectorConfig:
+    # 50-sample chunks pair with the soup's burst spacing: half the
+    # chunks stay clean, keeping the percentile noise floor honest while
+    # packing ~10 peaks into every 1000 samples scanned
+    return PeakDetectorConfig(chunk_samples=50)
+
+
+# -- peak detection (the headline microbenchmark) ---------------------------
+
+def _peak_setup(ctx: BenchContext) -> Dict[str, object]:
+    buffer = _soup(ctx)
+    cfg = _soup_config()
+    return {"buffer": buffer, "cfg": cfg,
+            "detector": PeakDetector(cfg, impl=ctx.impl)}
+
+
+def _peak_run(workload, ctx: BenchContext) -> int:
+    buffer = workload["buffer"]
+    # detect() is the hot path: the history feeds the timing/phase
+    # detectors directly; chunk records stay lazy (their byte-identity is
+    # what the equivalence hook asserts)
+    workload["detector"].detect(buffer)
+    return len(buffer)
+
+
+def _peak_equivalence(workload, ctx: BenchContext) -> Dict[str, object]:
+    return assert_detection_equivalence(workload["buffer"],
+                                        config=workload["cfg"])
+
+
+register_benchmark(Benchmark(
+    name="peak_detection",
+    description="protocol-agnostic peak detection + chunk metadata over a "
+                "peak-dense trace",
+    setup=_peak_setup,
+    run=_peak_run,
+    equivalence=_peak_equivalence,
+    tags=("kernel", "detection"),
+))
+
+
+# -- energy kernels ---------------------------------------------------------
+
+def _energy_setup(ctx: BenchContext):
+    buffer = _soup(ctx)
+    cfg = _soup_config()
+    detection = PeakDetector(cfg).detect(buffer)
+    starts = (detection.history.starts - buffer.start_sample).astype(np.intp)
+    ends = (detection.history.ends - buffer.start_sample).astype(np.intp)
+    return {"samples": buffer.samples, "cfg": cfg, "starts": starts, "ends": ends}
+
+
+def _energy_run(workload, ctx: BenchContext) -> int:
+    samples = workload["samples"]
+    cfg = workload["cfg"]
+    power = instant_power(samples)
+    moving_average_of(power, cfg.energy_window)
+    chunk_average_of(power, cfg.chunk_samples)
+    if workload["starts"].size:
+        interval_stats(power, workload["starts"], workload["ends"])
+    return samples.size
+
+
+register_benchmark(Benchmark(
+    name="energy_features",
+    description="instantaneous power, moving average, chunk averages and "
+                "batched interval statistics",
+    setup=_energy_setup,
+    run=_energy_run,
+    tags=("kernel", "dsp"),
+))
+
+
+# -- phase kernels ----------------------------------------------------------
+
+def _phase_setup(ctx: BenchContext):
+    workload = _energy_setup(ctx)
+    return workload
+
+
+def _phase_run(workload, ctx: BenchContext) -> int:
+    values, _ = phase_derivative_batch(
+        workload["samples"], workload["starts"], workload["ends"]
+    )
+    return int(values.size)
+
+
+register_benchmark(Benchmark(
+    name="phase_features",
+    description="batched per-peak phase derivatives over every detected "
+                "interval",
+    setup=_phase_setup,
+    run=_phase_run,
+    tags=("kernel", "dsp"),
+))
+
+
+# -- FFT / spectrogram ------------------------------------------------------
+
+def _fft_setup(ctx: BenchContext):
+    n = 262_144 if ctx.quick else 1_048_576
+    return {"samples": peak_soup(n).samples}
+
+
+def _fft_run(workload, ctx: BenchContext) -> int:
+    samples = workload["samples"]
+    spectrogram(samples, fft_size=256)
+    return samples.size
+
+
+register_benchmark(Benchmark(
+    name="fft_spectrogram",
+    description="non-overlapping 256-point power spectrogram through the "
+                "FFT plan cache",
+    setup=_fft_setup,
+    run=_fft_run,
+    tags=("kernel", "dsp"),
+))
+
+
+# -- full pipeline over an emulator preset ----------------------------------
+
+def _pipeline_setup(ctx: BenchContext):
+    from repro.core.config import MonitorConfig
+    from repro.core.monitor import make_monitor
+    from repro.core.pipeline import default_detectors
+
+    duration = 0.05 if ctx.quick else 0.25
+    buffer = preset_buffer("mix", duration, seed=3)
+    monitor = make_monitor("rfdump", MonitorConfig(demodulate=False))
+    detectors = default_detectors(("wifi", "bluetooth"), ("timing", "phase"))
+    return {"buffer": buffer, "monitor": monitor, "detectors": detectors}
+
+
+def _pipeline_run(workload, ctx: BenchContext) -> int:
+    buffer = workload["buffer"]
+    workload["monitor"].process(buffer)
+    return len(buffer)
+
+
+def _pipeline_equivalence(workload, ctx: BenchContext) -> Dict[str, object]:
+    # through classification and dispatch: the forwarded ranges must be
+    # byte-identical between kernel implementations
+    return assert_detection_equivalence(
+        workload["buffer"], detectors=workload["detectors"]
+    )
+
+
+register_benchmark(Benchmark(
+    name="pipeline_mix",
+    description="full RFDump pipeline (detection, classification, dispatch) "
+                "over the Wi-Fi + Bluetooth mix preset",
+    setup=_pipeline_setup,
+    run=_pipeline_run,
+    equivalence=_pipeline_equivalence,
+    tags=("pipeline",),
+))

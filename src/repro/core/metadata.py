@@ -56,6 +56,15 @@ class PeakHistory:
         self._peaks: List[Peak] = []
         self._starts: List[int] = []
         self._ends: List[int] = []
+        # cached (read-only) array forms of _starts/_ends; rebuilt lazily
+        # after appends so the timing detectors' many queries don't pay a
+        # list->array conversion each
+        self._starts_arr: Optional[np.ndarray] = None
+        self._ends_arr: Optional[np.ndarray] = None
+
+    def _invalidate(self) -> None:
+        self._starts_arr = None
+        self._ends_arr = None
 
     def append(self, start_sample: int, end_sample: int, mean_power: float,
                peak_power: float) -> Peak:
@@ -64,7 +73,29 @@ class PeakHistory:
         self._peaks.append(peak)
         self._starts.append(start_sample)
         self._ends.append(end_sample)
+        self._invalidate()
         return peak
+
+    def extend_from_arrays(self, starts: np.ndarray, ends: np.ndarray,
+                           mean_powers: np.ndarray, peak_powers: np.ndarray) -> None:
+        """Bulk-append peaks from parallel arrays (the vectorized detector).
+
+        Equivalent to calling :meth:`append` per element, but the index
+        bookkeeping is batched and the array caches are filled directly
+        when the history starts empty (the common detection-stage case).
+        """
+        base = len(self._peaks)
+        s_list = [int(v) for v in starts.tolist()]
+        e_list = [int(v) for v in ends.tolist()]
+        self._peaks.extend(
+            Peak(s, e, float(m), float(p), index=base + i)
+            for i, (s, e, m, p) in enumerate(
+                zip(s_list, e_list, mean_powers.tolist(), peak_powers.tolist())
+            )
+        )
+        self._starts.extend(s_list)
+        self._ends.extend(e_list)
+        self._invalidate()
 
     def __len__(self) -> int:
         return len(self._peaks)
@@ -77,11 +108,19 @@ class PeakHistory:
 
     @property
     def starts(self) -> np.ndarray:
-        return np.asarray(self._starts, dtype=np.int64)
+        if self._starts_arr is None:
+            arr = np.asarray(self._starts, dtype=np.int64)
+            arr.flags.writeable = False
+            self._starts_arr = arr
+        return self._starts_arr
 
     @property
     def ends(self) -> np.ndarray:
-        return np.asarray(self._ends, dtype=np.int64)
+        if self._ends_arr is None:
+            arr = np.asarray(self._ends, dtype=np.int64)
+            arr.flags.writeable = False
+            self._ends_arr = arr
+        return self._ends_arr
 
     def before(self, index: int, window: Optional[int] = None) -> List[Peak]:
         """Peaks preceding ``index``, optionally only the last ``window``."""

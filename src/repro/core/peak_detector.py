@@ -7,10 +7,15 @@ examining; within active regions the start and end of each peak are
 located precisely using the moving-average energy plus an instantaneous
 magnitude threshold.
 
-The implementation is vectorized numpy — the equivalent of the paper's
-C++ GNU Radio block — but preserves the chunk/window semantics, and its
-measured cost per sample is what Table 1's "Peak/Energy detection" row
-reproduces.
+The implementation is fully vectorized numpy — the equivalent of the
+paper's C++ GNU Radio block — and its measured cost per sample is what
+Table 1's "Peak/Energy detection" row (and the ``peak_detection``
+``rfbench`` microbenchmark) reproduces.  Interval merging, per-peak
+power statistics and the peak->chunk assignment all run as whole-array
+operations (:func:`np.add.reduceat`, ``np.bincount``, ``np.repeat``);
+the pre-vectorization Python-loop kernels are retained as
+``impl="reference"`` so equivalence can be asserted (and the speedup
+measured) against them — see ``repro.bench.equivalence``.
 """
 
 from __future__ import annotations
@@ -26,9 +31,18 @@ from repro.constants import (
     DEFAULT_ENERGY_WINDOW,
 )
 from repro.core.metadata import ChunkMetadata, Peak, PeakHistory
-from repro.dsp.energy import chunk_average_of, chunk_average_power, moving_average_of
+from repro.dsp.energy import (
+    chunk_average_of,
+    chunk_average_power,
+    instant_power,
+    interval_stats,
+    moving_average_of,
+)
 from repro.dsp.samples import SampleBuffer
 from repro.util.db import db_to_linear
+
+#: kernel implementations ``PeakDetector`` can run
+IMPLEMENTATIONS = ("vectorized", "reference")
 
 
 @dataclass
@@ -95,11 +109,23 @@ class PeakDetector:
     ``obs`` (an :class:`repro.obs.Observability`, settable after
     construction) records the deterministic detection metrics: peaks
     found, samples scanned, and the tracked noise floor.
+
+    ``impl`` selects the kernel implementation: ``"vectorized"`` (the
+    default) or ``"reference"``, the pre-vectorization Python-loop
+    version kept for equivalence testing and as the benchmark baseline.
+    Both produce identical intervals, chunk metadata and dispatch
+    decisions; per-peak float statistics agree to ULP-level rounding.
     """
 
-    def __init__(self, config: Optional[PeakDetectorConfig] = None, obs=None):
+    def __init__(self, config: Optional[PeakDetectorConfig] = None, obs=None,
+                 impl: str = "vectorized"):
+        if impl not in IMPLEMENTATIONS:
+            raise ValueError(
+                f"unknown impl {impl!r}; known: {', '.join(IMPLEMENTATIONS)}"
+            )
         self.config = config or PeakDetectorConfig()
         self.obs = obs
+        self.impl = impl
 
     def estimate_noise_floor(self, buffer: SampleBuffer) -> float:
         """Noise floor as a low percentile of per-chunk powers."""
@@ -113,8 +139,7 @@ class PeakDetector:
         cfg = self.config
         samples = buffer.samples
         # |x|^2 is needed by every sub-stage; compute it exactly once
-        power = (samples.real.astype(np.float64) ** 2
-                 + samples.imag.astype(np.float64) ** 2)
+        power = instant_power(samples)
         chunk_powers = chunk_average_of(power, cfg.chunk_samples)
         if noise_floor is None:
             if chunk_powers.size == 0:
@@ -123,16 +148,26 @@ class PeakDetector:
         threshold = noise_floor * float(db_to_linear(cfg.threshold_db))
 
         avg_power = moving_average_of(power, cfg.energy_window)
-        intervals = self._peak_intervals(power, avg_power, threshold)
+        active = self._active_mask(power, avg_power, threshold)
 
         history = PeakHistory(buffer.sample_rate)
-        for start, end in intervals:
-            seg = power[start:end]
-            history.append(
-                buffer.start_sample + start,
-                buffer.start_sample + end,
-                float(seg.mean()),
-                float(seg.max()),
+        if self.impl == "reference":
+            intervals = self._intervals_reference(active)
+            self._fill_history_reference(history, buffer, power, intervals)
+            chunk_builder = lambda: self._chunk_metadata_reference(  # noqa: E731
+                buffer, chunk_powers, threshold, history
+            )
+        else:
+            istarts, iends = self._intervals_vectorized(active)
+            if istarts.size:
+                _, means, maxes = interval_stats(power, istarts, iends)
+                history.extend_from_arrays(
+                    buffer.start_sample + istarts.astype(np.int64),
+                    buffer.start_sample + iends.astype(np.int64),
+                    means, maxes,
+                )
+            chunk_builder = lambda: self._chunk_metadata_vectorized(  # noqa: E731
+                buffer, chunk_powers, threshold, history
             )
 
         if self.obs:
@@ -153,23 +188,25 @@ class PeakDetector:
             noise_floor=noise_floor,
             threshold=threshold,
             total_samples=len(samples),
-            chunk_builder=lambda: self._chunk_metadata(
-                buffer, chunk_powers, threshold, history
-            ),
+            chunk_builder=chunk_builder,
         )
 
-    # -- internals -----------------------------------------------------------
+    # -- shared ---------------------------------------------------------------
 
-    def _peak_intervals(self, power: np.ndarray, avg_power: np.ndarray,
-                        threshold: float) -> List[Tuple[int, int]]:
-        """Run detection on the averaged energy, refined by magnitude."""
+    def _active_mask(self, power: np.ndarray, avg_power: np.ndarray,
+                     threshold: float) -> np.ndarray:
+        """Samples that pass both the averaged and instantaneous gates."""
         cfg = self.config
         active = avg_power > threshold
         # refine edges: also require the instantaneous magnitude-squared to
         # clear a fraction of the threshold, so averaged tails don't smear
         # peak boundaries by a full window
         active &= power > cfg.instantaneous_factor * threshold
+        return active
 
+    @staticmethod
+    def _run_edges(active: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Starts/ends of contiguous True runs in the activity mask."""
         edges = np.diff(active.astype(np.int8))
         starts = np.flatnonzero(edges == 1) + 1
         ends = np.flatnonzero(edges == -1) + 1
@@ -177,33 +214,129 @@ class PeakDetector:
             starts = np.concatenate([[0], starts])
         if active.size and active[-1]:
             ends = np.concatenate([ends, [active.size]])
+        return starts, ends
 
+    # -- vectorized kernels ---------------------------------------------------
+
+    def _intervals_vectorized(self, active: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Gap-merged, length-filtered peak intervals as index arrays.
+
+        Runs separated by less than ``min_gap`` coalesce: a boolean break
+        mask over the inter-run gaps selects each merged group's first
+        start and last end — no per-run Python iteration.
+        """
+        cfg = self.config
+        starts, ends = self._run_edges(active)
+        if starts.size == 0:
+            empty = np.zeros(0, dtype=np.intp)
+            return empty, empty.copy()
+        # runs are sorted and disjoint, so the gap before run i is
+        # starts[i] - ends[i-1]; a True marks the start of a new group
+        breaks = (starts[1:] - ends[:-1]) >= cfg.min_gap
+        first = np.concatenate([[True], breaks])
+        last = np.concatenate([breaks, [True]])
+        gstarts = starts[first]
+        gends = ends[last]
+        keep = (gends - gstarts) >= cfg.min_length
+        return gstarts[keep].astype(np.intp), gends[keep].astype(np.intp)
+
+    def _chunk_metadata_vectorized(self, buffer: SampleBuffer, chunk_powers: np.ndarray,
+                                   threshold: float, history: PeakHistory) -> List[ChunkMetadata]:
+        """Peak->chunk assignment via bincount/repeat instead of a
+        history x chunks Python fill."""
+        cfg = self.config
+        cs = cfg.chunk_samples
+        nchunks = chunk_powers.size
+        npeaks = len(history)
+
+        starts = history.starts - buffer.start_sample
+        ends = history.ends - buffer.start_sample
+        first_chunk = np.maximum(starts // cs, 0)
+        last_chunk = np.minimum((ends - 1) // cs, nchunks - 1)
+        lengths = np.maximum(last_chunk - first_chunk + 1, 0)
+        total = int(lengths.sum())
+
+        if total:
+            run_offsets = np.concatenate([[0], np.cumsum(lengths[:-1])])
+            pos = np.arange(total, dtype=np.int64) - np.repeat(run_offsets, lengths)
+            chunk_idx = np.repeat(first_chunk, lengths) + pos
+            peak_ids = np.repeat(np.arange(npeaks, dtype=np.int64), lengths)
+            counts = np.bincount(chunk_idx, minlength=nchunks)
+            # group peak ids by chunk, ascending peak index within a chunk
+            # (byte-identical to the reference append order)
+            order = np.lexsort((peak_ids, chunk_idx))
+            sorted_ids = peak_ids[order]
+            offsets = np.concatenate([[0], np.cumsum(counts)])
+        else:
+            counts = np.zeros(nchunks, dtype=np.int64)
+            sorted_ids = np.zeros(0, dtype=np.int64)
+            offsets = np.zeros(nchunks + 1, dtype=np.int64)
+
+        base = buffer.start_sample
+        end_sample = buffer.end_sample
+        active = chunk_powers > threshold
+        active_list = active.tolist()
+        power_list = chunk_powers.tolist()
+        counts_list = counts.tolist()
+        offsets_list = offsets.tolist()
+        return [
+            ChunkMetadata(
+                start_sample=base + i * cs,
+                n_samples=min(cs, end_sample - (base + i * cs)),
+                mean_power=power_list[i],
+                n_peaks=counts_list[i],
+                active=active_list[i],
+                peak_indices=sorted_ids[offsets_list[i]:offsets_list[i + 1]].tolist(),
+                history=history,
+            )
+            for i in range(nchunks)
+        ]
+
+    # -- reference kernels (pre-vectorization; equivalence + baseline) --------
+
+    def _intervals_reference(self, active: np.ndarray) -> List[Tuple[int, int]]:
+        """The original per-run merge loop, kept as the equivalence oracle."""
+        cfg = self.config
+        starts, ends = self._run_edges(active)
         intervals: List[Tuple[int, int]] = []
-        for start, end in zip(starts, ends):
+        # reference implementation: deliberately loopy (rfbench baseline)
+        for start, end in zip(starts, ends):  # rfdump: noqa[RFD601]
             if intervals and start - intervals[-1][1] < cfg.min_gap:
                 intervals[-1] = (intervals[-1][0], int(end))
             else:
                 intervals.append((int(start), int(end)))
         return [(s, e) for s, e in intervals if e - s >= cfg.min_length]
 
-    def _chunk_metadata(self, buffer: SampleBuffer, chunk_powers: np.ndarray,
-                        threshold: float, history: PeakHistory) -> List[ChunkMetadata]:
+    def _fill_history_reference(self, history: PeakHistory, buffer: SampleBuffer,
+                                power: np.ndarray, intervals: List[Tuple[int, int]]) -> None:
+        # reference implementation: per-peak slice/mean/max Python round trips
+        for start, end in intervals:  # rfdump: noqa[RFD601]
+            seg = power[start:end]
+            history.append(
+                buffer.start_sample + start,
+                buffer.start_sample + end,
+                float(seg.mean()),
+                float(seg.max()),
+            )
+
+    def _chunk_metadata_reference(self, buffer: SampleBuffer, chunk_powers: np.ndarray,
+                                  threshold: float, history: PeakHistory) -> List[ChunkMetadata]:
         cfg = self.config
         cs = cfg.chunk_samples
         nchunks = chunk_powers.size
-        # vectorized peak -> chunk-range assignment (peaks are sorted and
-        # non-overlapping, so per-chunk index lists come from one pass)
         peak_lists: List[List[int]] = [[] for _ in range(nchunks)]
         starts = history.starts - buffer.start_sample
         ends = history.ends - buffer.start_sample
         first_chunk = np.maximum(starts // cs, 0)
         last_chunk = np.minimum((ends - 1) // cs, nchunks - 1)
-        for k in range(len(history)):
-            for ci in range(int(first_chunk[k]), int(last_chunk[k]) + 1):
+        # reference implementation: the O(history x chunks) fill
+        for k in range(len(history)):  # rfdump: noqa[RFD601]
+            for ci in range(int(first_chunk[k]), int(last_chunk[k]) + 1):  # rfdump: noqa[RFD601]
                 peak_lists[ci].append(k)
         active = chunk_powers > threshold
         chunks: List[ChunkMetadata] = []
-        for i in range(nchunks):
+        # reference implementation: per-chunk record construction loop
+        for i in range(nchunks):  # rfdump: noqa[RFD601]
             c_start = buffer.start_sample + i * cs
             c_len = min(cs, buffer.end_sample - c_start)
             chunks.append(

@@ -8,9 +8,63 @@ threshold is applied.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
 
 from repro.constants import DEFAULT_CHUNK_SAMPLES, DEFAULT_ENERGY_WINDOW
+from repro.dsp.samples import chunk_views
+
+
+def instant_power(samples: np.ndarray) -> np.ndarray:
+    """Per-sample ``|x|^2`` as float64, in one pass over real and imag.
+
+    ``re*re + im*im`` avoids the intermediate magnitude array (and the
+    square root) that ``np.abs(x) ** 2`` would compute.
+    """
+    x = np.asarray(samples)
+    if np.iscomplexobj(x):
+        re = x.real.astype(np.float64)
+        im = x.imag.astype(np.float64)
+        return re * re + im * im
+    x = x.astype(np.float64)
+    return x * x
+
+
+def interval_stats(
+    power: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched ``(sums, means, maxes)`` of ``power`` over ``[start, end)`` intervals.
+
+    The intervals must be sorted, non-empty and non-overlapping — exactly
+    what the peak detector produces.  One ``np.add.reduceat`` /
+    ``np.maximum.reduceat`` pass replaces a Python loop of per-interval
+    ``seg.mean()`` / ``seg.max()`` calls.
+    """
+    power = np.asarray(power, dtype=np.float64)
+    starts = np.asarray(starts, dtype=np.intp)
+    ends = np.asarray(ends, dtype=np.intp)
+    if starts.shape != ends.shape or starts.ndim != 1:
+        raise ValueError("starts/ends must be matching 1-D arrays")
+    n = starts.size
+    if n == 0:
+        empty = np.zeros(0, dtype=np.float64)
+        return empty, empty.copy(), empty.copy()
+    if np.any(ends <= starts) or np.any(starts < 0) or ends[-1] > power.size:
+        raise ValueError("intervals must be non-empty and inside the array")
+    if np.any(starts[1:] < ends[:-1]):
+        raise ValueError("intervals must be sorted and non-overlapping")
+    idx = np.empty(2 * n, dtype=np.intp)
+    idx[0::2] = starts
+    idx[1::2] = ends
+    # reduceat indices must be < power.size; an interval that ends exactly
+    # at the array end is expressed by dropping its (redundant) end marker
+    if ends[-1] == power.size:
+        idx = idx[:-1]
+    sums = np.add.reduceat(power, idx)[0::2]
+    maxes = np.maximum.reduceat(power, idx)[0::2]
+    means = sums / (ends - starts)
+    return sums, means, maxes
 
 
 def moving_average_of(power: np.ndarray, window: int) -> np.ndarray:
@@ -36,19 +90,17 @@ def moving_average_power(samples: np.ndarray, window: int = DEFAULT_ENERGY_WINDO
     ``window - 1`` outputs average over the shorter available prefix, so the
     result has the same length as the input and no startup bias toward zero.
     """
-    return moving_average_of(np.abs(np.asarray(samples)) ** 2, window)
+    return moving_average_of(instant_power(samples), window)
 
 
 def chunk_average_of(power: np.ndarray, chunk_samples: int) -> np.ndarray:
     """Per-chunk mean of a precomputed power array."""
     if chunk_samples <= 0:
         raise ValueError("chunk_samples must be positive")
-    power = np.asarray(power)
-    nfull = power.size // chunk_samples
+    body, tail = chunk_views(np.asarray(power), chunk_samples)
     out = []
-    if nfull:
-        out.append(power[: nfull * chunk_samples].reshape(nfull, chunk_samples).mean(axis=1))
-    tail = power[nfull * chunk_samples :]
+    if body.shape[0]:
+        out.append(body.mean(axis=1))
     if tail.size:
         out.append(np.array([tail.mean()]))
     if not out:
@@ -60,7 +112,7 @@ def chunk_average_power(
     samples: np.ndarray, chunk_samples: int = DEFAULT_CHUNK_SAMPLES
 ) -> np.ndarray:
     """Mean |x|^2 per chunk; the tail partial chunk is averaged over its size."""
-    return chunk_average_of(np.abs(np.asarray(samples)) ** 2, chunk_samples)
+    return chunk_average_of(instant_power(samples), chunk_samples)
 
 
 class NoiseFloorEstimator:

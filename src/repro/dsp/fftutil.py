@@ -1,19 +1,151 @@
-"""Frequency-domain helpers for the frequency detector (Sections 3.4, 4.6)."""
+"""Frequency-domain helpers for the frequency detector (Sections 3.4, 4.6).
+
+The hot path here is ``spectrogram`` — the Bluetooth frequency detector
+channelizes every candidate peak, so the same (fft_size, dtype, window)
+configuration recurs thousands of times per trace.  An :class:`FftPlan`
+caches the per-configuration state (window array, normalization) so
+repeated calls stop re-allocating it, and framing is done with zero-copy
+stride views (:func:`repro.dsp.samples.frame_view`) instead of an integer
+index matrix + gather.  Cache effectiveness is observable: hit/miss
+counters are kept locally and, when an :class:`repro.obs.Observability`
+is attached via :func:`set_plan_cache_obs`, exported as
+``rfdump_fft_plan_cache_{hits,misses}_total``.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.dsp.samples import frame_view
 
-def spectrogram(samples: np.ndarray, fft_size: int = 256, hop: Optional[int] = None) -> np.ndarray:
+#: window name -> constructor of an ``nfft``-point window (boxcar skips
+#: the multiply entirely)
+_WINDOW_BUILDERS = {
+    "boxcar": None,
+    "hann": np.hanning,
+    "hamming": np.hamming,
+    "blackman": np.blackman,
+}
+
+
+class FftPlan:
+    """Cached state for repeated same-shape power spectra.
+
+    Keyed on ``(nfft, dtype, window)``; holds the window array (in the
+    real dtype matching the input's precision, so applying it does not
+    widen complex64 frames to complex128) and the power normalization.
+    """
+
+    __slots__ = ("nfft", "dtype", "window_name", "window")
+
+    def __init__(self, nfft: int, dtype: np.dtype, window_name: str = "boxcar"):
+        if nfft <= 0:
+            raise ValueError("nfft must be positive")
+        try:
+            builder = _WINDOW_BUILDERS[window_name]
+        except KeyError:
+            raise ValueError(
+                f"unknown window {window_name!r}; "
+                f"known: {', '.join(sorted(_WINDOW_BUILDERS))}"
+            ) from None
+        self.nfft = nfft
+        self.dtype = np.dtype(dtype)
+        self.window_name = window_name
+        if builder is None:
+            self.window = None
+        else:
+            real_dtype = np.float32 if self.dtype.itemsize <= 8 else np.float64
+            self.window = builder(nfft).astype(real_dtype)
+
+    def power_spectra(self, frames: np.ndarray) -> np.ndarray:
+        """fftshifted ``|FFT|^2 / nfft`` for a ``(n_frames, nfft)`` block."""
+        frames = np.asarray(frames)
+        if frames.ndim != 2 or frames.shape[1] != self.nfft:
+            raise ValueError(f"frames must have shape (n, {self.nfft})")
+        if self.window is not None:
+            frames = frames * self.window
+        spec = np.fft.fftshift(np.fft.fft(frames, axis=1), axes=1)
+        return np.abs(spec) ** 2 / self.nfft
+
+
+_PLAN_CACHE: Dict[Tuple[int, str, str], FftPlan] = {}
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+_CACHE_OBS = None
+
+
+def set_plan_cache_obs(obs) -> None:
+    """Attach an :class:`repro.obs.Observability` to the plan cache.
+
+    Subsequent lookups increment ``rfdump_fft_plan_cache_hits_total`` /
+    ``rfdump_fft_plan_cache_misses_total``; pass ``None`` to detach.
+    """
+    global _CACHE_OBS
+    _CACHE_OBS = obs
+
+
+def plan_cache_stats() -> Dict[str, int]:
+    """Local hit/miss/size counters of the process-wide plan cache."""
+    return {"hits": _CACHE_HITS, "misses": _CACHE_MISSES, "size": len(_PLAN_CACHE)}
+
+
+def reset_plan_cache() -> None:
+    """Drop every cached plan and zero the counters (tests, benchmarks)."""
+    global _CACHE_HITS, _CACHE_MISSES
+    _PLAN_CACHE.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0
+
+
+def get_plan(nfft: int, dtype=np.complex64, window: str = "boxcar") -> FftPlan:
+    """The cached :class:`FftPlan` for ``(nfft, dtype, window)``."""
+    global _CACHE_HITS, _CACHE_MISSES
+    key = (int(nfft), np.dtype(dtype).str, window)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        _CACHE_MISSES += 1
+        if _CACHE_OBS is not None:
+            _CACHE_OBS.counter(
+                "rfdump_fft_plan_cache_misses_total",
+                help="FFT plan cache misses (plan built)",
+            ).inc()
+        plan = FftPlan(nfft, np.dtype(dtype), window)
+        _PLAN_CACHE[key] = plan
+    else:
+        _CACHE_HITS += 1
+        if _CACHE_OBS is not None:
+            _CACHE_OBS.counter(
+                "rfdump_fft_plan_cache_hits_total",
+                help="FFT plan cache hits (plan reused)",
+            ).inc()
+    return plan
+
+
+def spectrogram_frames(frames: np.ndarray, window: str = "boxcar") -> np.ndarray:
+    """Power spectra of pre-framed data through the cached plan.
+
+    ``frames`` has shape ``(n_frames, nfft)``; this is the batched entry
+    point for callers that already hold chunk-aligned frame views.
+    """
+    frames = np.asarray(frames)
+    if frames.ndim != 2:
+        raise ValueError("frames must be 2-D (n_frames, nfft)")
+    plan = get_plan(frames.shape[1], frames.dtype, window)
+    return plan.power_spectra(frames)
+
+
+def spectrogram(samples: np.ndarray, fft_size: int = 256, hop: Optional[int] = None,
+                window: str = "boxcar") -> np.ndarray:
     """Power spectrogram with fftshifted bins.
 
     Returns shape ``(n_frames, fft_size)``; frame ``i`` covers samples
     ``[i*hop, i*hop + fft_size)``.  ``hop`` defaults to ``fft_size``
     (slotted, non-overlapping windows — the cheap option the prototype
     uses; a sliding window is the accuracy/cost knob Section 4.6 lists).
+    Framing is a zero-copy stride view and the FFT state comes from the
+    process-wide plan cache.
     """
     x = np.asarray(samples)
     if fft_size <= 0:
@@ -22,13 +154,10 @@ def spectrogram(samples: np.ndarray, fft_size: int = 256, hop: Optional[int] = N
         hop = fft_size
     if hop <= 0:
         raise ValueError("hop must be positive")
-    nframes = max((x.size - fft_size) // hop + 1, 0)
-    if nframes == 0:
+    frames = frame_view(x, fft_size, hop)
+    if frames.shape[0] == 0:
         return np.zeros((0, fft_size))
-    idx = np.arange(fft_size)[None, :] + hop * np.arange(nframes)[:, None]
-    frames = x[idx]
-    spec = np.fft.fftshift(np.fft.fft(frames, axis=1), axes=1)
-    return np.abs(spec) ** 2 / fft_size
+    return spectrogram_frames(frames, window)
 
 
 def channelize_power(

@@ -10,7 +10,7 @@ metadata at chunk granularity (default 200 samples = 25 us at 8 Msps).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -84,10 +84,55 @@ def iter_chunks(
     """Yield ``(absolute_start_sample, chunk_array)`` pairs.
 
     The final chunk is yielded even if shorter than ``chunk_samples`` so no
-    samples are silently dropped at the end of a trace.
+    samples are silently dropped at the end of a trace.  Each yielded chunk
+    is a zero-copy view into the buffer.
     """
     if chunk_samples <= 0:
         raise ValueError("chunk_samples must be positive")
     data = buffer.samples
-    for offset in range(0, len(data), chunk_samples):
+    # O(n_chunks) iteration at chunk granularity, not per-sample work; the
+    # bodies handed out are views, so no sample is copied here.
+    for offset in range(0, len(data), chunk_samples):  # rfdump: noqa[RFD601]
         yield buffer.start_sample + offset, data[offset : offset + chunk_samples]
+
+
+def chunk_views(samples: np.ndarray, chunk_samples: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Zero-copy ``(body, tail)`` chunking of a 1-D array.
+
+    ``body`` is a ``(n_full_chunks, chunk_samples)`` reshape view of the
+    full chunks and ``tail`` a view of the remainder (possibly empty).
+    Nothing is copied: both share memory with ``samples``, which is what
+    lets per-chunk reductions run as one numpy call instead of a Python
+    loop over ``iter_chunks``.
+    """
+    if chunk_samples <= 0:
+        raise ValueError("chunk_samples must be positive")
+    x = np.asarray(samples)
+    if x.ndim != 1:
+        raise ValueError("chunk_views expects a 1-D array")
+    nfull = x.size // chunk_samples
+    body = x[: nfull * chunk_samples].reshape(nfull, chunk_samples)
+    return body, x[nfull * chunk_samples :]
+
+
+def frame_view(samples: np.ndarray, frame: int, hop: Optional[int] = None) -> np.ndarray:
+    """Zero-copy ``(n_frames, frame)`` view of sliding windows over ``samples``.
+
+    Frame ``i`` covers ``samples[i*hop : i*hop + frame]``.  Built with
+    stride tricks rather than an integer index matrix, so producing the
+    frames allocates nothing and touches no sample memory — the FFT (or
+    whatever reduction follows) is the first thing that reads the data.
+    The view is read-only because rows can alias when ``hop < frame``.
+    """
+    if frame <= 0:
+        raise ValueError("frame must be positive")
+    hop = frame if hop is None else hop
+    if hop <= 0:
+        raise ValueError("hop must be positive")
+    x = np.asarray(samples)
+    if x.ndim != 1:
+        raise ValueError("frame_view expects a 1-D array")
+    if x.size < frame:
+        return x[:0].reshape(0, frame)
+    view = np.lib.stride_tricks.sliding_window_view(x, frame)[::hop]
+    return view

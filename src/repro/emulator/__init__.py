@@ -12,6 +12,7 @@ frequency would capture, alongside an exact ground-truth transmission log.
 from repro.emulator.groundtruth import GroundTruth, Transmission
 from repro.emulator.channel import ChannelImpairments, ChannelModel
 from repro.emulator.scenario import Scenario, RenderedTrace
+from repro.emulator.presets import PRESETS, build_preset
 from repro.emulator.traffic import (
     WifiPingSession,
     WifiBroadcastFlood,
@@ -28,6 +29,8 @@ __all__ = [
     "ChannelImpairments",
     "Scenario",
     "RenderedTrace",
+    "PRESETS",
+    "build_preset",
     "WifiPingSession",
     "WifiBroadcastFlood",
     "WifiBeaconSource",

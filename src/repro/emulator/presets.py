@@ -1,0 +1,64 @@
+"""Named scenario presets shared by the CLI tools and ``repro.bench``.
+
+One place maps a preset name to a :class:`~repro.emulator.scenario.Scenario`
+so ``rfrecord``, the benchmark registry and tests all render the exact
+same workloads:
+
+* ``wifi``      — 802.11b unicast pings (Figure 6 workload)
+* ``broadcast`` — 802.11b broadcast flood (Figure 7 workload)
+* ``bluetooth`` — l2ping DH5 stream over the hop sequence (Figure 8)
+* ``mix``       — simultaneous Wi-Fi + Bluetooth (Table 3 workload)
+* ``campus``    — uncontrolled mixed-rate traffic (Table 4 workload)
+* ``kitchen``   — Wi-Fi pings next to a running microwave oven
+"""
+
+from __future__ import annotations
+
+from repro.emulator.scenario import Scenario
+from repro.emulator.traffic import (
+    BluetoothL2PingSession,
+    CampusTraffic,
+    MicrowaveSource,
+    WifiBroadcastFlood,
+    WifiPingSession,
+)
+
+PRESETS = ("wifi", "broadcast", "bluetooth", "mix", "campus", "kitchen")
+
+
+def build_preset(preset: str, duration: float, snr_db: float = 20.0,
+                 seed: int = 0) -> Scenario:
+    """A ready-to-render scenario for a named preset workload."""
+    scenario = Scenario(duration=duration, seed=seed)
+    if preset == "wifi":
+        scenario.add(WifiPingSession(
+            n_pings=int(duration / 20e-3) + 1, snr_db=snr_db, interval=20e-3,
+            seed=seed + 1,
+        ))
+    elif preset == "broadcast":
+        scenario.add(WifiBroadcastFlood(
+            n_packets=int(duration / 6e-3) + 1, snr_db=snr_db, seed=seed + 1,
+        ))
+    elif preset == "bluetooth":
+        scenario.add(BluetoothL2PingSession(
+            n_pings=int(duration / 7.5e-3) + 1, snr_db=snr_db,
+        ))
+    elif preset == "mix":
+        scenario.add(WifiPingSession(
+            n_pings=int(duration / 40e-3) + 1, snr_db=snr_db, interval=40e-3,
+            seed=seed + 1,
+        ))
+        scenario.add(BluetoothL2PingSession(
+            n_pings=int(duration / 7.5e-3) + 1, snr_db=snr_db,
+        ))
+    elif preset == "campus":
+        scenario.add(CampusTraffic(duration=duration, snr_db=snr_db, seed=seed + 1))
+    elif preset == "kitchen":
+        scenario.add(MicrowaveSource(duration=duration, snr_db=snr_db - 5))
+        scenario.add(WifiPingSession(
+            n_pings=int(duration / 33.333e-3) + 1, snr_db=snr_db,
+            payload_size=200, start=9e-3, interval=33.333e-3, seed=seed + 1,
+        ))
+    else:
+        raise ValueError(f"unknown preset {preset!r}")
+    return scenario

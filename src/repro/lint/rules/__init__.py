@@ -8,6 +8,7 @@ Rule id space:
 * ``RFD3xx``      concurrency safety
 * ``RFD4xx``      API contracts (frozen config, metric names)
 * ``RFD5xx``      typing hygiene
+* ``RFD6xx``      performance (hot-path modules stay loop-free)
 """
 
 from repro.lint.rules import (  # noqa: F401  (imports register the rules)
@@ -15,5 +16,6 @@ from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     concurrency,
     determinism,
     dtype,
+    perf,
     typing_hygiene,
 )

@@ -1,0 +1,57 @@
+"""Performance rules: the detection-stage hot path stays vectorized.
+
+The vectorization PR replaced the detection stage's Python loops with
+whole-array numpy kernels, and the ``rfbench`` regression gate holds the
+resulting throughput.  This rule keeps the floor from silently eroding:
+a ``for``/``while`` creeping back into a hot-path module is exactly the
+kind of change that passes every correctness test while costing 2x at
+benchmark time.  Deliberate loops (the retained ``impl="reference"``
+kernels, bounded setup loops) carry ``# rfdump: noqa[RFD601]`` with the
+justification next to them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: the modules the rfbench microbenchmarks time — per-sample work in
+#: these must be whole-array numpy, not Python iteration
+HOT_PATH_MODULES = (
+    "repro/core/peak_detector.py",
+    "repro/dsp/energy.py",
+    "repro/dsp/phase.py",
+    "repro/dsp/fftutil.py",
+    "repro/dsp/samples.py",
+)
+
+
+@register
+class HotPathLoopRule(Rule):
+    id = "RFD601"
+    severity = Severity.WARNING
+    description = ("no for/while loops in detection-stage hot-path modules; "
+                   "use whole-array numpy kernels (suppress deliberate loops "
+                   "with # rfdump: noqa[RFD601] and a justification)")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_modules(*HOT_PATH_MODULES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield self.finding(
+                    ctx, node,
+                    "for-loop in a hot-path module; per-sample and per-peak "
+                    "work belongs in whole-array numpy kernels "
+                    "(np.add.reduceat, np.bincount, np.repeat)",
+                )
+            elif isinstance(node, ast.While):
+                yield self.finding(
+                    ctx, node,
+                    "while-loop in a hot-path module; per-sample and "
+                    "per-peak work belongs in whole-array numpy kernels",
+                )

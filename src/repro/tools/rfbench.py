@@ -1,0 +1,176 @@
+"""rfbench — record and compare detection-stage benchmarks.
+
+Usage::
+
+    python -m repro.tools.rfbench list
+    python -m repro.tools.rfbench run --quick --out bench-results
+    python -m repro.tools.rfbench run --impl reference --out benchmarks/baselines
+    python -m repro.tools.rfbench compare --baseline benchmarks/baselines \\
+        --current bench-results --max-regress 0.25
+
+``run`` writes one schema-versioned ``BENCH_<name>.json`` per benchmark
+(normalized throughput included, so files recorded on different hosts
+compare meaningfully).  ``compare`` exits 1 when any benchmark's
+normalized throughput fell more than ``--max-regress`` below its
+baseline — the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import (
+    BenchOptions,
+    BenchRunner,
+    all_benchmarks,
+    compare_results,
+    load_results,
+    machine_fingerprint,
+    render_comparison,
+    write_result,
+)
+
+DEFAULT_BASELINE_DIR = "benchmarks/baselines"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rfbench",
+        description="benchmark runner and regression gate for the "
+                    "RFDump detection-stage kernels",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run benchmarks and write BENCH_*.json")
+    run.add_argument("--out", default="bench-results", metavar="DIR",
+                     help="output directory (default: bench-results)")
+    run.add_argument("--quick", action="store_true",
+                     help="PR-gate workload sizes (seconds, not minutes)")
+    run.add_argument("--impl", choices=("vectorized", "reference"),
+                     default="vectorized",
+                     help="kernel implementation to benchmark")
+    run.add_argument("--repeats", type=int, default=5,
+                     help="timed repetitions per benchmark (median kept)")
+    run.add_argument("--warmup", type=int, default=1,
+                     help="untimed warmup repetitions")
+    run.add_argument("--select", metavar="NAMES",
+                     help="comma-separated benchmark names (default: all)")
+    run.add_argument("--skip-equivalence", action="store_true",
+                     help="skip the serial-vs-vectorized equivalence gate "
+                          "(timings are marked unchecked)")
+
+    compare = sub.add_parser(
+        "compare", help="compare a result set against committed baselines")
+    compare.add_argument("--baseline", default=DEFAULT_BASELINE_DIR,
+                         metavar="DIR",
+                         help=f"baseline directory (default: {DEFAULT_BASELINE_DIR})")
+    compare.add_argument("--current", default="bench-results", metavar="DIR",
+                         help="directory of results to check "
+                              "(default: bench-results)")
+    compare.add_argument("--max-regress", type=float, default=0.25,
+                         metavar="FRAC",
+                         help="allowed fractional throughput drop before the "
+                              "gate fails (default: 0.25)")
+    compare.add_argument("--require-speedup", action="append", default=[],
+                         metavar="NAME:FACTOR",
+                         help="fail unless NAME's normalized throughput is at "
+                              "least FACTOR times its baseline (repeatable); "
+                              "used to hold the vectorized kernels to their "
+                              "measured win over the reference baseline")
+
+    sub.add_parser("list", help="list registered benchmarks")
+    return parser
+
+
+def _cmd_list() -> int:
+    for bench in all_benchmarks():
+        tags = ",".join(bench.tags)
+        print(f"{bench.name:<20} [{tags}] {bench.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = None
+    if args.select:
+        names = [n.strip() for n in args.select.split(",") if n.strip()]
+    options = BenchOptions(
+        repeats=args.repeats,
+        warmup=args.warmup,
+        quick=args.quick,
+        impl=args.impl,
+        check_equivalence=not args.skip_equivalence,
+        names=names,
+    )
+    runner = BenchRunner(options)
+    machine = machine_fingerprint()
+    results = runner.run()
+    for result in results:
+        path = write_result(args.out, result, machine=machine)
+        checked = "equivalence ok" if result.equivalence_checked else "unchecked"
+        print(f"{result.name:<20} {result.samples_per_second:>14.0f} sps  "
+              f"normalized {result.normalized:>8.4f}  ({checked}) -> {path}")
+    return 0
+
+
+def _parse_speedup_requirements(specs: List[str]) -> List[tuple]:
+    out = []
+    for spec in specs:
+        name, sep, factor = spec.partition(":")
+        if not sep or not name:
+            raise SystemExit(
+                f"rfbench: bad --require-speedup {spec!r} (want NAME:FACTOR)"
+            )
+        try:
+            out.append((name, float(factor)))
+        except ValueError:
+            raise SystemExit(
+                f"rfbench: bad --require-speedup factor in {spec!r}"
+            ) from None
+    return out
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    requirements = _parse_speedup_requirements(args.require_speedup)
+    baseline = load_results(args.baseline)
+    current = load_results(args.current)
+    if not baseline:
+        print(f"rfbench: no baseline results under {args.baseline!r}",
+              file=sys.stderr)
+        return 2
+    if not current:
+        print(f"rfbench: no current results under {args.current!r}",
+              file=sys.stderr)
+        return 2
+    rows = compare_results(current, baseline, max_regress=args.max_regress)
+    print(render_comparison(rows, args.max_regress))
+    failed = any(row.regressed for row in rows)
+    by_name = {row.name: row for row in rows}
+    for name, factor in requirements:
+        row = by_name.get(name)
+        if row is None or row.speedup == 0.0:
+            print(f"rfbench: required speedup for {name!r} but it was not "
+                  "measured on both sides", file=sys.stderr)
+            failed = True
+        elif row.speedup < factor:
+            print(f"rfbench: {name} speedup {row.speedup:.2f}x is below the "
+                  f"required {factor:.2f}x", file=sys.stderr)
+            failed = True
+        else:
+            print(f"rfbench: {name} speedup {row.speedup:.2f}x meets the "
+                  f"required {factor:.2f}x")
+    return 1 if failed else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_compare(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,54 +20,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.emulator import (
-    BluetoothL2PingSession,
-    MicrowaveSource,
-    Scenario,
-    WifiBroadcastFlood,
-    WifiPingSession,
-)
-from repro.emulator.traffic import CampusTraffic
+from repro.emulator.presets import PRESETS, build_preset
 from repro.trace import write_trace
-
-
-def _build_scenario(preset: str, duration: float, snr_db: float, seed: int) -> Scenario:
-    scenario = Scenario(duration=duration, seed=seed)
-    if preset == "wifi":
-        scenario.add(WifiPingSession(
-            n_pings=int(duration / 20e-3) + 1, snr_db=snr_db, interval=20e-3,
-            seed=seed + 1,
-        ))
-    elif preset == "broadcast":
-        scenario.add(WifiBroadcastFlood(
-            n_packets=int(duration / 6e-3) + 1, snr_db=snr_db, seed=seed + 1,
-        ))
-    elif preset == "bluetooth":
-        scenario.add(BluetoothL2PingSession(
-            n_pings=int(duration / 7.5e-3) + 1, snr_db=snr_db,
-        ))
-    elif preset == "mix":
-        scenario.add(WifiPingSession(
-            n_pings=int(duration / 40e-3) + 1, snr_db=snr_db, interval=40e-3,
-            seed=seed + 1,
-        ))
-        scenario.add(BluetoothL2PingSession(
-            n_pings=int(duration / 7.5e-3) + 1, snr_db=snr_db,
-        ))
-    elif preset == "campus":
-        scenario.add(CampusTraffic(duration=duration, snr_db=snr_db, seed=seed + 1))
-    elif preset == "kitchen":
-        scenario.add(MicrowaveSource(duration=duration, snr_db=snr_db - 5))
-        scenario.add(WifiPingSession(
-            n_pings=int(duration / 33.333e-3) + 1, snr_db=snr_db,
-            payload_size=200, start=9e-3, interval=33.333e-3, seed=seed + 1,
-        ))
-    else:
-        raise ValueError(f"unknown preset {preset!r}")
-    return scenario
-
-
-PRESETS = ("wifi", "broadcast", "bluetooth", "mix", "campus", "kitchen")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,7 +38,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    scenario = _build_scenario(args.preset, args.duration, args.snr, args.seed)
+    scenario = build_preset(args.preset, args.duration, snr_db=args.snr, seed=args.seed)
     trace = scenario.render()
     meta = write_trace(
         args.out, trace.buffer, center_freq=trace.center_freq,

@@ -1,0 +1,102 @@
+"""FFT plan cache behavior: hits, misses, and observability export."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.fftutil import (
+    FftPlan,
+    get_plan,
+    plan_cache_stats,
+    reset_plan_cache,
+    set_plan_cache_obs,
+    spectrogram,
+    spectrogram_frames,
+)
+from repro.obs import Observability
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    reset_plan_cache()
+    set_plan_cache_obs(None)
+    yield
+    reset_plan_cache()
+    set_plan_cache_obs(None)
+
+
+def test_miss_then_hit():
+    a = get_plan(256)
+    stats = plan_cache_stats()
+    assert (stats["hits"], stats["misses"], stats["size"]) == (0, 1, 1)
+
+    b = get_plan(256)
+    assert b is a
+    stats = plan_cache_stats()
+    assert (stats["hits"], stats["misses"], stats["size"]) == (1, 1, 1)
+
+
+def test_distinct_configurations_get_distinct_plans():
+    p1 = get_plan(256)
+    p2 = get_plan(512)
+    p3 = get_plan(256, window="hann")
+    p4 = get_plan(256, dtype=np.complex128)
+    assert len({id(p) for p in (p1, p2, p3, p4)}) == 4
+    assert plan_cache_stats()["size"] == 4
+
+
+def test_reset_clears_everything():
+    get_plan(128)
+    get_plan(128)
+    reset_plan_cache()
+    assert plan_cache_stats() == {"hits": 0, "misses": 0, "size": 0}
+
+
+def test_obs_counters_exported():
+    obs = Observability()
+    set_plan_cache_obs(obs)
+    get_plan(64)     # miss
+    get_plan(64)     # hit
+    get_plan(128)    # miss
+    hits = obs.counter("rfdump_fft_plan_cache_hits_total")
+    misses = obs.counter("rfdump_fft_plan_cache_misses_total")
+    assert hits.value == 1
+    assert misses.value == 2
+
+
+def test_plan_windows_do_not_widen_complex64():
+    frames = np.ones((3, 64), dtype=np.complex64)
+    for window in ("boxcar", "hann", "hamming", "blackman"):
+        plan = FftPlan(64, np.complex64, window)
+        out = plan.power_spectra(frames)
+        assert out.dtype == np.float32, window
+
+
+def test_spectrogram_uses_cache_and_matches_plain_fft():
+    rng = np.random.default_rng(5)
+    x = (rng.standard_normal(4096) + 1j * rng.standard_normal(4096)).astype(
+        np.complex64
+    )
+    spec = spectrogram(x, fft_size=256)
+    assert plan_cache_stats()["misses"] >= 1
+
+    # numerically identical to the unbatched textbook computation
+    frames = x[: 16 * 256].reshape(16, 256)
+    expected = np.abs(np.fft.fftshift(np.fft.fft(frames, axis=1), axes=1)) ** 2 / 256
+    np.testing.assert_array_equal(spec, expected.astype(spec.dtype))
+
+
+def test_spectrogram_frames_respects_window():
+    rng = np.random.default_rng(6)
+    frames = (rng.standard_normal((4, 128))
+              + 1j * rng.standard_normal((4, 128))).astype(np.complex64)
+    box = spectrogram_frames(frames)
+    hann = spectrogram_frames(frames, window="hann")
+    assert box.shape == hann.shape == (4, 128)
+    assert not np.allclose(box, hann)
+
+
+def test_bad_plan_arguments_rejected():
+    with pytest.raises(ValueError):
+        get_plan(0)
+    with pytest.raises(ValueError):
+        get_plan(64, window="kaiser")

@@ -138,7 +138,9 @@ class TestDspProperties:
 
     @given(complex_arrays, st.integers(1, 50))
     def test_moving_average_bounds(self, samples, window):
-        power = np.abs(samples) ** 2
+        # bound in float64: moving_average_power computes |x|^2 at full
+        # precision, so a float32-rounded max can sit a ULP *below* it
+        power = np.abs(samples.astype(np.complex128)) ** 2
         out = moving_average_power(samples, window)
         assert out.size == samples.size
         assert (out <= power.max() + 1e-6).all()
