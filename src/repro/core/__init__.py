@@ -9,6 +9,11 @@ evaluation compares against.
 
 from repro.core.metadata import Peak, PeakHistory, ChunkMetadata
 from repro.core.config import MonitorConfig, resolve_monitor_config
+from repro.core.errorpolicy import (
+    ERROR_POLICIES,
+    CircuitBreaker,
+    ErrorRecord,
+)
 from repro.core.monitor import MONITOR_NAMES, Monitor, make_monitor
 from repro.core.peak_detector import PeakDetector
 from repro.core.pipeline import RFDumpMonitor, MonitorReport
@@ -25,6 +30,9 @@ __all__ = [
     "ChunkMetadata",
     "MonitorConfig",
     "resolve_monitor_config",
+    "ERROR_POLICIES",
+    "CircuitBreaker",
+    "ErrorRecord",
     "Monitor",
     "make_monitor",
     "MONITOR_NAMES",

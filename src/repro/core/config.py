@@ -16,6 +16,7 @@ from dataclasses import dataclass, fields, replace
 from typing import Dict, Optional, Tuple
 
 from repro.constants import DEFAULT_CENTER_FREQ, DEFAULT_SAMPLE_RATE
+from repro.core.errorpolicy import validate_error_policy
 from repro.obs import Observability
 
 
@@ -60,6 +61,10 @@ class MonitorConfig:
     backend: str = "thread"
     granularity: str = "protocol"
     timeout: Optional[float] = None
+    #: fault policy threaded through every pipeline seam: None (legacy
+    #: per-component defaults), "raise", "skip" or "degrade" — see
+    #: :mod:`repro.core.errorpolicy`
+    on_error: Optional[str] = None
     #: attach an observability sink (metrics registry + tracer); None
     #: runs un-instrumented.  Compared by identity, which is what "the
     #: same config" means for a stateful sink.
@@ -78,6 +83,7 @@ class MonitorConfig:
             raise ValueError(f"granularity must be one of {_GRANULARITIES}")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError("timeout must be positive")
+        validate_error_policy(self.on_error)
 
     @classmethod
     def from_kwargs(cls, **kwargs) -> "MonitorConfig":

@@ -14,10 +14,17 @@ a :mod:`concurrent.futures` pool, with
 * per-worker :class:`~repro.core.accounting.StageClock` accounting that
   merges back into the caller's clock,
 * deterministic output (packets sorted by :func:`packet_sort_key`, so a
-  parallel run is list-identical to a serial one), and
+  parallel run is list-identical to a serial one),
 * a per-range timeout with graceful fallback: any task whose worker
   fails, times out, or cannot be scheduled is re-run serially in the
-  calling thread, never dropped.
+  calling thread, never dropped — and never silently: every handled
+  failure leaves an :class:`~repro.core.errorpolicy.ErrorRecord` that
+  the monitor surfaces on its report, and
+* an ``on_error`` policy (:mod:`repro.core.errorpolicy`): ``"raise"``
+  turns worker failures into :class:`~repro.errors.WorkerCrashError`,
+  ``"skip"`` drops a failed task's ranges instead of re-running them,
+  and ``"degrade"`` additionally rebuilds a broken process pool (a
+  bounded number of times) and resubmits before falling back inline.
 """
 
 from __future__ import annotations
@@ -32,7 +39,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis.decoders import PacketRecord
 from repro.core.accounting import StageClock
 from repro.core.dispatcher import DispatchedRange
+from repro.core.errorpolicy import ErrorRecord, validate_error_policy
 from repro.dsp.samples import SampleBuffer
+from repro.errors import WorkerCrashError
 from repro.obs import NULL
 
 BACKENDS = ("thread", "process")
@@ -71,6 +80,16 @@ class AnalysisTask:
     @property
     def samples(self) -> int:
         return sum(len(buf) for buf, _ in self.jobs)
+
+    @property
+    def start_sample(self) -> int:
+        """Absolute start of the earliest range (0 for an empty task)."""
+        return min((buf.start_sample for buf, _ in self.jobs), default=0)
+
+    @property
+    def end_sample(self) -> int:
+        """Absolute end of the latest range (0 for an empty task)."""
+        return max((buf.end_sample for buf, _ in self.jobs), default=0)
 
 
 @dataclass
@@ -158,6 +177,16 @@ class ParallelAnalysisStage:
         Watchdog seconds granted per dispatched range in a task; a task
         that exceeds its budget is abandoned and re-run serially.
         ``None`` disables the watchdog.
+    on_error:
+        Fault policy (:mod:`repro.core.errorpolicy`).  ``None`` keeps the
+        legacy contract (worker failures fall back inline, recorded);
+        ``"raise"`` surfaces them as :class:`WorkerCrashError`;
+        ``"skip"`` drops the failed task's output; ``"degrade"`` adds a
+        bounded pool-rebuild retry on a broken process pool before the
+        inline fallback.
+    max_pool_restarts:
+        How many times one :meth:`run` may rebuild a broken pool in
+        ``"degrade"`` mode before giving up on the executor entirely.
     """
 
     def __init__(
@@ -167,6 +196,8 @@ class ParallelAnalysisStage:
         backend: str = "thread",
         granularity: str = "protocol",
         timeout_per_range: Optional[float] = None,
+        on_error: Optional[str] = None,
+        max_pool_restarts: int = 2,
         obs=None,
     ):
         if workers < 1:
@@ -177,15 +208,22 @@ class ParallelAnalysisStage:
             raise ValueError(f"granularity must be one of {GRANULARITIES}")
         if timeout_per_range is not None and timeout_per_range <= 0:
             raise ValueError("timeout_per_range must be positive")
+        if max_pool_restarts < 0:
+            raise ValueError("max_pool_restarts must be non-negative")
         self.decoders = {p: d for p, d in decoders.items() if d is not None}
         self.workers = int(workers)
         self.backend = backend
         self.granularity = granularity
         self.timeout_per_range = timeout_per_range
+        self.on_error = validate_error_policy(on_error)
+        self.max_pool_restarts = int(max_pool_restarts)
         #: optional repro.obs.Observability for spans and fallback counts
         self.obs = obs
         #: lifetime count of tasks that fell back to serial execution
         self.fallbacks = 0
+        #: most recent handled worker failure, surviving across runs
+        self.last_error: Optional[ErrorRecord] = None
+        self._run_errors: List[ErrorRecord] = []
         self._executor: Optional[futures.Executor] = None
 
     # -- pool lifecycle -------------------------------------------------------
@@ -247,15 +285,46 @@ class ParallelAnalysisStage:
         outcome.fell_back = True
         return outcome
 
-    def _submit(self, pool: Optional[futures.Executor], task: AnalysisTask):
+    def _record_error(self, task: AnalysisTask, exc: BaseException,
+                      action: str) -> ErrorRecord:
+        """Keep a per-range record of a handled worker failure."""
+        record = ErrorRecord.from_exception(
+            stage="analysis", component=task.protocol, exc=exc,
+            action=action, start_sample=task.start_sample,
+            end_sample=task.end_sample,
+        )
+        self._run_errors.append(record)
+        self.last_error = record
+        (self.obs or NULL).counter(
+            "rfdump_parallel_fallback_errors_total",
+            help="worker-side analysis failures handled by the fallback "
+                 "path (type/message recorded per range on the report)",
+            protocol=task.protocol,
+        ).inc()
+        return record
+
+    def take_error_records(self) -> List[ErrorRecord]:
+        """Drain the error records the most recent :meth:`run` produced."""
+        records, self._run_errors = self._run_errors, []
+        return records
+
+    def _submit(self, pool: Optional[futures.Executor], task: AnalysisTask,
+                record: bool = True):
         if pool is None:
             return None
         try:
             if self.backend == "process":
                 return pool.submit(_process_decode, task)
             return pool.submit(decode_task, self.decoders[task.protocol], task)
-        except Exception:
+        except Exception as exc:
             self._discard_executor()
+            if record:
+                self._record_error(task, exc, action="fallback")
+                if self.on_error == "raise":
+                    raise WorkerCrashError(
+                        f"could not schedule {task.protocol} task: {exc}",
+                        protocol=task.protocol,
+                    ) from exc
             return None
 
     def run(
@@ -275,33 +344,90 @@ class ParallelAnalysisStage:
         """
         clock = clock if clock is not None else StageClock()
         obs = self.obs or NULL
+        self._run_errors = []
         tasks = self.tasks_for(buffer, ranges)
         wall_start = time.perf_counter()
         try:
             pool: Optional[futures.Executor] = self._ensure_executor()
-        except Exception:
+        except Exception as exc:
             pool = None
+            record = ErrorRecord.from_exception(
+                stage="analysis", component="pool", exc=exc, action="fallback"
+            )
+            self._run_errors.append(record)
+            self.last_error = record
+            obs.counter(
+                "rfdump_parallel_fallback_errors_total",
+                help="worker-side analysis failures handled by the fallback "
+                     "path (type/message recorded per range on the report)",
+                protocol="pool",
+            ).inc()
+            if self.on_error == "raise":
+                raise WorkerCrashError(
+                    f"could not start the analysis pool: {exc}"
+                ) from exc
         submitted = [(task, self._submit(pool, task)) for task in tasks]
 
         outcomes: List[TaskOutcome] = []
         fallbacks = 0
+        skipped = 0
+        pool_restarts = 0
         for task, fut in submitted:
             outcome = None
-            if fut is not None:
-                timeout = (
-                    None
-                    if self.timeout_per_range is None
-                    else self.timeout_per_range * max(task.n_ranges, 1)
-                )
+            failed = fut is None
+            timeout = (
+                None
+                if self.timeout_per_range is None
+                else self.timeout_per_range * max(task.n_ranges, 1)
+            )
+            while fut is not None:
                 try:
                     outcome = fut.result(timeout=timeout)
-                except futures.TimeoutError:
+                    break
+                except futures.TimeoutError as exc:
                     fut.cancel()
-                except futures.BrokenExecutor:
+                    self._record_error(task, exc, action="timeout")
+                    failed = True
+                    break
+                except futures.BrokenExecutor as exc:
                     self._discard_executor()
-                except Exception:
-                    pass  # worker-side failure: re-run serially below
+                    self._record_error(task, exc, action="fallback")
+                    if self.on_error == "raise":
+                        raise WorkerCrashError(
+                            f"analysis pool broke decoding {task.protocol}: "
+                            f"{exc}", protocol=task.protocol,
+                        ) from exc
+                    failed = True
+                    fut = None
+                    # degrade: rebuild the pool (a bounded number of
+                    # times per run) and give the task one more shot on
+                    # a worker before re-running it inline
+                    if (self.on_error == "degrade"
+                            and pool_restarts < self.max_pool_restarts):
+                        pool_restarts += 1
+                        obs.counter(
+                            "rfdump_parallel_pool_restarts_total",
+                            help="broken worker pools rebuilt mid-run",
+                        ).inc()
+                        try:
+                            fut = self._submit(
+                                self._ensure_executor(), task, record=False
+                            )
+                        except Exception:
+                            fut = None
+                except Exception as exc:
+                    self._record_error(task, exc, action="fallback")
+                    if self.on_error == "raise":
+                        raise WorkerCrashError(
+                            f"{task.protocol} analysis worker failed: {exc}",
+                            protocol=task.protocol,
+                        ) from exc
+                    failed = True
+                    break
             if outcome is None:
+                if self.on_error == "skip" and failed:
+                    skipped += 1
+                    continue
                 outcome = self._run_inline(task)
                 fallbacks += 1
             outcomes.append(outcome)
@@ -313,6 +439,11 @@ class ParallelAnalysisStage:
                 help="analysis tasks re-run serially after worker failure "
                      "or timeout",
             ).inc(fallbacks)
+        if skipped:
+            obs.counter(
+                "rfdump_parallel_skipped_tasks_total",
+                help="analysis tasks dropped by the skip error policy",
+            ).inc(skipped)
         self._record_spans(obs, outcomes, wall)
 
         packets: List[PacketRecord] = []

@@ -34,10 +34,12 @@ from repro.core.detectors import (
 )
 from repro.core.detectors.base import Classification, Detector
 from repro.core.dispatcher import DispatchedRange, Dispatcher
+from repro.core.errorpolicy import CircuitBreaker, ErrorRecord
 from repro.core.metadata import PeakHistory
 from repro.core.parallel import ParallelAnalysisStage, packet_sort_key
 from repro.core.peak_detector import PeakDetectionResult, PeakDetector, PeakDetectorConfig
 from repro.dsp.samples import SampleBuffer
+from repro.errors import DetectorCrashError
 from repro.obs import NULL
 
 
@@ -97,6 +99,22 @@ class MonitorReport:
     #: analysis tasks the parallel stage re-ran serially after a worker
     #: failure or timeout (always 0 on a serial run)
     parallel_fallbacks: int = 0
+    #: faults the error-policy layer handled while producing this report
+    #: (detector crashes, worker failures, stream degradations); empty on
+    #: a clean run and in "raise" mode, where faults raise instead
+    errors: List[ErrorRecord] = field(default_factory=list)
+    #: detectors quarantined by the circuit breaker at report time
+    quarantined_detectors: Tuple[str, ...] = ()
+
+    @property
+    def last_error(self) -> Optional[ErrorRecord]:
+        """The most recent handled fault, or None for a clean window."""
+        return self.errors[-1] if self.errors else None
+
+    @property
+    def degraded(self) -> bool:
+        """True when any stage recovered from a fault for this report."""
+        return bool(self.errors) or self.parallel_fallbacks > 0
 
     def classifications_for(self, protocol: str) -> List[Classification]:
         return [c for c in self.classifications if c.protocol == protocol]
@@ -182,6 +200,7 @@ class RFDumpMonitor(Monitor):
         parallel_backend: str = UNSET,
         parallel_granularity: str = UNSET,
         parallel_timeout: Optional[float] = UNSET,
+        on_error: Optional[str] = UNSET,
         config: Optional[MonitorConfig] = None,
     ):
         cfg = resolve_monitor_config(
@@ -197,9 +216,13 @@ class RFDumpMonitor(Monitor):
             parallel_backend=parallel_backend,
             parallel_granularity=parallel_granularity,
             parallel_timeout=parallel_timeout,
+            on_error=on_error,
         )
         self.config = cfg
         self.obs = cfg.obs
+        self.on_error = cfg.on_error
+        # quarantines detectors that crash repeatedly (skip/degrade modes)
+        self._breaker = CircuitBreaker()
         self.sample_rate = cfg.sample_rate
         self.center_freq = cfg.center_freq
         self.protocols = cfg.protocols
@@ -230,6 +253,7 @@ class RFDumpMonitor(Monitor):
                 backend=cfg.backend,
                 granularity=cfg.granularity,
                 timeout_per_range=cfg.timeout,
+                on_error=cfg.on_error,
                 obs=self.obs,
             )
 
@@ -250,10 +274,16 @@ class RFDumpMonitor(Monitor):
 
     # -- pipeline -------------------------------------------------------------
 
-    def detect(self, buffer: SampleBuffer, clock: Optional[StageClock] = None) -> Tuple[
+    def detect(self, buffer: SampleBuffer, clock: Optional[StageClock] = None,
+               errors: Optional[List[ErrorRecord]] = None) -> Tuple[
         PeakDetectionResult, List[Classification]
     ]:
-        """Run the detection stage only."""
+        """Run the detection stage only.
+
+        ``errors`` collects the faults the skip/degrade policies handled
+        (a crashing detector is quarantined for the window rather than
+        killing it); omit it to discard the records.
+        """
         clock = clock if clock is not None else StageClock(obs=self.obs)
         obs = self.obs or NULL
         with obs.span("peak_detection", start_sample=buffer.start_sample,
@@ -263,10 +293,49 @@ class RFDumpMonitor(Monitor):
                 clock.touch("peak_detection", len(buffer))
         classifications: List[Classification] = []
         for detector in self.detectors:
-            with obs.span(detector.name, category="detector",
-                          kind=detector.kind, protocol=detector.protocol):
-                with clock.stage(f"{detector.kind}_detection"):
-                    found = detector.classify(detection, buffer)
+            if self._breaker.is_open(detector.name):
+                continue  # quarantined after repeated crashes
+            try:
+                with obs.span(detector.name, category="detector",
+                              kind=detector.kind, protocol=detector.protocol):
+                    with clock.stage(f"{detector.kind}_detection"):
+                        found = detector.classify(detection, buffer)
+            except Exception as exc:
+                if self.on_error is None:
+                    raise  # legacy: programming errors propagate unwrapped
+                if self.on_error == "raise":
+                    raise DetectorCrashError(
+                        f"detector {detector.name} failed on "
+                        f"[{buffer.start_sample}, {buffer.end_sample}): "
+                        f"{exc}", detector=detector.name,
+                    ) from exc
+                record = ErrorRecord.from_exception(
+                    stage="detector", component=detector.name, exc=exc,
+                    action="quarantined", start_sample=buffer.start_sample,
+                    end_sample=buffer.end_sample,
+                )
+                if errors is not None:
+                    errors.append(record)
+                obs.counter(
+                    "rfdump_detector_errors_total",
+                    help="detector crashes absorbed per-window by the "
+                         "error policy",
+                    detector=detector.name,
+                ).inc()
+                if self._breaker.record_failure(detector.name):
+                    obs.counter(
+                        "rfdump_detector_circuit_trips_total",
+                        help="detectors quarantined for the monitor's "
+                             "lifetime after repeated crashes",
+                    ).inc()
+                    obs.gauge(
+                        "rfdump_detector_circuit_open",
+                        help="1 while a detector is quarantined by the "
+                             "circuit breaker",
+                        detector=detector.name,
+                    ).set(1)
+                continue
+            self._breaker.record_success(detector.name)
             classifications.extend(found)
         for c in classifications:
             obs.counter(
@@ -308,9 +377,10 @@ class RFDumpMonitor(Monitor):
         obs.counter(
             "rfdump_samples_total", help="samples entering the monitor"
         ).inc(len(buffer))
+        errors: List[ErrorRecord] = []
         with obs.span("process", start_sample=buffer.start_sample,
                       end_sample=buffer.end_sample):
-            detection, classifications = self.detect(buffer, clock)
+            detection, classifications = self.detect(buffer, clock, errors)
 
             with obs.span("dispatch"), clock.stage("dispatch"):
                 ranges = self.dispatcher.dispatch(
@@ -325,6 +395,7 @@ class RFDumpMonitor(Monitor):
                     packets, demod_by_protocol, parallel_fallbacks = (
                         self._parallel.run(buffer, ranges, clock)
                     )
+                    errors.extend(self._parallel.take_error_records())
                 else:
                     import time as _time
 
@@ -380,6 +451,8 @@ class RFDumpMonitor(Monitor):
             noise_floor=detection.noise_floor,
             demod_seconds_by_protocol=demod_by_protocol,
             parallel_fallbacks=parallel_fallbacks,
+            errors=errors,
+            quarantined_detectors=self._breaker.open_components,
         )
 
     # -- lifecycle ------------------------------------------------------------
@@ -388,6 +461,16 @@ class RFDumpMonitor(Monitor):
     def parallel_stage(self) -> Optional[ParallelAnalysisStage]:
         """The worker pool stage, or None when running serially."""
         return self._parallel
+
+    @property
+    def quarantined_detectors(self) -> Tuple[str, ...]:
+        """Detectors the circuit breaker has taken out of rotation."""
+        return self._breaker.open_components
+
+    def readmit_detectors(self) -> None:
+        """Clear the circuit breaker, giving quarantined detectors
+        another ``threshold`` consecutive chances."""
+        self._breaker.reset()
 
     def close(self) -> None:
         """Shut down the analysis worker pool (no-op for serial monitors)."""

@@ -7,6 +7,16 @@ window boundary would be lost (its peak is truncated in both windows), so
 sized to the longest transmission it must not split — and deduplicates
 the overlap region.  It also carries the noise-floor estimate forward,
 the way a long-running radio front end would.
+
+Because that front end is a real radio, the stream is allowed to
+misbehave: overruns drop samples (the next window no longer starts where
+the tail ended) and saturation emits NaN/Inf bursts that would poison
+the carried noise-floor EMA.  The ``on_error`` policy decides the
+response — ``"raise"`` surfaces typed errors
+(:class:`~repro.errors.StreamGapError`,
+:class:`~repro.errors.SampleIntegrityError`), ``"skip"`` drops the
+offending window, and ``"degrade"`` resynchronizes across gaps and
+sanitizes non-finite bursts, counting every lost sample.
 """
 
 from __future__ import annotations
@@ -18,9 +28,11 @@ import numpy as np
 from repro.analysis.decoders import PacketRecord
 from repro.core.accounting import StageClock
 from repro.core.config import MonitorConfig
+from repro.core.errorpolicy import ErrorRecord, validate_error_policy
 from repro.core.monitor import Monitor
 from repro.core.pipeline import MonitorReport, RFDumpMonitor
 from repro.dsp.samples import SampleBuffer
+from repro.errors import SampleIntegrityError, StreamGapError
 from repro.obs import NULL
 
 
@@ -37,11 +49,19 @@ class StreamingMonitor(Monitor):
         Samples carried from the end of each window into the next; size it
         to the longest packet plus margin (default 6 ms at 8 Msps — a
         maximum-length 1 Mbps 802.11b frame).
+    on_error:
+        Fault policy for stream-level faults (gaps, NaN bursts); when
+        omitted, inherited from the wrapped monitor's config.  ``None``
+        keeps the legacy contract: gaps raise (a
+        :class:`~repro.errors.StreamGapError`, which is a
+        ``ValueError``), non-finite noise-floor estimates are skipped
+        and counted.
     """
 
     def __init__(self, monitor: Optional[RFDumpMonitor] = None,
                  overlap: int = 48_000,
-                 config: Optional[MonitorConfig] = None):
+                 config: Optional[MonitorConfig] = None,
+                 on_error: Optional[str] = None):
         if overlap < 0:
             raise ValueError("overlap must be non-negative")
         if monitor is None:
@@ -51,6 +71,17 @@ class StreamingMonitor(Monitor):
         self.monitor = monitor
         self.obs = getattr(monitor, "obs", None)
         self.overlap = overlap
+        if on_error is None:
+            on_error = getattr(
+                getattr(monitor, "config", None), "on_error", None
+            )
+        self.on_error = validate_error_policy(on_error)
+        #: stream-level faults handled so far (gaps, NaN bursts, skips)
+        self.errors: List[ErrorRecord] = []
+        #: samples lost to gaps and skipped windows
+        self.lost_samples = 0
+        #: stream gaps resynchronized across (degrade/skip modes)
+        self.gaps = 0
         self._tail: Optional[SampleBuffer] = None
         self._emitted_to = 0  # absolute sample up to which output is final
         self.packets: List[PacketRecord] = []
@@ -69,12 +100,131 @@ class StreamingMonitor(Monitor):
         if self._tail is None or len(self._tail) == 0:
             return window
         if self._tail.end_sample != window.start_sample:
-            raise ValueError(
+            raise StreamGapError(
                 f"window starts at {window.start_sample}, expected "
-                f"{self._tail.end_sample} (streams must be contiguous)"
+                f"{self._tail.end_sample} (streams must be contiguous)",
+                expected_sample=self._tail.end_sample,
+                actual_sample=window.start_sample,
             )
         samples = np.concatenate([self._tail.samples, window.samples])
         return SampleBuffer(samples, window.timebase, self._tail.start_sample)
+
+    def _empty_report(self, errors: Optional[List[ErrorRecord]] = None
+                      ) -> MonitorReport:
+        return MonitorReport(
+            total_samples=0, duration=0.0, peaks=None,
+            classifications=[], ranges={}, packets=[],
+            clock=StageClock(), noise_floor=self._noise_floor,
+            errors=list(errors or []),
+        )
+
+    def _resync(self, frontier: int) -> None:
+        """Abandon the carried tail after a stream fault.
+
+        The context that would re-detect the deferred results is gone, so
+        they are final — release them — and the emission frontier jumps
+        to ``frontier`` (nothing before it can be produced anymore).
+        """
+        self.packets.extend(self._deferred_packets)
+        self.classifications.extend(self._deferred_classifications)
+        self._deferred_packets = []
+        self._deferred_classifications = []
+        self._tail = None
+        self._emitted_to = max(self._emitted_to, frontier)
+
+    def _check_stream(self, window: SampleBuffer, obs,
+                      errors: List[ErrorRecord]) -> Optional[SampleBuffer]:
+        """Apply the stream-fault policy; returns the window to process
+        (possibly sanitized) or None when the skip policy dropped it."""
+        # -- continuity ------------------------------------------------------
+        if (self._tail is not None and len(self._tail)
+                and self._tail.end_sample != window.start_sample):
+            expected = self._tail.end_sample
+            if self.on_error in (None, "raise"):
+                raise StreamGapError(
+                    f"window starts at {window.start_sample}, expected "
+                    f"{expected} (streams must be contiguous)",
+                    expected_sample=expected,
+                    actual_sample=window.start_sample,
+                )
+            lost = max(window.start_sample - expected, 0)
+            self.gaps += 1
+            self.lost_samples += lost
+            record = ErrorRecord(
+                stage="stream", component="window", error="StreamGapError",
+                message=f"stream gap: expected sample {expected}, window "
+                        f"starts at {window.start_sample} ({lost} samples "
+                        f"lost)",
+                action="resync", start_sample=expected,
+                end_sample=window.start_sample,
+            )
+            self.errors.append(record)
+            errors.append(record)
+            obs.counter(
+                "rfdump_stream_gaps_total",
+                help="stream discontinuities resynchronized across",
+            ).inc()
+            obs.counter(
+                "rfdump_stream_gap_lost_samples_total",
+                help="samples lost to stream gaps",
+            ).inc(lost)
+            self._resync(window.start_sample)
+        # -- sample integrity ------------------------------------------------
+        if self.on_error is not None:
+            bad = int(len(window) - np.count_nonzero(
+                np.isfinite(window.samples)
+            ))
+            if bad:
+                if self.on_error == "raise":
+                    raise SampleIntegrityError(
+                        f"{bad} non-finite samples in window "
+                        f"[{window.start_sample}, {window.end_sample})",
+                        bad_samples=bad,
+                    )
+                if self.on_error == "skip":
+                    record = ErrorRecord(
+                        stage="stream", component="window",
+                        error="SampleIntegrityError",
+                        message=f"{bad} non-finite samples; window "
+                                f"dropped", action="skipped",
+                        start_sample=window.start_sample,
+                        end_sample=window.end_sample,
+                    )
+                    self.errors.append(record)
+                    errors.append(record)
+                    self.lost_samples += len(window)
+                    obs.counter(
+                        "rfdump_stream_windows_skipped_total",
+                        help="windows dropped by the skip error policy",
+                    ).inc()
+                    self._resync(window.end_sample)
+                    # a zero-length tail at the window's end keeps the
+                    # next window's continuity check honest
+                    self._tail = window.slice(
+                        window.end_sample, window.end_sample
+                    )
+                    return None
+                # degrade: zero the burst and analyze what remains
+                record = ErrorRecord(
+                    stage="stream", component="window",
+                    error="SampleIntegrityError",
+                    message=f"{bad} non-finite samples sanitized to zero",
+                    action="sanitized", start_sample=window.start_sample,
+                    end_sample=window.end_sample,
+                )
+                self.errors.append(record)
+                errors.append(record)
+                obs.counter(
+                    "rfdump_stream_nonfinite_samples_total",
+                    help="NaN/Inf samples zeroed by the degrade policy",
+                ).inc(bad)
+                samples = np.nan_to_num(
+                    window.samples, nan=0.0, posinf=0.0, neginf=0.0
+                )
+                window = SampleBuffer(
+                    samples, window.timebase, window.start_sample
+                )
+        return window
 
     def process(self, window: SampleBuffer) -> MonitorReport:
         """Process the next contiguous window; returns its report.
@@ -84,14 +234,18 @@ class StreamingMonitor(Monitor):
         for callers that want window-level detail.
         """
         obs = self.obs or NULL
-        stitched = self._stitch(window)
         if len(window) == 0:
-            # Nothing new to analyze; keep the tail and frontier intact.
-            return MonitorReport(
-                total_samples=0, duration=0.0, peaks=None,
-                classifications=[], ranges={}, packets=[],
-                clock=StageClock(), noise_floor=self._noise_floor,
-            )
+            # Nothing new to analyze — even when the empty window's start
+            # is discontiguous, there is nothing to lose or resync; keep
+            # the tail and frontier intact and let the next real window
+            # face the continuity check.
+            return self._empty_report()
+        stream_errors: List[ErrorRecord] = []
+        checked = self._check_stream(window, obs, stream_errors)
+        if checked is None:  # skip policy dropped the window
+            return self._empty_report(stream_errors)
+        window = checked
+        stitched = self._stitch(window)
         obs.counter(
             "rfdump_stream_windows_total", help="stream windows processed"
         ).inc()
@@ -101,7 +255,18 @@ class StreamingMonitor(Monitor):
         ).inc(len(stitched) - len(window))
         self.monitor.noise_floor = self._noise_floor
         report = self.monitor.process(stitched)
-        self._noise_floor = report.noise_floor
+        report.errors.extend(stream_errors)
+        nf = report.noise_floor
+        if nf is not None and not np.isfinite(nf):
+            # a NaN/Inf burst must not poison the EMA carried into every
+            # subsequent window; keep the last finite estimate
+            obs.counter(
+                "rfdump_stream_nonfinite_noise_floor_total",
+                help="non-finite noise-floor estimates discarded instead "
+                     "of being carried forward",
+            ).inc()
+        else:
+            self._noise_floor = nf
         self.clock = self.clock.merged(report.clock)
 
         # Packets starting inside the carried tail will be seen again by
@@ -191,6 +356,11 @@ class StreamingMonitor(Monitor):
                 "rfdump_stream_flushed_packets_total",
                 help="deferred packets released by flush()",
             ).inc(len(self._deferred_packets))
+        if self._deferred_classifications:
+            obs.counter(
+                "rfdump_stream_flushed_classifications_total",
+                help="deferred classifications released by flush()",
+            ).inc(len(self._deferred_classifications))
         for packet in self._deferred_packets:
             self.packets.append(packet)
             self._early_packets.add(self._packet_key(packet))

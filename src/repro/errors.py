@@ -53,3 +53,57 @@ class FlowGraphError(RFDumpError):
 
 class SchedulerError(FlowGraphError):
     """The scheduler could not make progress executing a flowgraph."""
+
+
+class StreamGapError(RFDumpError, ValueError):
+    """The sample stream is discontiguous: a window does not start where
+    the previous one ended.
+
+    A live front end drops samples on overruns, so long-running monitors
+    treat this as a *fault to recover from*, not a programming error —
+    ``on_error="degrade"`` resynchronizes and counts the lost samples
+    instead of raising.  Subclasses :class:`ValueError` because that is
+    what pre-taxonomy callers caught.
+    """
+
+    def __init__(self, message: str, expected_sample: Optional[int] = None,
+                 actual_sample: Optional[int] = None):
+        super().__init__(message)
+        self.expected_sample = expected_sample
+        self.actual_sample = actual_sample
+
+    @property
+    def gap_samples(self) -> Optional[int]:
+        """Samples lost between windows (negative: the stream rewound)."""
+        if self.expected_sample is None or self.actual_sample is None:
+            return None
+        return self.actual_sample - self.expected_sample
+
+
+class SampleIntegrityError(RFDumpError):
+    """A window carries non-finite (NaN/Inf) samples.
+
+    A saturated or glitching front end emits them in bursts; unguarded,
+    one burst poisons every running estimate carried across windows (the
+    noise-floor EMA above all).
+    """
+
+    def __init__(self, message: str, bad_samples: int = 0):
+        super().__init__(message)
+        self.bad_samples = bad_samples
+
+
+class WorkerCrashError(RFDumpError):
+    """An analysis worker (thread or process) failed or its pool broke."""
+
+    def __init__(self, message: str, protocol: Optional[str] = None):
+        super().__init__(message)
+        self.protocol = protocol
+
+
+class DetectorCrashError(RFDumpError):
+    """A protocol-specific fast detector raised while classifying."""
+
+    def __init__(self, message: str, detector: Optional[str] = None):
+        super().__init__(message)
+        self.detector = detector

@@ -1,0 +1,210 @@
+"""Deterministic stream-level fault injectors.
+
+Each injector transforms selected windows of a sample stream the way a
+misbehaving front end would: overruns drop samples
+(:class:`StreamGapInjector`), saturation emits NaN/Inf bursts
+(:class:`NaNBurstInjector`), a stalling driver hands over short or empty
+windows (:class:`TruncateWindowInjector`).  Injection is reproducible by
+construction — windows are hit either at explicit indices (``at=``) or
+by a seeded Bernoulli draw (``rate=`` + ``seed=``), never from ambient
+randomness — so a faulty run can be compared window-for-window against
+a fault-free run of the same scenario.
+
+Injectors compose through :class:`FaultPlan`, which applies them in
+order to each window and keeps a merged :class:`FaultEvent` log of what
+was injected where (the log is what tests use to split a run into
+affected and unaffected sample regions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dsp.samples import SampleBuffer
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: which window, where in the stream, and what."""
+
+    kind: str
+    window_index: int
+    start_sample: int
+    end_sample: int
+    detail: str = ""
+
+
+class StreamFaultInjector:
+    """Base class: picks windows deterministically, delegates the damage.
+
+    Parameters
+    ----------
+    at:
+        Window indices to hit (explicit, deterministic).
+    rate:
+        Additionally hit each window with this probability, drawn from a
+        generator seeded with ``seed`` — deterministic for a fixed seed
+        and window order.
+    """
+
+    kind = "fault"
+
+    def __init__(self, at: Sequence[int] = (), rate: float = 0.0,
+                 seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.at = frozenset(int(i) for i in at)
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self.events: List[FaultEvent] = []
+
+    def _hits(self, index: int) -> bool:
+        hit = index in self.at
+        if self.rate > 0.0:
+            # always draw, so the stream of random numbers (and thus
+            # which later windows are hit) is independent of `at`
+            hit = bool(self._rng.random() < self.rate) or hit
+        return hit
+
+    def apply(self, index: int, window: SampleBuffer) -> SampleBuffer:
+        """Return the (possibly faulted) window for stream position ``index``."""
+        if not self._hits(index) or len(window) == 0:
+            return window
+        faulted = self.inject(window)
+        self.events.append(FaultEvent(
+            kind=self.kind, window_index=index,
+            start_sample=window.start_sample, end_sample=window.end_sample,
+            detail=self.describe(),
+        ))
+        return faulted
+
+    def inject(self, window: SampleBuffer) -> SampleBuffer:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return ""
+
+
+class StreamGapInjector(StreamFaultInjector):
+    """Drop the first ``gap_samples`` of a window — the overrun shape.
+
+    The remaining samples keep their absolute stream positions, so the
+    window becomes discontiguous with the previous one (exactly what a
+    USRP overrun does) while every later window is untouched.
+    """
+
+    kind = "stream_gap"
+
+    def __init__(self, gap_samples: int = 1_000, **kwargs):
+        super().__init__(**kwargs)
+        if gap_samples <= 0:
+            raise ValueError("gap_samples must be positive")
+        self.gap_samples = gap_samples
+
+    def inject(self, window: SampleBuffer) -> SampleBuffer:
+        gap = min(self.gap_samples, len(window))
+        return window.slice(window.start_sample + gap, window.end_sample)
+
+    def describe(self) -> str:
+        return f"gap of {self.gap_samples} samples"
+
+
+class NaNBurstInjector(StreamFaultInjector):
+    """Overwrite a burst of samples with a non-finite value.
+
+    ``value`` defaults to NaN; pass ``np.inf`` for the saturation shape.
+    The burst starts ``offset`` samples into the window.
+    """
+
+    kind = "nan_burst"
+
+    def __init__(self, burst_samples: int = 256, offset: int = 0,
+                 value: complex = complex("nan"), **kwargs):
+        super().__init__(**kwargs)
+        if burst_samples <= 0:
+            raise ValueError("burst_samples must be positive")
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        self.burst_samples = burst_samples
+        self.offset = offset
+        self.value = value
+
+    def inject(self, window: SampleBuffer) -> SampleBuffer:
+        samples = window.samples.copy()
+        lo = min(self.offset, len(samples))
+        hi = min(lo + self.burst_samples, len(samples))
+        samples[lo:hi] = self.value
+        return SampleBuffer(samples, window.timebase, window.start_sample)
+
+    def describe(self) -> str:
+        return f"{self.burst_samples} samples set to {self.value}"
+
+
+class TruncateWindowInjector(StreamFaultInjector):
+    """Hand over a short (possibly empty) window.
+
+    ``keep`` samples survive from the front; with ``shift`` > 0 the kept
+    region starts that many samples in, so ``keep=0, shift=k`` produces
+    the empty *discontiguous* window of the satellite regression.  The
+    following window is untouched and therefore no longer starts where
+    the truncated one ended.
+    """
+
+    kind = "truncated_window"
+
+    def __init__(self, keep: int = 0, shift: int = 0, **kwargs):
+        super().__init__(**kwargs)
+        if keep < 0 or shift < 0:
+            raise ValueError("keep and shift must be non-negative")
+        self.keep = keep
+        self.shift = shift
+
+    def inject(self, window: SampleBuffer) -> SampleBuffer:
+        lo = window.start_sample + min(self.shift, len(window))
+        return window.slice(lo, min(lo + self.keep, window.end_sample))
+
+    def describe(self) -> str:
+        return f"truncated to {self.keep} samples (shift {self.shift})"
+
+
+class FaultPlan:
+    """An ordered composition of injectors over one window stream."""
+
+    def __init__(self, *injectors: StreamFaultInjector):
+        self.injectors: List[StreamFaultInjector] = list(injectors)
+
+    def add(self, injector: StreamFaultInjector) -> "FaultPlan":
+        self.injectors.append(injector)
+        return self
+
+    def apply(self, windows: Iterable[SampleBuffer]
+              ) -> Iterator[SampleBuffer]:
+        """Yield each window after every injector had its chance at it."""
+        for index, window in enumerate(windows):
+            for injector in self.injectors:
+                window = injector.apply(index, window)
+            yield window
+
+    @property
+    def events(self) -> List[FaultEvent]:
+        """Every injected fault, in stream order."""
+        merged: List[FaultEvent] = []
+        for injector in self.injectors:
+            merged.extend(injector.events)
+        return sorted(merged, key=lambda e: (e.window_index, e.kind))
+
+    def affected_spans(self, margin: int = 0) -> List[tuple]:
+        """Absolute ``(lo, hi)`` sample spans touched by any fault.
+
+        ``margin`` widens each span (use the streaming overlap, so
+        carried-tail effects around a fault count as affected too).
+        Spans are what lets a test assert byte-identical output on the
+        *unaffected* remainder of a faulty run.
+        """
+        return [
+            (e.start_sample - margin, e.end_sample + margin)
+            for e in self.events
+        ]

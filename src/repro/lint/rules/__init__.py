@@ -5,7 +5,7 @@ Rule id space:
 * ``RFD000``      file does not parse (emitted by the engine itself)
 * ``RFD1xx``      determinism (wall clocks, ambient RNG)
 * ``RFD2xx``      dtype discipline on IQ paths
-* ``RFD3xx``      concurrency safety
+* ``RFD3xx``      concurrency safety & reliability
 * ``RFD4xx``      API contracts (frozen config, metric names)
 * ``RFD5xx``      typing hygiene
 * ``RFD6xx``      performance (hot-path modules stay loop-free)
@@ -17,5 +17,6 @@ from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     determinism,
     dtype,
     perf,
+    reliability,
     typing_hygiene,
 )

@@ -1,0 +1,85 @@
+"""Reliability: faults in the core pipeline must not vanish silently.
+
+The error-policy layer (:mod:`repro.core.errorpolicy`) exists so every
+handled fault leaves a trace — an :class:`~repro.core.errorpolicy.ErrorRecord`,
+a metric, a typed re-raise.  A ``try: ... except Exception: pass`` in the
+core pipeline defeats all of that: the fault is swallowed before the
+policy ever sees it, degradation counters stay at zero, and a crashing
+component looks healthy.  This rule flags catch-all handlers whose body
+does nothing at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ModuleContext, Rule, register
+
+_CATCH_ALL = frozenset({"Exception", "BaseException"})
+
+
+def _catch_all_name(expr) -> str:
+    """The catch-all exception name an ``except`` clause names, or ``""``.
+
+    Handles bare ``except:``, ``except Exception:``, aliased attribute
+    forms like ``builtins.Exception``, and tuples containing either.
+    """
+    if expr is None:
+        return "bare except"
+    if isinstance(expr, ast.Name) and expr.id in _CATCH_ALL:
+        return expr.id
+    if isinstance(expr, ast.Attribute) and expr.attr in _CATCH_ALL:
+        return expr.attr
+    if isinstance(expr, ast.Tuple):
+        for elt in expr.elts:
+            name = _catch_all_name(elt)
+            if name:
+                return name
+    return ""
+
+
+def _is_silent(body) -> bool:
+    """Does the handler body do nothing observable?
+
+    ``pass``, ``...``, ``continue`` and bare ``return`` (alone or in any
+    combination) neither record, count, log, re-raise nor transform the
+    exception — the fault simply disappears.
+    """
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Return) and stmt.value is None:
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis):
+            continue
+        return False
+    return True
+
+
+@register
+class SilentExceptHandlerRule(Rule):
+    id = "RFD302"
+    severity = Severity.ERROR
+    description = ("catch-all exception handlers in repro.core must not "
+                   "swallow faults silently; record an ErrorRecord, bump "
+                   "a counter, or re-raise a typed error")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_modules("repro/core/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            name = _catch_all_name(node.type)
+            if name and _is_silent(node.body):
+                yield self.finding(
+                    ctx, node,
+                    f"silent catch-all handler ({name}) discards the "
+                    "fault; record it via repro.core.errorpolicy, bump "
+                    "a degradation counter, or narrow the exception type",
+                )

@@ -7,13 +7,17 @@ Usage::
         --detectors timing,phase --window-ms 100 --summary
     python -m repro.tools.rfdump capture.iq --workers 4 \
         --metrics-out metrics.txt --trace-out trace.json
+    python -m repro.tools.rfdump capture.iq --on-error degrade --summary
 
 The trace must have been written by :mod:`repro.trace` (raw complex64 +
 JSON sidecar).  The monitor streams the file in windows, so traces larger
 than memory are fine.  ``--metrics-out`` writes a Prometheus-style text
 page of the run's metrics; ``--trace-out`` writes an execution trace
 (``.jsonl`` for JSON-lines, anything else a Chrome ``trace_event`` file
-that loads in ``chrome://tracing``).
+that loads in ``chrome://tracing``).  ``--on-error degrade`` keeps a
+long-running monitor alive across stream gaps, NaN bursts and crashing
+components, printing a degradation summary to stderr when anything was
+absorbed.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from collections import Counter
 from repro.analysis import render_packet_log, render_summary
 from repro.core.config import MonitorConfig
 from repro.core.monitor import make_monitor
-from repro.errors import TraceFormatError
+from repro.errors import RFDumpError, TraceFormatError
 from repro.obs import Observability, write_metrics, write_trace
 from repro.trace import TraceReader
 from repro.trace.io import read_meta
@@ -67,6 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="monitoring architecture (baselines for cost comparison)",
     )
     parser.add_argument(
+        "--on-error", choices=("raise", "skip", "degrade"), default=None,
+        help="fault policy: raise typed errors, skip faulting units, or "
+             "degrade gracefully (resync gaps, sanitize NaN bursts, "
+             "quarantine crashing detectors); default keeps legacy "
+             "per-component behavior",
+    )
+    parser.add_argument(
         "--summary", action="store_true",
         help="print per-protocol statistics instead of the packet log",
     )
@@ -99,6 +110,7 @@ def run(args) -> int:
         demodulate=not args.no_demod,
         workers=args.workers,
         backend=args.parallel_backend,
+        on_error=args.on_error,
         obs=obs,
     )
     window = max(int(args.window_ms * 1e-3 * meta.sample_rate), 1)
@@ -106,15 +118,24 @@ def run(args) -> int:
 
     peaks = 0
     duration = meta.nsamples / meta.sample_rate
+    degradation = None
     if args.monitor == "rfdump":
         with make_monitor("streaming", config) as streaming:
             for buf in reader:
                 report = streaming.process(buf)
-                peaks += len(report.peaks)
+                peaks += len(report.peaks) if report.peaks is not None else 0
             streaming.flush()
         packets = streaming.packets
         classifications = streaming.classifications
         clock = streaming.clock
+        if streaming.errors or streaming.monitor.quarantined_detectors:
+            degradation = (
+                f"degradation: {streaming.gaps} stream gap(s), "
+                f"{streaming.lost_samples} samples lost, "
+                f"{len(streaming.errors)} handled fault(s), "
+                f"{len(streaming.monitor.quarantined_detectors)} "
+                f"detector(s) quarantined"
+            )
     else:
         # baselines have no cross-window state; process windows directly
         packets = []
@@ -156,6 +177,8 @@ def run(args) -> int:
             print(f"processing cost: {clock.cpu_over_realtime(duration):.2f}x real time")
     else:
         print(render_packet_log(packets, meta.sample_rate))
+    if degradation is not None:
+        print(degradation, file=sys.stderr)
     return 0
 
 
@@ -166,6 +189,10 @@ def main(argv=None) -> int:
     except (FileNotFoundError, TraceFormatError) as exc:
         print(f"rfdump: {exc}", file=sys.stderr)
         return 2
+    except RFDumpError as exc:
+        # --on-error raise surfaced a stream/pipeline fault
+        print(f"rfdump: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # output piped into e.g. `head`; not an error
         return 0

@@ -135,3 +135,46 @@ class TestStreamingMonitor:
             (c.peak.start_sample, c.detector) for c in monitor.classifications
         ]
         assert len(keys) == len(set(keys))
+
+    def test_empty_discontiguous_window_does_not_raise(self, straddle_trace):
+        """Regression: an empty window whose start does not match the
+        carried tail used to hit the gap check before the early return —
+        there is nothing to analyze or resync, so it must be a no-op."""
+        buffer = straddle_trace.buffer
+        monitor = StreamingMonitor(RFDumpMonitor(protocols=("wifi",)))
+        monitor.process(buffer.slice(0, 300_000))
+        report = monitor.process(buffer.slice(123_457, 123_457))
+        assert report.total_samples == 0
+        assert report.packets == []
+        # the tail survived: the contiguous continuation still stitches
+        monitor.process(buffer.slice(300_000, 600_000))
+        assert monitor.gaps == 0
+
+    def test_midstream_flush_classifications_match_batch(self, straddle_trace):
+        """Satellite: classifications flushed mid-stream must be exactly
+        the batch set, with no duplicates from tail re-detection."""
+        from repro.core.config import MonitorConfig
+        from repro.obs import Observability
+
+        obs = Observability()
+        monitor = StreamingMonitor(RFDumpMonitor(config=MonitorConfig(
+            protocols=("wifi",), demodulate=False, obs=obs
+        )))
+        for window in _windows(straddle_trace.buffer, 50_000):
+            monitor.process(window)
+            monitor.flush()  # incremental consumer wants results now
+        keys = [
+            (c.peak.start_sample, c.detector) for c in monitor.classifications
+        ]
+        assert len(keys) == len(set(keys))
+        batch = StreamingMonitor(
+            RFDumpMonitor(protocols=("wifi",), demodulate=False)
+        )
+        batch.run(_windows(straddle_trace.buffer, 50_000))
+        assert sorted(keys) == sorted(
+            (c.peak.start_sample, c.detector) for c in batch.classifications
+        )
+        # mid-stream flushes released deferred classifications, and said so
+        assert obs.registry.value(
+            "rfdump_stream_flushed_classifications_total"
+        ) > 0

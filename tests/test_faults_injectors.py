@@ -1,0 +1,192 @@
+"""Determinism and shape tests for the stream fault injectors."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.samples import SampleBuffer
+from repro.faults import (
+    FaultPlan,
+    NaNBurstInjector,
+    StreamGapInjector,
+    TruncateWindowInjector,
+)
+
+
+def _stream(n_windows=4, size=1_000, seed=42):
+    rng = np.random.default_rng(seed)
+    total = n_windows * size
+    samples = (rng.normal(size=total) + 1j * rng.normal(size=total)).astype(
+        np.complex64
+    )
+    buffer = SampleBuffer.from_array(samples)
+    return [buffer.slice(lo, lo + size) for lo in range(0, total, size)]
+
+
+class TestValidation:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            StreamGapInjector(rate=1.5)
+
+    def test_rejects_nonpositive_gap(self):
+        with pytest.raises(ValueError):
+            StreamGapInjector(gap_samples=0)
+
+    def test_rejects_nonpositive_burst(self):
+        with pytest.raises(ValueError):
+            NaNBurstInjector(burst_samples=0)
+
+    def test_rejects_negative_truncate_params(self):
+        with pytest.raises(ValueError):
+            TruncateWindowInjector(keep=-1)
+        with pytest.raises(ValueError):
+            TruncateWindowInjector(shift=-1)
+
+
+class TestStreamGap:
+    def test_drops_front_of_selected_window_only(self):
+        windows = _stream()
+        injector = StreamGapInjector(gap_samples=100, at=(1,))
+        out = [injector.apply(i, w) for i, w in enumerate(windows)]
+        assert out[1].start_sample == windows[1].start_sample + 100
+        assert len(out[1]) == len(windows[1]) - 100
+        assert out[1].end_sample == windows[1].end_sample
+        for i in (0, 2, 3):
+            assert out[i] is windows[i]
+
+    def test_gap_longer_than_window_empties_it(self):
+        windows = _stream(size=50)
+        injector = StreamGapInjector(gap_samples=1_000, at=(0,))
+        out = injector.apply(0, windows[0])
+        assert len(out) == 0
+        assert out.start_sample == windows[0].end_sample
+
+    def test_event_logged_with_window_bounds(self):
+        windows = _stream()
+        injector = StreamGapInjector(gap_samples=100, at=(2,))
+        for i, w in enumerate(windows):
+            injector.apply(i, w)
+        assert len(injector.events) == 1
+        event = injector.events[0]
+        assert event.kind == "stream_gap"
+        assert event.window_index == 2
+        assert event.start_sample == windows[2].start_sample
+        assert event.end_sample == windows[2].end_sample
+
+
+class TestNaNBurst:
+    def test_burst_placed_at_offset(self):
+        windows = _stream()
+        injector = NaNBurstInjector(burst_samples=64, offset=100, at=(0,))
+        out = injector.apply(0, windows[0])
+        bad = ~np.isfinite(out.samples)
+        assert int(bad.sum()) == 64
+        assert bad[100:164].all()
+
+    def test_original_window_not_mutated(self):
+        windows = _stream()
+        injector = NaNBurstInjector(burst_samples=64, at=(0,))
+        injector.apply(0, windows[0])
+        assert np.isfinite(windows[0].samples).all()
+
+    def test_inf_value_supported(self):
+        windows = _stream()
+        injector = NaNBurstInjector(
+            burst_samples=8, value=complex("inf"), at=(0,)
+        )
+        out = injector.apply(0, windows[0])
+        assert int(np.isinf(out.samples).sum()) == 8
+
+    def test_burst_clipped_to_window(self):
+        windows = _stream(size=100)
+        injector = NaNBurstInjector(burst_samples=500, offset=50, at=(0,))
+        out = injector.apply(0, windows[0])
+        assert int((~np.isfinite(out.samples)).sum()) == 50
+
+
+class TestTruncate:
+    def test_keep_zero_shift_gives_empty_discontiguous_window(self):
+        windows = _stream()
+        injector = TruncateWindowInjector(keep=0, shift=17, at=(1,))
+        out = injector.apply(1, windows[1])
+        assert len(out) == 0
+        assert out.start_sample == windows[1].start_sample + 17
+
+    def test_keep_preserves_front(self):
+        windows = _stream()
+        injector = TruncateWindowInjector(keep=100, at=(0,))
+        out = injector.apply(0, windows[0])
+        assert len(out) == 100
+        assert out.start_sample == windows[0].start_sample
+        np.testing.assert_array_equal(out.samples, windows[0].samples[:100])
+
+
+class TestDeterminism:
+    def test_same_seed_hits_same_windows(self):
+        hits = []
+        for _ in range(2):
+            injector = NaNBurstInjector(rate=0.3, seed=11)
+            for i, w in enumerate(_stream(n_windows=40, size=64)):
+                injector.apply(i, w)
+            hits.append([e.window_index for e in injector.events])
+        assert hits[0] == hits[1]
+        assert hits[0]  # the draw actually selected windows
+
+    def test_different_seeds_differ(self):
+        hits = []
+        for seed in (11, 12):
+            injector = NaNBurstInjector(rate=0.3, seed=seed)
+            for i, w in enumerate(_stream(n_windows=40, size=64)):
+                injector.apply(i, w)
+            hits.append([e.window_index for e in injector.events])
+        assert hits[0] != hits[1]
+
+    def test_explicit_at_does_not_perturb_rate_draws(self):
+        # adding `at` indices must only add hits, never reshuffle the
+        # seeded Bernoulli selection of the remaining windows
+        def run(at):
+            injector = NaNBurstInjector(rate=0.3, seed=5, at=at)
+            for i, w in enumerate(_stream(n_windows=40, size=64)):
+                injector.apply(i, w)
+            return {e.window_index for e in injector.events}
+
+        base = run(())
+        with_at = run((0, 1))
+        assert with_at == base | {0, 1}
+
+
+class TestFaultPlan:
+    def test_composes_in_order_and_merges_events(self):
+        windows = _stream()
+        plan = FaultPlan(
+            StreamGapInjector(gap_samples=100, at=(1,)),
+            NaNBurstInjector(burst_samples=32, at=(2,)),
+        )
+        out = list(plan.apply(windows))
+        assert len(out) == len(windows)
+        assert out[1].start_sample == windows[1].start_sample + 100
+        assert int((~np.isfinite(out[2].samples)).sum()) == 32
+        assert [e.kind for e in plan.events] == ["stream_gap", "nan_burst"]
+        assert [e.window_index for e in plan.events] == [1, 2]
+
+    def test_affected_spans_with_margin(self):
+        windows = _stream(size=500)
+        plan = FaultPlan(StreamGapInjector(gap_samples=10, at=(1,)))
+        list(plan.apply(windows))
+        (span,) = plan.affected_spans(margin=250)
+        assert span == (windows[1].start_sample - 250,
+                        windows[1].end_sample + 250)
+
+    def test_emptied_window_skipped_by_later_injectors(self):
+        windows = _stream()
+        plan = FaultPlan(
+            TruncateWindowInjector(keep=0, at=(1,)),
+            NaNBurstInjector(burst_samples=32, at=(1,)),
+        )
+        out = list(plan.apply(windows))
+        assert len(out[1]) == 0
+        # the NaN injector saw an empty window and stood down
+        assert [e.kind for e in plan.events] == ["truncated_window"]
+
+    def test_add_chains(self):
+        plan = FaultPlan().add(StreamGapInjector(at=(0,)))
+        assert len(plan.injectors) == 1

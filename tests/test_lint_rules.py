@@ -215,6 +215,87 @@ class TestConcurrency:
         ) == []
 
 
+class TestReliability:
+    def test_silent_except_exception_flagged(self):
+        findings = lint(
+            """
+            def decode(buf):
+                try:
+                    return buf.demod()
+                except Exception:
+                    pass
+            """,
+        )
+        assert rules_of(findings) == ["RFD302"]
+        assert "Exception" in findings[0].message
+
+    def test_bare_except_and_tuple_flagged(self):
+        findings = lint(
+            """
+            def a(buf):
+                try:
+                    buf.demod()
+                except:
+                    return
+            def b(buf):
+                try:
+                    buf.demod()
+                except (ValueError, BaseException):
+                    ...
+            """,
+        )
+        assert rules_of(findings) == ["RFD302", "RFD302"]
+
+    def test_silent_continue_flagged(self):
+        findings = lint(
+            """
+            def drain(bufs):
+                for buf in bufs:
+                    try:
+                        buf.demod()
+                    except Exception:
+                        continue
+            """,
+        )
+        assert rules_of(findings) == ["RFD302"]
+
+    def test_handler_that_records_allowed(self):
+        assert lint(
+            """
+            def decode(buf, errors):
+                try:
+                    return buf.demod()
+                except Exception as exc:
+                    errors.append(exc)
+                    return None
+            """,
+        ) == []
+
+    def test_narrow_silent_handler_allowed(self):
+        # a deliberately ignored *specific* exception is fine
+        assert lint(
+            """
+            def close(pool):
+                try:
+                    pool.shutdown()
+                except OSError:
+                    pass
+            """,
+        ) == []
+
+    def test_outside_core_not_flagged(self):
+        assert lint(
+            """
+            def decode(buf):
+                try:
+                    return buf.demod()
+                except Exception:
+                    pass
+            """,
+            path=PHY,
+        ) == []
+
+
 class TestApiContracts:
     def test_config_attribute_assignment_flagged(self):
         findings = lint(
