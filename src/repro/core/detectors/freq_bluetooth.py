@@ -88,10 +88,13 @@ class BluetoothFrequencyDetector(Detector):
                 )
             if not dominant.any():
                 continue
-            # the dominant bin must be stable across (dominant) frames
+            # the dominant bin must be stable across (dominant) frames —
+            # a long burst with a few smeared edge frames is still
+            # single-channel, so the denominator counts dominant frames,
+            # not all of them
             bins, counts = np.unique(top[dominant], return_counts=True)
             best_bin = int(bins[np.argmax(counts)])
-            fraction = counts.max() / frames.shape[0]
+            fraction = counts.max() / max(int(dominant.sum()), 1)
             if fraction < self.min_single_fraction:
                 continue
             out.append(

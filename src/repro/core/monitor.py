@@ -57,6 +57,12 @@ def _make_streaming(config: MonitorConfig, kwargs: dict):
     return StreamingMonitor(config=config, **kwargs)
 
 
+def _make_sharded(config: MonitorConfig, kwargs: dict):
+    from repro.core.shards import ShardBroker
+
+    return ShardBroker(config=config, **kwargs)
+
+
 #: name -> constructor; aliases cover the labels the figures use
 _FACTORIES: Dict[str, Callable[[MonitorConfig, dict], Monitor]] = {
     "rfdump": _make_rfdump,
@@ -64,6 +70,7 @@ _FACTORIES: Dict[str, Callable[[MonitorConfig, dict], Monitor]] = {
     "energy": _make_energy,
     "naive+energy": _make_energy,
     "streaming": _make_streaming,
+    "sharded": _make_sharded,
 }
 
 MONITOR_NAMES = tuple(sorted(_FACTORIES))

@@ -10,7 +10,7 @@ demodulating analyzers that decode those ranges.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.constants import DEFAULT_CENTER_FREQ
 from repro.analysis.decoders import (
@@ -180,6 +180,14 @@ class RFDumpMonitor(Monitor):
         the monitor as a context manager) to release the pool.
     parallel_backend / parallel_granularity / parallel_timeout:
         Forwarded to :class:`ParallelAnalysisStage`.
+    range_filter:
+        ``f(protocol, dispatched_range, buffer) -> bool`` deciding which
+        dispatched ranges this monitor demodulates; ranges it declines
+        stay on the report's ``ranges`` (detection-stage truth) but are
+        not analyzed.  This is the seam the sharded monitoring service
+        uses to give each shard worker ownership of a slice of the band
+        (:mod:`repro.core.shards`); None (the default) demodulates
+        everything.
     config:
         A :class:`MonitorConfig`; its ``obs`` field attaches the
         metrics/tracing sink for the whole pipeline.
@@ -201,6 +209,9 @@ class RFDumpMonitor(Monitor):
         parallel_granularity: str = UNSET,
         parallel_timeout: Optional[float] = UNSET,
         on_error: Optional[str] = UNSET,
+        range_filter: Optional[
+            Callable[[str, DispatchedRange, SampleBuffer], bool]
+        ] = None,
         config: Optional[MonitorConfig] = None,
     ):
         cfg = resolve_monitor_config(
@@ -230,6 +241,7 @@ class RFDumpMonitor(Monitor):
         self.demodulate = cfg.demodulate
         self.noise_floor = cfg.noise_floor
         self.workers = int(cfg.workers)
+        self._range_filter = range_filter
         self.peak_detector = PeakDetector(peak_config, obs=self.obs)
         self.dispatcher = Dispatcher(
             self.peak_detector.config.chunk_samples, obs=self.obs
@@ -387,20 +399,39 @@ class RFDumpMonitor(Monitor):
                     classifications, buffer.end_sample, buffer.start_sample
                 )
 
+            demod_ranges = ranges
+            if self._range_filter is not None:
+                demod_ranges = {}
+                declined = 0
+                for protocol, proto_ranges in ranges.items():
+                    kept = [
+                        r for r in proto_ranges
+                        if self._range_filter(protocol, r, buffer)
+                    ]
+                    declined += len(proto_ranges) - len(kept)
+                    if kept:
+                        demod_ranges[protocol] = kept
+                if declined:
+                    obs.counter(
+                        "rfdump_ranges_declined_total",
+                        help="dispatched ranges the range-ownership filter "
+                             "left to another monitor",
+                    ).inc(declined)
+
             packets: List[PacketRecord] = []
             demod_by_protocol: Dict[str, float] = {}
             parallel_fallbacks = 0
             if self.demodulate:
                 if self._parallel is not None:
                     packets, demod_by_protocol, parallel_fallbacks = (
-                        self._parallel.run(buffer, ranges, clock)
+                        self._parallel.run(buffer, demod_ranges, clock)
                     )
                     errors.extend(self._parallel.take_error_records())
                 else:
                     import time as _time
 
                     with obs.span("analysis"):
-                        for protocol, proto_ranges in ranges.items():
+                        for protocol, proto_ranges in demod_ranges.items():
                             decoder = self._decoders.get(protocol)
                             if decoder is None:
                                 continue

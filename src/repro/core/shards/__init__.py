@@ -1,0 +1,35 @@
+"""The sharded multi-channel monitoring service (ROADMAP item 1).
+
+One wideband front end, N independent monitoring domains: a
+:class:`~repro.core.shards.splitter.BandSplitter` carves the monitored
+band into equal sub-band channel groups, each owned by a
+:class:`~repro.core.shards.worker.ShardWorker` (a full
+:class:`~repro.core.streaming.StreamingMonitor` with its own
+:class:`~repro.core.config.MonitorConfig` and failure domain), and a
+:class:`~repro.core.shards.broker.ShardBroker` routes windows to the
+workers, merges their per-shard reports into one band-wide
+:class:`~repro.core.pipeline.MonitorReport` (deterministic packet
+ordering, de-duplicated boundary peaks) and rebalances a tripped shard's
+sub-band onto a healthy neighbor.
+
+Build one through ``make_monitor("sharded", config)`` with
+``MonitorConfig(shards=N)``, or directly::
+
+    broker = ShardBroker(config=MonitorConfig(on_error="degrade"), shards=4)
+    for window in windows:
+        broker.process(window)
+    broker.flush()
+    broker.packets          # band-wide, identical to a 1-monitor run
+"""
+
+from repro.core.shards.broker import ShardBroker, merge_classifications, merge_packets
+from repro.core.shards.splitter import BandSplitter
+from repro.core.shards.worker import ShardWorker
+
+__all__ = [
+    "BandSplitter",
+    "ShardBroker",
+    "ShardWorker",
+    "merge_classifications",
+    "merge_packets",
+]

@@ -1,0 +1,169 @@
+"""Band splitter: sub-band channelization and shard ownership.
+
+The monitored band (8 MHz by default) is divided into ``nchannels``
+equal sub-bands — the same 1 MHz channelization the Bluetooth frequency
+detector uses — and each shard owns a contiguous group of them.  The
+splitter answers two questions:
+
+* *Where does this energy live?*  :meth:`BandSplitter.active_channels`
+  channelizes a sample range through the existing FFT channelizer
+  (:func:`repro.dsp.fftutil.channelize_power`) and returns the sub-bands
+  carrying its energy.  The broker's ownership filter is built on this:
+  a shard demodulates a dispatched range iff the range's active
+  sub-bands intersect the shard's owned set.  Energy straddling a shard
+  boundary is active in both neighbors, so both analyze it and the
+  broker de-duplicates — a transmission on the boundary is never lost.
+* *What does shard k's slice of the ether look like?*
+  :meth:`BandSplitter.subband_streams` carves the buffer into N
+  frequency-isolated full-rate sample streams (FFT brick-wall masking),
+  the representation a per-sub-band DDC front end would deliver.
+
+Both are deterministic pure functions of the samples, so every shard
+(and a verifying test) computes identical ownership decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+import numpy as np
+
+from repro.dsp.fftutil import channelize_power
+from repro.dsp.samples import SampleBuffer
+
+#: entries kept in the per-range occupancy cache before it is cleared;
+#: every live shard asks about the same ranges, so the cache turns N
+#: channelizations per range into one
+_OCCUPANCY_CACHE_LIMIT = 4096
+
+
+class BandSplitter:
+    """Maps sub-band channels to shards and sample energy to sub-bands.
+
+    Parameters
+    ----------
+    nshards:
+        Shard count; must divide into at most ``nchannels`` groups
+        (each shard owns at least one sub-band).
+    nchannels:
+        Equal sub-bands the band is split into (default 8: the 1 MHz
+        Bluetooth channelization of the 8 MHz band, Section 4.6).
+    fft_size:
+        Channelizer FFT size per frame; short ranges fall back to the
+        largest valid size automatically (see
+        :func:`repro.dsp.fftutil.channelize_power`).
+    occupancy_fraction:
+        A sub-band is *active* for a range when it carries at least this
+        fraction of the strongest sub-band's power.  Low enough that a
+        boundary-straddling transmission activates both neighbors, high
+        enough that the noise floor does not activate everything.
+    """
+
+    def __init__(self, nshards: int, nchannels: int = 8, fft_size: int = 256,
+                 occupancy_fraction: float = 0.25):
+        if nshards < 1:
+            raise ValueError("nshards must be >= 1")
+        if nchannels < 1:
+            raise ValueError("nchannels must be >= 1")
+        if nshards > nchannels:
+            raise ValueError(
+                f"cannot split {nchannels} sub-bands across {nshards} shards "
+                "(each shard needs at least one)"
+            )
+        if fft_size % nchannels != 0:
+            raise ValueError("fft_size must be a multiple of nchannels")
+        if not 0.0 < occupancy_fraction <= 1.0:
+            raise ValueError("occupancy_fraction must be in (0, 1]")
+        self.nshards = nshards
+        self.nchannels = nchannels
+        self.fft_size = fft_size
+        self.occupancy_fraction = occupancy_fraction
+        self._cache: Dict[Tuple[int, int], FrozenSet[int]] = {}
+
+    # -- ownership layout -----------------------------------------------------
+
+    def home_channels(self, shard: int) -> Tuple[int, ...]:
+        """The contiguous sub-band group shard ``shard`` initially owns."""
+        if not 0 <= shard < self.nshards:
+            raise ValueError(f"shard must be 0..{self.nshards - 1}")
+        lo = shard * self.nchannels // self.nshards
+        hi = (shard + 1) * self.nchannels // self.nshards
+        return tuple(range(lo, hi))
+
+    def initial_ownership(self) -> Dict[int, int]:
+        """channel index -> owning shard, the broker's starting map."""
+        owner: Dict[int, int] = {}
+        for shard in range(self.nshards):
+            for channel in self.home_channels(shard):
+                owner[channel] = shard
+        return owner
+
+    # -- occupancy ------------------------------------------------------------
+
+    def active_channels(self, buffer: SampleBuffer, start: int,
+                        end: int) -> FrozenSet[int]:
+        """Sub-bands carrying energy in absolute range ``[start, end)``.
+
+        Always contains the dominant sub-band for a non-empty range
+        (every range has an owner, even one full of noise), plus every
+        sub-band within ``occupancy_fraction`` of the dominant power —
+        the rule that hands boundary-straddling energy to both
+        neighbors.  Results are cached per (start, end): all shards ask
+        about the same dispatched ranges of the same stream.
+        """
+        key = (int(start), int(end))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        segment = buffer.slice(start, end).samples
+        if segment.size == 0:
+            return frozenset()
+        frames = channelize_power(segment, self.nchannels, self.fft_size)
+        if frames.shape[0] == 0:
+            # too short even for the channelizer's fallback: the range
+            # is unresolvable, so its (sole) owner is sub-band 0
+            active = frozenset({0})
+        else:
+            power = frames.sum(axis=0)
+            peak = float(power.max())
+            if peak <= 0.0:
+                active = frozenset({int(np.argmax(power))})
+            else:
+                mask = power >= self.occupancy_fraction * peak
+                active = frozenset(int(c) for c in np.flatnonzero(mask))
+        if len(self._cache) >= _OCCUPANCY_CACHE_LIMIT:
+            self._cache.clear()
+        self._cache[key] = active
+        return active
+
+    # -- stream carving -------------------------------------------------------
+
+    def subband_streams(self, buffer: SampleBuffer) -> List[SampleBuffer]:
+        """Carve the buffer into one frequency-isolated stream per shard.
+
+        Stream ``k`` keeps only the spectral content of shard ``k``'s
+        home sub-bands (brick-wall FFT masking over the whole buffer,
+        fftshifted bin layout matching :func:`channelize_power`), at the
+        original rate and sample positions, so ``sum(streams)`` equals
+        the input up to float rounding.  This is the representation a
+        per-sub-band digital down-converter would hand each shard.
+        """
+        x = np.asarray(buffer.samples)
+        n = x.size
+        if n == 0:
+            return [
+                SampleBuffer(x.copy(), buffer.timebase, buffer.start_sample)
+                for _ in range(self.nshards)
+            ]
+        spectrum = np.fft.fftshift(np.fft.fft(x))
+        # fftshifted bin i belongs to sub-band floor(i * nchannels / n)
+        channel_of_bin = (np.arange(n) * self.nchannels) // n
+        out: List[SampleBuffer] = []
+        for shard in range(self.nshards):
+            mask = np.isin(channel_of_bin, self.home_channels(shard))
+            carved = np.fft.ifft(np.fft.ifftshift(spectrum * mask))
+            out.append(SampleBuffer(
+                carved.astype(np.complex64), buffer.timebase,
+                buffer.start_sample,
+            ))
+        return out

@@ -1,0 +1,124 @@
+"""Shard worker: one monitoring domain of the sharded service.
+
+Each worker is a *full* :class:`~repro.core.streaming.StreamingMonitor`
+over its own :class:`~repro.core.pipeline.RFDumpMonitor`, built from its
+own :class:`~repro.core.config.MonitorConfig` — its detector set, error
+policy, circuit breakers and streaming state are an independent failure
+domain.  What makes it a shard rather than a replica is the range
+ownership filter: detection (cheap, vectorized) runs over the full
+window in every shard so that noise-floor tracking, peak metadata and
+dispatch decisions are identical everywhere, but each worker
+*demodulates* only the dispatched ranges whose active sub-bands
+intersect the channels it currently owns.  Demodulation is the paying
+stage (Section 2.2), so the band's analysis cost is divided across
+shards while the merged output stays bit-identical to a single
+monitor's — the broker's equivalence guarantee.
+
+Ownership is consulted live through a callable, so a broker rebalance
+(reassigning a tripped neighbor's sub-bands) takes effect at the
+worker's next window without touching the worker.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Callable, List, Optional
+
+from repro.analysis.decoders import PacketRecord
+from repro.core.config import MonitorConfig
+from repro.core.dispatcher import DispatchedRange
+from repro.core.errorpolicy import ErrorRecord
+from repro.core.pipeline import MonitorReport, RFDumpMonitor
+from repro.core.shards.splitter import BandSplitter
+from repro.core.streaming import StreamingMonitor
+from repro.dsp.samples import SampleBuffer
+
+
+class ShardWorker:
+    """One shard: a streaming monitor plus a live ownership filter.
+
+    Parameters
+    ----------
+    index:
+        Shard number (0-based); names the worker ``shard<index>``.
+    config:
+        The band-wide :class:`MonitorConfig`; the worker derives its own
+        (``shards=1``, no shared observability sink — the broker owns
+        the band-level metrics and labels them per shard).
+    splitter:
+        The shared :class:`BandSplitter` deciding where energy lives.
+    owned:
+        Zero-argument callable returning the sub-band channels this
+        shard currently owns; the broker rebinds ownership on rebalance.
+    overlap:
+        Streaming window overlap, forwarded to :class:`StreamingMonitor`.
+    filtered:
+        When False (the single-shard degenerate case) the ownership
+        filter is skipped entirely — no channelization overhead.
+    """
+
+    def __init__(self, index: int, config: MonitorConfig,
+                 splitter: BandSplitter,
+                 owned: Callable[[], AbstractSet[int]],
+                 overlap: int = 48_000, filtered: bool = True):
+        self.index = int(index)
+        self.name = f"shard{self.index}"
+        self.splitter = splitter
+        self.owned = owned
+        self.config = config.replace(shards=1, obs=None)
+        range_filter = self.wants_range if filtered else None
+        inner = RFDumpMonitor(config=self.config, range_filter=range_filter)
+        self.monitor = StreamingMonitor(inner, overlap=overlap)
+        #: False once the broker's circuit breaker has retired this shard
+        self.healthy = True
+        #: windows this worker analyzed / failed
+        self.windows = 0
+        self.failures = 0
+
+    def wants_range(self, protocol: str, rng: DispatchedRange,
+                    buffer: SampleBuffer) -> bool:
+        """True when the range's energy touches an owned sub-band."""
+        active = self.splitter.active_channels(
+            buffer, rng.start_sample, rng.end_sample
+        )
+        return bool(active & self.owned())
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def process(self, window: SampleBuffer) -> MonitorReport:
+        self.windows += 1
+        return self.monitor.process(window)
+
+    def flush(self) -> "ShardWorker":
+        self.monitor.flush()
+        return self
+
+    def close(self) -> None:
+        self.monitor.close()
+
+    def retire(self) -> None:
+        """Take the worker out of rotation, keeping its finished output.
+
+        Deferred results are flushed first so everything the shard
+        completed before failing stays available to the broker's merge.
+        """
+        self.healthy = False
+        self.monitor.flush()
+        self.monitor.close()
+
+    # -- accumulated output ---------------------------------------------------
+
+    @property
+    def packets(self) -> List[PacketRecord]:
+        return self.monitor.packets
+
+    @property
+    def classifications(self) -> list:
+        return self.monitor.classifications
+
+    @property
+    def errors(self) -> List[ErrorRecord]:
+        return self.monitor.errors
+
+    @property
+    def quarantined_detectors(self):
+        return self.monitor.monitor.quarantined_detectors

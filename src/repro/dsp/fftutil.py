@@ -169,11 +169,40 @@ def channelize_power(
     band holds 8 Bluetooth channels, so a transmission occupying exactly one
     bin is Bluetooth-like, while 802.11 energy smears across all bins.
     Returns shape ``(n_frames, nchannels)``.
+
+    A segment shorter than ``fft_size`` falls back to the largest FFT size
+    that still divides evenly into ``nchannels`` sub-bands (coarser bins,
+    but short bursts are still classifiable — a sub-256-sample Bluetooth
+    burst must not silently vanish).  Only a segment shorter than
+    ``nchannels`` samples is unanalyzable and yields the empty
+    ``(0, nchannels)`` result; both degradations are counted on the
+    observability sink attached via :func:`set_plan_cache_obs`.
     """
     if nchannels <= 0:
         raise ValueError("nchannels must be positive")
     if fft_size % nchannels != 0:
         raise ValueError("fft_size must be a multiple of nchannels")
+    x = np.asarray(samples)
+    if 0 < x.size < fft_size:
+        fallback = (x.size // nchannels) * nchannels
+        if fallback == 0:
+            # fewer samples than sub-bands: nothing to resolve
+            if _CACHE_OBS is not None:
+                _CACHE_OBS.counter(
+                    "rfdump_channelize_skipped_total",
+                    help="segments too short to channelize at all "
+                         "(shorter than the channel count)",
+                ).inc()
+            return np.zeros((0, nchannels))
+        fft_size = fallback
+        if hop is not None:
+            hop = min(hop, fft_size)
+        if _CACHE_OBS is not None:
+            _CACHE_OBS.counter(
+                "rfdump_channelize_fft_fallbacks_total",
+                help="channelize calls that shrank the FFT to fit a "
+                     "short segment",
+            ).inc()
     spec = spectrogram(samples, fft_size=fft_size, hop=hop)
     if spec.shape[0] == 0:
         return np.zeros((0, nchannels))

@@ -23,6 +23,12 @@ def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(value: str) -> str:
+    """Escape HELP text per the text-format spec: backslash and newline
+    only (quotes are legal in help text, unlike in label values)."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _labels(pairs) -> str:
     if not pairs:
         return ""
@@ -46,7 +52,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         if metric.name not in seen_header:
             seen_header.add(metric.name)
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
         if isinstance(metric, Histogram):
             for bound, cum in metric.cumulative():

@@ -71,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="monitoring architecture (baselines for cost comparison)",
     )
     parser.add_argument(
+        "--shards", type=int, default=1,
+        help="split the band across N shard workers (each a full "
+             "streaming monitor owning a sub-band group, merged into "
+             "one band-wide report; output is identical to --shards 1)",
+    )
+    parser.add_argument(
         "--on-error", choices=("raise", "skip", "degrade"), default=None,
         help="fault policy: raise typed errors, skip faulting units, or "
              "degrade gracefully (resync gaps, sanitize NaN bursts, "
@@ -101,6 +107,13 @@ def run(args) -> int:
     if args.workers < 1:
         print("rfdump: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print("rfdump: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.monitor != "rfdump":
+        print("rfdump: --shards applies to the rfdump monitor only",
+              file=sys.stderr)
+        return 2
     obs = Observability() if (args.metrics_out or args.trace_out) else None
     config = MonitorConfig(
         sample_rate=meta.sample_rate,
@@ -111,6 +124,7 @@ def run(args) -> int:
         workers=args.workers,
         backend=args.parallel_backend,
         on_error=args.on_error,
+        shards=args.shards,
         obs=obs,
     )
     window = max(int(args.window_ms * 1e-3 * meta.sample_rate), 1)
@@ -119,7 +133,24 @@ def run(args) -> int:
     peaks = 0
     duration = meta.nsamples / meta.sample_rate
     degradation = None
-    if args.monitor == "rfdump":
+    if args.monitor == "rfdump" and args.shards > 1:
+        with make_monitor("sharded", config) as broker:
+            for buf in reader:
+                report = broker.process(buf)
+                peaks += len(report.peaks) if report.peaks is not None else 0
+            broker.flush()
+        packets = broker.packets
+        classifications = broker.classifications
+        clock = broker.clock
+        if broker.all_errors or broker.quarantined_detectors:
+            degradation = (
+                f"degradation: {len(broker.all_errors)} handled fault(s), "
+                f"{len(broker.dead_shards)} shard(s) retired, "
+                f"{broker.rebalances} rebalance(s), "
+                f"{len(broker.quarantined_detectors)} detector(s) "
+                f"quarantined"
+            )
+    elif args.monitor == "rfdump":
         with make_monitor("streaming", config) as streaming:
             for buf in reader:
                 report = streaming.process(buf)

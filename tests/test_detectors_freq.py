@@ -48,6 +48,30 @@ class TestBluetoothFreq:
         assert out[0].protocol == "bluetooth"
         assert out[0].channel == channel
 
+    def test_edge_smeared_burst_still_single_channel(self):
+        # leading/trailing noise-only frames inside the peak bounds must
+        # not dilute the single-channel fraction (regression: the
+        # fraction was normalized by the total frame count, so a burst
+        # whose peak included smeared edges fell below the threshold)
+        wave = _bt_on_channel(39)
+        pad = 6 * 256  # six channelizer frames of noise on each side
+        lead = 400
+        rng = np.random.default_rng(1)
+        n = wave.size + 2 * pad + 2 * lead
+        rx = 0.05 * (rng.normal(size=n) + 1j * rng.normal(size=n))
+        rx[lead + pad : lead + pad + wave.size] += wave
+        buf = SampleBuffer(rx.astype(np.complex64), Timebase(FS))
+        history = PeakHistory(FS)
+        history.append(lead, lead + 2 * pad + wave.size, 1.0, 1.0)
+        det = PeakDetectionResult(
+            history=history, chunks=[], noise_floor=0.005,
+            threshold=0.0125, total_samples=n,
+        )
+        out = BluetoothFrequencyDetector(center_freq=CENTER).classify(det, buf)
+        assert len(out) == 1
+        assert out[0].channel == 39
+        assert out[0].info["single_fraction"] >= 0.7
+
     def test_rejects_wideband_wifi(self):
         wave = WifiModulator(FS).modulate(build_data_frame(1, 2, b"w" * 60), 1.0)
         buf, det = _buffer_with(wave)

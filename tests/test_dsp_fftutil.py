@@ -64,6 +64,53 @@ class TestChannelize:
         with pytest.raises(ValueError):
             channelize_power(np.ones(1024), 0, fft_size=256)
 
+    def test_short_segment_falls_back_to_smaller_fft(self):
+        # regression: a segment shorter than fft_size silently produced
+        # (0, nchannels) — a sub-256-sample burst vanished entirely; now
+        # the largest valid multiple of nchannels is used instead
+        fs = 8e6
+        x = _tone(2.5e6, fs, 100)  # channel 6 of 8, under fft_size=256
+        out = channelize_power(x, 8, fft_size=256)
+        assert out.shape == (1, 8)  # one 96-point frame (100 // 8 * 8)
+        assert int(np.argmax(out[0])) == 6
+
+    def test_short_segment_fallback_matches_direct_small_fft(self):
+        rng = np.random.default_rng(9)
+        x = (rng.normal(size=100) + 1j * rng.normal(size=100))
+        fallback = channelize_power(x, 8, fft_size=256)
+        direct = channelize_power(x, 8, fft_size=96)
+        np.testing.assert_allclose(fallback, direct)
+
+    def test_short_segment_fallback_clamps_hop(self):
+        x = np.ones(100, dtype=complex)
+        out = channelize_power(x, 8, fft_size=256, hop=256)
+        assert out.shape == (1, 8)
+
+    def test_segment_shorter_than_nchannels_is_skipped(self):
+        # fewer samples than sub-bands resolves nothing: empty result
+        out = channelize_power(np.ones(5, dtype=complex), 8, fft_size=256)
+        assert out.shape == (0, 8)
+
+    def test_empty_segment(self):
+        out = channelize_power(np.zeros(0, dtype=complex), 8, fft_size=256)
+        assert out.shape == (0, 8)
+
+    def test_fallback_and_skip_are_counted(self):
+        from repro.dsp.fftutil import set_plan_cache_obs
+        from repro.obs import Observability
+
+        obs = Observability()
+        set_plan_cache_obs(obs)
+        try:
+            channelize_power(np.ones(100, dtype=complex), 8, fft_size=256)
+            channelize_power(np.ones(5, dtype=complex), 8, fft_size=256)
+        finally:
+            set_plan_cache_obs(None)
+        assert obs.registry.value(
+            "rfdump_channelize_fft_fallbacks_total") == 1
+        assert obs.registry.value(
+            "rfdump_channelize_skipped_total") == 1
+
 
 class TestOccupancy:
     def test_threshold(self):

@@ -153,6 +153,26 @@ class TestPrometheusRender:
         assert '\\"quotes\\"' in page
         assert "\\n" in page
 
+    def test_help_escaping_round_trips(self):
+        # regression: HELP text with a newline or backslash was emitted
+        # raw, splitting the comment across lines and corrupting the page
+        reg = MetricsRegistry()
+        help_text = 'multi\nline help with \\ backslash and "quotes"'
+        reg.counter("esc_total", help=help_text).inc()
+        page = render_prometheus(reg)
+        # the page stays line-parseable: every line is a comment or a
+        # sample, and the HELP comment is a single line
+        help_lines = [l for l in page.splitlines()
+                      if l.startswith("# HELP esc_total ")]
+        assert len(help_lines) == 1
+        for line in page.splitlines():
+            assert line.startswith("#") or line.split()[0] == "esc_total"
+        # un-escaping per the text-format spec recovers the original
+        # (quotes pass through unescaped in HELP, unlike label values)
+        escaped = help_lines[0][len("# HELP esc_total "):]
+        unescaped = escaped.replace("\\n", "\n").replace("\\\\", "\\")
+        assert unescaped == help_text
+
     def test_deterministic_output(self):
         def build():
             reg = MetricsRegistry()

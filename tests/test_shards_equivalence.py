@@ -1,0 +1,240 @@
+"""Serial-vs-sharded equivalence (the broker's core guarantee).
+
+The acceptance bar for the sharded service: an N-shard run's merged
+report carries *identical* classified packets to a single-monitor run
+over the same windows, for N in {2, 4, 8}, including a transmission
+sitting exactly on a shard boundary (energy in both neighbors' sub-bands
+is demodulated twice and de-duplicated, never lost).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MonitorConfig
+from repro.core.monitor import make_monitor
+from repro.core.shards import BandSplitter, ShardBroker
+from repro.core.streaming import StreamingMonitor
+from repro.dsp.samples import SampleBuffer
+from repro.faults.harness import preset_windows, split_windows
+from repro.obs import Observability
+from repro.phy.bluetooth import BluetoothModulator, TYPE_DH1
+from repro.util.timebase import Timebase
+
+FS = 8e6
+WINDOW = 160_000
+OVERLAP = 48_000
+
+
+def _packet_key(p):
+    return (p.start_sample, p.end_sample, p.protocol, p.decoder, p.channel,
+            p.ok, p.payload_size, p.rate_mbps)
+
+
+def _cls_key(c):
+    return (c.peak.start_sample, c.peak.end_sample, c.protocol, c.detector,
+            c.channel)
+
+
+def boundary_straddle_windows(seed=11, n_windows=2):
+    """A seeded stream whose one Bluetooth burst sits at band center —
+    exactly on the sub-band boundary every even shard count splits at."""
+    wave = BluetoothModulator(FS).modulate(TYPE_DH1, b"edge" * 6, clock=5)
+    rng = np.random.default_rng(seed)
+    n = n_windows * WINDOW
+    rx = 0.05 * (rng.normal(size=n) + 1j * rng.normal(size=n))
+    at = WINDOW // 2
+    rx[at : at + wave.size] += wave  # baseband = band center = channel 3|4 edge
+    buffer = SampleBuffer(rx.astype(np.complex64), Timebase(FS))
+    return split_windows(buffer, WINDOW), buffer, (at, at + wave.size)
+
+
+@pytest.fixture(scope="module")
+def mix_windows():
+    return preset_windows("mix", duration=0.08, window_samples=WINDOW, seed=7)
+
+
+@pytest.fixture(scope="module")
+def single_run(mix_windows):
+    monitor = StreamingMonitor(config=MonitorConfig(), overlap=OVERLAP)
+    for window in mix_windows:
+        monitor.process(window)
+    monitor.flush()
+    return monitor
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("nshards", [2, 4, 8])
+    def test_merged_output_identical_to_serial(self, mix_windows, single_run,
+                                               nshards):
+        broker = ShardBroker(config=MonitorConfig(shards=nshards),
+                             overlap=OVERLAP)
+        for window in mix_windows:
+            broker.process(window)
+        broker.flush()
+        assert [_packet_key(p) for p in broker.packets] == \
+               [_packet_key(p) for p in single_run.packets]
+        assert sorted(_cls_key(c) for c in broker.classifications) == \
+               sorted(_cls_key(c) for c in single_run.classifications)
+        assert len(single_run.packets) > 0  # the comparison is non-vacuous
+
+    def test_wideband_ranges_demodulated_by_all_and_deduped(self, mix_windows):
+        # 802.11 energy smears across every sub-band, so every shard
+        # demodulates it; the merge must collapse the copies
+        obs = Observability()
+        broker = ShardBroker(config=MonitorConfig(shards=4, obs=obs),
+                             overlap=OVERLAP)
+        for window in mix_windows:
+            broker.process(window)
+        broker.flush()
+        assert obs.registry.value("rfdump_shard_merge_dedup_total") > 0
+
+    def test_per_window_reports_match_serial(self, mix_windows):
+        serial = StreamingMonitor(config=MonitorConfig(), overlap=OVERLAP)
+        broker = ShardBroker(config=MonitorConfig(shards=4), overlap=OVERLAP)
+        for window in mix_windows:
+            a = serial.process(window)
+            b = broker.process(window)
+            assert [_packet_key(p) for p in b.packets] == \
+                   [_packet_key(p) for p in a.packets]
+            assert b.total_samples == a.total_samples
+            assert b.noise_floor == pytest.approx(a.noise_floor)
+
+    def test_boundary_straddling_burst_not_lost_or_duplicated(self):
+        windows, buffer, (lo, hi) = boundary_straddle_windows()
+        # the burst's energy really does straddle the 2-shard boundary
+        splitter = BandSplitter(2)
+        active = splitter.active_channels(buffer, lo, hi)
+        assert active & frozenset(splitter.home_channels(0))
+        assert active & frozenset(splitter.home_channels(1))
+
+        serial = StreamingMonitor(config=MonitorConfig(), overlap=OVERLAP)
+        broker = ShardBroker(config=MonitorConfig(shards=2), overlap=OVERLAP)
+        for window in windows:
+            serial.process(window)
+            broker.process(window)
+        serial.flush()
+        broker.flush()
+        assert [_packet_key(p) for p in broker.packets] == \
+               [_packet_key(p) for p in serial.packets]
+        assert sorted(_cls_key(c) for c in broker.classifications) == \
+               sorted(_cls_key(c) for c in serial.classifications)
+        # the burst was classified at all (non-vacuous straddle case)
+        assert any(c.protocol == "bluetooth" and
+                   lo <= c.peak.start_sample < hi
+                   for c in serial.classifications)
+
+    def test_merged_report_totals(self, mix_windows):
+        broker = ShardBroker(config=MonitorConfig(shards=2), overlap=OVERLAP)
+        for window in mix_windows:
+            broker.process(window)
+        broker.flush()
+        report = broker.merged_report()
+        assert report.total_samples == sum(len(w) for w in mix_windows)
+        assert [_packet_key(p) for p in report.packets] == \
+               [_packet_key(p) for p in broker.packets]
+
+
+class TestFactoryAndConfig:
+    def test_make_monitor_sharded(self):
+        monitor = make_monitor("sharded", MonitorConfig(shards=3))
+        assert isinstance(monitor, ShardBroker)
+        assert monitor.nshards == 3
+
+    def test_shards_kwarg_overrides_config(self):
+        monitor = make_monitor("sharded", MonitorConfig(shards=2), shards=5)
+        assert monitor.nshards == 5
+
+    def test_config_rejects_bad_shards(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(shards=0)
+
+    def test_single_shard_degenerates_to_unfiltered(self):
+        broker = ShardBroker(config=MonitorConfig(shards=1))
+        assert broker.workers[0].monitor.monitor._range_filter is None
+
+    def test_worker_configs_are_independent_domains(self):
+        broker = ShardBroker(config=MonitorConfig(shards=2, on_error="skip"))
+        for worker in broker.workers:
+            assert worker.config.shards == 1
+            assert worker.config.on_error == "skip"
+            assert worker.config.obs is None
+        inner = [w.monitor.monitor for w in broker.workers]
+        assert inner[0] is not inner[1]
+        assert inner[0].detectors is not inner[1].detectors
+
+
+class TestBandSplitter:
+    def test_home_channels_partition_the_band(self):
+        for nshards in (1, 2, 3, 4, 8):
+            splitter = BandSplitter(nshards)
+            seen = []
+            for shard in range(nshards):
+                channels = splitter.home_channels(shard)
+                assert channels  # every shard owns at least one sub-band
+                assert list(channels) == sorted(channels)  # contiguous
+                seen.extend(channels)
+            assert sorted(seen) == list(range(8))
+
+    def test_initial_ownership_matches_home_channels(self):
+        splitter = BandSplitter(4)
+        owner = splitter.initial_ownership()
+        for shard in range(4):
+            for channel in splitter.home_channels(shard):
+                assert owner[channel] == shard
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandSplitter(0)
+        with pytest.raises(ValueError):
+            BandSplitter(9, nchannels=8)
+        with pytest.raises(ValueError):
+            BandSplitter(2, fft_size=100)  # not a multiple of nchannels
+        with pytest.raises(ValueError):
+            BandSplitter(2, occupancy_fraction=0.0)
+
+    def _tone_buffer(self, freq, n=8192):
+        x = np.exp(2j * np.pi * freq * np.arange(n) / FS)
+        return SampleBuffer(x.astype(np.complex64), Timebase(FS))
+
+    def test_active_channels_single_tone(self):
+        splitter = BandSplitter(4)
+        # center of sub-band 6 of 8: (6 + 0.5) MHz - 4 MHz = +2.5 MHz
+        buf = self._tone_buffer(2.5e6)
+        assert splitter.active_channels(buf, 0, 8192) == frozenset({6})
+
+    def test_active_channels_boundary_emission_activates_both(self):
+        splitter = BandSplitter(2)
+        # a narrowband emission straddling the channel 5|6 edge at
+        # +2.0 MHz puts comparable power on both sides
+        n = 8192
+        t = np.arange(n) / FS
+        x = (np.exp(2j * np.pi * 1.98e6 * t) +
+             np.exp(2j * np.pi * 2.02e6 * t))
+        buf = SampleBuffer(x.astype(np.complex64), Timebase(FS))
+        active = splitter.active_channels(buf, 0, n)
+        assert {5, 6} <= set(active)
+
+    def test_active_channels_noise_has_an_owner(self, rng):
+        splitter = BandSplitter(4)
+        x = (rng.normal(size=4096) + 1j * rng.normal(size=4096))
+        buf = SampleBuffer(x.astype(np.complex64), Timebase(FS))
+        assert len(splitter.active_channels(buf, 0, 4096)) >= 1
+
+    def test_active_channels_tiny_range_owned_by_channel_zero(self):
+        splitter = BandSplitter(4)
+        buf = self._tone_buffer(2.5e6, n=64)
+        assert splitter.active_channels(buf, 0, 4) == frozenset({0})
+        assert splitter.active_channels(buf, 0, 0) == frozenset()
+
+    def test_subband_streams_reconstruct_and_isolate(self):
+        splitter = BandSplitter(4)
+        buf = self._tone_buffer(2.5e6, n=4096)  # lives in sub-band 6
+        streams = splitter.subband_streams(buf)
+        assert len(streams) == 4
+        total = sum(s.samples for s in streams)
+        np.testing.assert_allclose(total, buf.samples, atol=1e-3)
+        powers = [float(np.sum(np.abs(s.samples) ** 2)) for s in streams]
+        # sub-band 6 is shard 3's home (channels 6,7): all energy there
+        assert powers[3] > 0.99 * sum(powers)
+        for stream in streams:
+            assert stream.start_sample == buf.start_sample
