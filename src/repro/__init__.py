@@ -26,6 +26,8 @@ from repro.core import (
     MonitorConfig,
     MonitorReport,
     NaiveMonitor,
+    PacketEvent,
+    PacketMeta,
     ParallelAnalysisStage,
     PeakDetector,
     RFDumpMonitor,
@@ -62,6 +64,8 @@ __all__ = [
     "MonitorConfig",
     "MonitorReport",
     "Observability",
+    "PacketEvent",
+    "PacketMeta",
     "make_monitor",
     "ParallelAnalysisStage",
     "PeakDetector",

@@ -21,14 +21,19 @@ def render_packet_log(records: Iterable[PacketRecord], sample_rate: float) -> st
         snr = rec.info.get("snr_db")
         if snr is not None:
             fields.append(f"{snr:5.1f} dB")
-        detail = _detail_for(rec)
+        detail = packet_detail(rec)
         if detail:
             fields.append(detail)
         lines.append("  ".join(fields))
     return "\n".join(lines)
 
 
-def _detail_for(rec: PacketRecord) -> str:
+def packet_detail(rec: PacketRecord) -> str:
+    """One-phrase description of a decoded packet's contents.
+
+    Shared by the CLI packet log and the :class:`PacketEvent` summary
+    field, so the human log and the event stream describe a packet the
+    same way."""
     decoded = rec.decoded
     if rec.protocol == "wifi" and decoded is not None:
         if getattr(decoded, "header_only", False):

@@ -223,27 +223,26 @@ def _sharded_run(workload, nshards: int) -> int:
 
 
 def _sharded_equivalence(workload, ctx: BenchContext) -> Dict[str, object]:
-    # the broker's contract: N-shard merged packets identical to 1-shard
+    # the broker's contract, stated on the uniform event API: the
+    # N-shard event stream is byte-identical (canonical wire form,
+    # sequence numbers included) to the single-shard stream
     from repro.core.config import MonitorConfig
     from repro.core.shards import ShardBroker
 
     outputs = []
     for nshards in (1, 4):
-        broker = ShardBroker(config=MonitorConfig(shards=nshards),
-                             overlap=_SHARD_OVERLAP)
-        for window in workload["windows"]:
-            broker.process(window)
-        broker.flush()
-        outputs.append([
-            (p.start_sample, p.end_sample, p.protocol, p.decoder, p.channel)
-            for p in broker.packets
-        ])
+        with ShardBroker(config=MonitorConfig(shards=nshards),
+                         overlap=_SHARD_OVERLAP) as broker:
+            outputs.append([
+                event.to_json()
+                for event in broker.events(workload["windows"])
+            ])
     if outputs[0] != outputs[1]:
         raise AssertionError(
-            "sharded merge diverged from the single-shard run: "
-            f"{len(outputs[0])} vs {len(outputs[1])} packets"
+            "sharded event stream diverged from the single-shard run: "
+            f"{len(outputs[0])} vs {len(outputs[1])} events"
         )
-    return {"packets": len(outputs[0]), "identical": True}
+    return {"events": len(outputs[0]), "identical": True}
 
 
 register_benchmark(Benchmark(

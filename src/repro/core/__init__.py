@@ -15,8 +15,21 @@ from repro.core.errorpolicy import (
     ErrorRecord,
 )
 from repro.core.monitor import MONITOR_NAMES, Monitor, make_monitor
+from repro.core.events import (
+    EVENT_SCHEMA_VERSION,
+    PacketEvent,
+    PacketMeta,
+    events_from_records,
+    read_events,
+)
 from repro.core.peak_detector import PeakDetector
 from repro.core.pipeline import RFDumpMonitor, MonitorReport
+from repro.core.report import (
+    classification_key,
+    merge_classifications,
+    merge_packets,
+    packet_key,
+)
 from repro.core.naive import NaiveMonitor, EnergyNaiveMonitor
 from repro.core.accounting import StageClock
 from repro.core.streaming import StreamingMonitor
@@ -36,6 +49,15 @@ __all__ = [
     "Monitor",
     "make_monitor",
     "MONITOR_NAMES",
+    "EVENT_SCHEMA_VERSION",
+    "PacketEvent",
+    "PacketMeta",
+    "events_from_records",
+    "read_events",
+    "packet_key",
+    "classification_key",
+    "merge_packets",
+    "merge_classifications",
     "PeakDetector",
     "RFDumpMonitor",
     "MonitorReport",

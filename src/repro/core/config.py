@@ -2,21 +2,23 @@
 
 ``RFDumpMonitor``, ``StreamingMonitor`` and the naive baselines each
 grew their own keyword soup; :class:`MonitorConfig` is the single seam
-they now share (and the one place observability hangs off).  The legacy
-keyword arguments keep working — monitors resolve them through
-:func:`resolve_monitor_config`, which warns (``DeprecationWarning``)
-only when a ``config=`` and an explicit keyword disagree, in which case
-the explicit keyword wins.
+they now share (and the one place observability hangs off).  Legacy
+keyword *names* still resolve (``parallel_backend`` maps to
+``backend``), but mixing a ``config=`` object with keywords that
+*disagree* with it is an error: :func:`resolve_monitor_config` raises
+:class:`~repro.errors.ConfigurationError` where earlier releases only
+warned — a daemon serving many subscribers must not start from an
+ambiguous configuration.  Pass one or the other.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, fields, replace
 from typing import Dict, Optional, Tuple
 
 from repro.constants import DEFAULT_CENTER_FREQ, DEFAULT_SAMPLE_RATE
 from repro.core.errorpolicy import validate_error_policy
+from repro.errors import ConfigurationError
 from repro.obs import Observability
 
 
@@ -111,14 +113,13 @@ class MonitorConfig:
             raise TypeError(f"unknown monitor config fields: {sorted(unknown)}")
         return cls(**mapped)
 
-    def to_kwargs(self, legacy: bool = False) -> Dict[str, object]:
-        """The config as a keyword dict; ``legacy=True`` emits the old
-        per-monitor keyword names so existing call sites can be fed."""
-        out = {f.name: getattr(self, f.name) for f in fields(self)}
-        if legacy:
-            for old, new in LEGACY_ALIASES.items():
-                out[old] = out.pop(new)
-        return out
+    def to_kwargs(self) -> Dict[str, object]:
+        """The config as a keyword dict of canonical field names.
+
+        (The ``legacy=True`` variant that re-emitted the pre-unification
+        per-monitor keyword names is gone — internal callers consume
+        :class:`MonitorConfig` objects directly now.)"""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def replace(self, **changes) -> "MonitorConfig":
         return replace(self, **changes)
@@ -129,10 +130,12 @@ def resolve_monitor_config(config: Optional[MonitorConfig],
     """Merge a ``config=`` object with explicitly-passed keywords.
 
     ``overrides`` values equal to :data:`UNSET` were not passed and are
-    ignored.  With no config, the explicit keywords build one; with a
-    config and *disagreeing* explicit keywords, a DeprecationWarning
-    flags the inconsistent mix and the explicit keyword wins (matching
-    what the legacy call sites already expect).
+    ignored.  With no config, the explicit keywords build one; keywords
+    that *agree* with an explicit config are tolerated (a call site
+    spelling out what the config already says is redundant, not wrong);
+    a keyword that *disagrees* raises
+    :class:`~repro.errors.ConfigurationError`.  Earlier releases let the
+    keyword win under a DeprecationWarning — that grace period is over.
     """
     explicit = {k: v for k, v in overrides.items() if v is not UNSET}
     if config is None:
@@ -145,10 +148,8 @@ def resolve_monitor_config(config: Optional[MonitorConfig],
         k for k in canonical if getattr(merged, k) != getattr(config, k)
     )
     if clashes:
-        warnings.warn(
-            f"monitor received both config= and overriding keyword(s) "
-            f"{clashes}; pass one or the other (keywords win)",
-            DeprecationWarning,
-            stacklevel=3,
+        raise ConfigurationError(
+            f"monitor received both config= and conflicting keyword(s) "
+            f"{clashes}; pass one or the other"
         )
-    return merged
+    return config

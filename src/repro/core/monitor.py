@@ -1,27 +1,76 @@
 """The shared monitor interface and the one factory that builds them.
 
 Every architecture the paper compares (Figure 1 naive, naive+energy,
-the RFDump pipeline) plus the deployment wrappers (streaming) satisfies
-the same contract: ``process(buffer) -> MonitorReport``, ``close()``,
+the RFDump pipeline) plus the deployment wrappers (streaming, sharded)
+satisfies the same contract: ``process(buffer) -> MonitorReport``,
+``events(windows) -> Iterator[PacketEvent]``, ``close()``,
 context-manager.  :func:`make_monitor` maps a name to a constructor so
-the CLI and the benchmarks pick architectures through one seam instead
-of per-call-site ``if/elif`` ladders.
+the CLI, the daemon and the benchmarks pick architectures through one
+seam instead of per-call-site ``if/elif`` ladders.
+
+``events()`` is the uniform streaming surface: whatever the family
+(one-shot pipeline, overlap-stitching streaming wrapper, sharded
+broker), consuming it over the same windows yields the same
+:class:`~repro.core.events.PacketEvent` stream — which is what lets
+``rfdump --format jsonl`` and a ``rfdumpd`` subscriber diff clean.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List, Optional
 
 from repro.core.config import MonitorConfig
+
+if TYPE_CHECKING:
+    from repro.analysis.decoders import PacketRecord
+    from repro.core.events import PacketEvent
+    from repro.core.pipeline import MonitorReport
 
 
 class Monitor(abc.ABC):
     """What every monitoring architecture exposes."""
 
     @abc.abstractmethod
-    def process(self, buffer) -> "MonitorReport":  # noqa: F821
+    def process(self, buffer) -> "MonitorReport":
         """Run the architecture over one sample buffer."""
+
+    def events(self, windows: Iterable, *,
+               start_seq: int = 0) -> Iterator["PacketEvent"]:
+        """Stream finalized packets over ``windows`` as event records.
+
+        Processes each window in order and yields a
+        :class:`~repro.core.events.PacketEvent` for every packet the
+        moment it becomes *final* (for stateful monitors: once the
+        emission frontier passes it; for one-shot monitors: immediately).
+        When the window iterable is exhausted, deferred results are
+        flushed and yielded too, so the generator ends with the stream
+        complete.  ``seq`` numbers are consecutive from ``start_seq``.
+        """
+        from repro.core.events import PacketEvent
+
+        sample_rate = self.config.sample_rate
+        seq = start_seq
+        for window in windows:
+            for record in self._final_packets(self.process(window)):
+                yield PacketEvent.from_record(record, sample_rate, seq=seq)
+                seq += 1
+        for record in self._final_flush():
+            yield PacketEvent.from_record(record, sample_rate, seq=seq)
+            seq += 1
+
+    # -- events() hooks (stateful monitors override both) ---------------------
+
+    def _final_packets(self, report: "MonitorReport") -> List["PacketRecord"]:
+        """Packets made final by the window just processed.  One-shot
+        monitors finalize everything per window; overlap-carrying
+        monitors return only what crossed the emission frontier."""
+        return report.packets
+
+    def _final_flush(self) -> List["PacketRecord"]:
+        """Packets released by the end-of-stream flush (none for
+        monitors without deferred state)."""
+        return []
 
     def close(self) -> None:
         """Release any resources (worker pools); default is a no-op."""

@@ -157,8 +157,8 @@ class RFDumpMonitor(Monitor):
 
     Configuration comes from a :class:`~repro.core.config.MonitorConfig`
     (``config=``) or — the legacy path — from individual keyword
-    arguments; both may be given, and an explicit keyword disagreeing
-    with the config wins with a DeprecationWarning.
+    arguments; a keyword that disagrees with an explicit config raises
+    :class:`~repro.errors.ConfigurationError`.
 
     Parameters
     ----------
@@ -360,11 +360,13 @@ class RFDumpMonitor(Monitor):
     @staticmethod
     def _annotate_snr(packets: List[PacketRecord],
                       detection: "PeakDetectionResult") -> None:
-        """Attach per-packet SNR estimates from the overlapping peak.
+        """Attach per-packet SNR/RSSI estimates from the overlapping peak.
 
         The peak detector already measured each transmission's mean power;
         relative to the tracked noise floor that is the SNR the monitor
-        experienced — the quantity the accuracy figures sweep.
+        experienced — the quantity the accuracy figures sweep.  The raw
+        mean power in dB doubles as the radiotap-style RSSI the event
+        stream carries.
         """
         import numpy as np
 
@@ -378,9 +380,9 @@ class RFDumpMonitor(Monitor):
             if hit.size == 0:
                 continue
             peak = detection.history[int(hit[0])]
-            packet.info["snr_db"] = round(
-                10 * np.log10(max(peak.mean_power, 1e-30) / floor), 1
-            )
+            power = max(peak.mean_power, 1e-30)
+            packet.info["snr_db"] = round(10 * np.log10(power / floor), 1)
+            packet.info["rssi_db"] = round(10 * np.log10(power), 1)
 
     def process(self, buffer: SampleBuffer) -> MonitorReport:
         """Run the full pipeline over a buffer."""

@@ -1,0 +1,86 @@
+"""Public report-merging helpers: combine per-monitor output streams.
+
+The sharded broker, the ``rfdumpd`` daemon and external consumers all
+need the same operation — union N monitors' packet/classification lists
+into one band-wide result with duplicates collapsed and a deterministic
+total order.  These helpers were born package-private in
+``repro.core.shards.broker``; they live here as the documented API
+(the broker imports them back).
+
+Guarantees:
+
+* **Identity.**  :func:`packet_key` / :func:`classification_key` define
+  when two records describe the same transmission.  Two monitors
+  demodulating the same dispatched range agree on every key component,
+  so boundary duplicates collapse; distinct packets never collide
+  (decoders already space records apart).
+* **Determinism.**  Input lists are visited in order, so the *first*
+  copy of a duplicate wins; the result is sorted by
+  :func:`~repro.core.parallel.packet_sort_key` — the same total order
+  serial and parallel monitors emit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.decoders import PacketRecord
+from repro.core.detectors.base import Classification
+from repro.core.parallel import packet_sort_key
+
+__all__ = [
+    "packet_key",
+    "classification_key",
+    "merge_packets",
+    "merge_classifications",
+]
+
+
+def packet_key(packet: PacketRecord) -> Tuple:
+    """Identity of a decoded transmission across monitors."""
+    return (packet.start_sample, packet.end_sample, packet.protocol,
+            packet.decoder, packet.channel)
+
+
+def classification_key(c: Classification) -> Tuple:
+    """Identity of a peak classification across monitors."""
+    return (c.peak.start_sample, c.detector)
+
+
+def merge_packets(per_monitor: List[List[PacketRecord]]) -> List[PacketRecord]:
+    """Union of per-monitor packet lists, de-duplicated and order-fixed.
+
+    Lists are visited in order, so the *first* copy of a boundary
+    duplicate wins deterministically; the result is sorted by
+    :func:`packet_sort_key`, the same total order serial and parallel
+    monitors emit.
+    """
+    seen = set()
+    out: List[PacketRecord] = []
+    for packets in per_monitor:
+        for packet in packets:
+            key = packet_key(packet)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(packet)
+    out.sort(key=packet_sort_key)
+    return out
+
+
+def merge_classifications(per_monitor: List[List[Classification]]
+                          ) -> List[Classification]:
+    """Union of per-monitor classification lists (replicated detection
+    makes them copies of each other), deterministically ordered."""
+    seen = set()
+    out: List[Classification] = []
+    for classifications in per_monitor:
+        for c in classifications:
+            key = classification_key(c)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(c)
+    out.sort(key=lambda c: (c.peak.start_sample, c.peak.end_sample,
+                            c.protocol, c.detector))
+    return out

@@ -37,67 +37,13 @@ from repro.core.errorpolicy import (
     validate_error_policy,
 )
 from repro.core.monitor import Monitor
-from repro.core.parallel import packet_sort_key
 from repro.core.pipeline import MonitorReport
+from repro.core.report import merge_classifications, merge_packets, packet_key
 from repro.core.shards.splitter import BandSplitter
 from repro.core.shards.worker import ShardWorker
 from repro.dsp.samples import SampleBuffer
 from repro.errors import ShardCrashError
 from repro.obs import NULL
-
-
-def _packet_key(packet: PacketRecord) -> Tuple:
-    """Identity of a decoded transmission across shards.
-
-    Two shards demodulating the same dispatched range produce records
-    agreeing on all of these, so boundary duplicates collapse; distinct
-    packets never collide (decoders already space records apart).
-    """
-    return (packet.start_sample, packet.end_sample, packet.protocol,
-            packet.decoder, packet.channel)
-
-
-def merge_packets(per_shard: List[List[PacketRecord]]) -> List[PacketRecord]:
-    """Union of per-shard packet lists, de-duplicated and order-fixed.
-
-    Shards are visited in index order, so the *first* copy of a
-    boundary duplicate wins deterministically; the result is sorted by
-    :func:`packet_sort_key`, the same total order serial and parallel
-    monitors emit.
-    """
-    seen = set()
-    out: List[PacketRecord] = []
-    for packets in per_shard:
-        for packet in packets:
-            key = _packet_key(packet)
-            if key in seen:
-                continue
-            seen.add(key)
-            out.append(packet)
-    out.sort(key=packet_sort_key)
-    return out
-
-
-def _classification_key(c: Classification) -> Tuple:
-    return (c.peak.start_sample, c.detector)
-
-
-def merge_classifications(per_shard: List[List[Classification]]
-                          ) -> List[Classification]:
-    """Union of per-shard classification lists (replicated detection
-    makes them copies of each other), deterministically ordered."""
-    seen = set()
-    out: List[Classification] = []
-    for classifications in per_shard:
-        for c in classifications:
-            key = _classification_key(c)
-            if key in seen:
-                continue
-            seen.add(key)
-            out.append(c)
-    out.sort(key=lambda c: (c.peak.start_sample, c.peak.end_sample,
-                            c.protocol, c.detector))
-    return out
 
 
 class ShardBroker(Monitor):
@@ -161,6 +107,11 @@ class ShardBroker(Monitor):
         self._total_samples = 0
         self._duration = 0.0
         self._noise_floor: Optional[float] = None
+        # transmission keys already yielded by events(); the merged
+        # band-wide list is re-sorted on every access, so a positional
+        # cursor would mis-count after a rebalance interleaves a retired
+        # shard's flushed output with the survivors'
+        self._emitted_event_keys: set = set()
         self._export_ownership()
 
     # -- ownership ------------------------------------------------------------
@@ -409,6 +360,25 @@ class ShardBroker(Monitor):
         for window in windows:
             self.process(window)
         return self.flush()
+
+    # -- events() hooks -------------------------------------------------------
+
+    def _drain_new_packets(self) -> List[PacketRecord]:
+        """Band-wide packets not yet yielded as events, in merge order."""
+        new = []
+        for packet in self.packets:
+            key = packet_key(packet)
+            if key not in self._emitted_event_keys:
+                self._emitted_event_keys.add(key)
+                new.append(packet)
+        return new
+
+    def _final_packets(self, report: MonitorReport) -> List[PacketRecord]:
+        return self._drain_new_packets()
+
+    def _final_flush(self) -> List[PacketRecord]:
+        self.flush()
+        return self._drain_new_packets()
 
     def close(self) -> None:
         for worker in self.workers:

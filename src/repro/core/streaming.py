@@ -69,6 +69,7 @@ class StreamingMonitor(Monitor):
                 raise ValueError("pass a monitor or a MonitorConfig")
             monitor = RFDumpMonitor(config=config)
         self.monitor = monitor
+        self.config = monitor.config
         self.obs = getattr(monitor, "obs", None)
         self.overlap = overlap
         if on_error is None:
@@ -84,6 +85,7 @@ class StreamingMonitor(Monitor):
         self.gaps = 0
         self._tail: Optional[SampleBuffer] = None
         self._emitted_to = 0  # absolute sample up to which output is final
+        self._event_cursor = 0  # packets already yielded by events()
         self.packets: List[PacketRecord] = []
         self.classifications = []
         self.clock = StageClock()
@@ -376,6 +378,25 @@ class StreamingMonitor(Monitor):
         for window in windows:
             self.process(window)
         return self.flush()
+
+    # -- events() hooks -------------------------------------------------------
+
+    def _drain_new_packets(self) -> List[PacketRecord]:
+        """Accumulated packets not yet yielded as events.
+
+        ``self.packets`` is append-only in emission order, so a cursor
+        into it is exact: every packet is yielded exactly once, the
+        moment the frontier (or a flush/resync) finalizes it."""
+        new = self.packets[self._event_cursor:]
+        self._event_cursor = len(self.packets)
+        return new
+
+    def _final_packets(self, report: MonitorReport) -> List[PacketRecord]:
+        return self._drain_new_packets()
+
+    def _final_flush(self) -> List[PacketRecord]:
+        self.flush()
+        return self._drain_new_packets()
 
     def close(self) -> None:
         """Release the underlying monitor's worker pool, if any."""

@@ -109,6 +109,16 @@ class DetectorCrashError(RFDumpError):
         self.detector = detector
 
 
+class ServiceProtocolError(RFDumpError):
+    """An ``rfdumpd`` peer violated the wire protocol.
+
+    Raised on malformed frames, truncated payloads, version mismatches
+    and handshake rejections — faults of the *transport conversation*,
+    as opposed to faults of the sample stream (:class:`StreamGapError`)
+    or of the pipeline, which keep their own types.
+    """
+
+
 class ShardCrashError(RFDumpError):
     """A shard worker of the sharded monitoring service failed a window.
 

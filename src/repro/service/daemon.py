@@ -1,0 +1,521 @@
+"""``RFDumpDaemon`` — the long-running monitoring service.
+
+One daemon owns one monitor (any :func:`repro.core.make_monitor` kind,
+including ``"sharded"``) and one event stream.  An *ingest* client
+streams IQ windows over the socket protocol; a pump thread feeds them
+through ``Monitor.events()`` and publishes each
+:class:`~repro.core.PacketEvent` to the :class:`~repro.service.hub.EventHub`,
+which fans out to any number of *subscriber* clients.  A ``/metrics``
+HTTP endpoint exposes the run's metrics as the same Prometheus text
+page ``rfdump --metrics-out`` writes.
+
+Determinism discipline: the daemon contains **no clock reads** — not
+even monotonic ones (lint rules RFD101/RFD103).  All waiting is done
+with socket timeouts, ``queue.get(timeout=...)`` and
+``threading.Event.wait``; every timestamp a subscriber sees is derived
+from sample indices by the pipeline, so a daemon replay of a trace is
+byte-identical to a CLI run of the same trace.
+
+Ingest faults slot into the :mod:`repro.core.errorpolicy` taxonomy:
+
+* a window whose ``seq`` or ``start_sample`` does not continue the
+  stream is a *sequence gap*.  Under ``on_error="raise"`` the ingest
+  session is rejected with an ``error`` frame; under every other policy
+  the gap is counted, surfaced as an :class:`ErrorRecord`
+  (``stage="service"``), and the window is forwarded — recovery on the
+  sample stream itself (resync, loss accounting) stays the monitor's
+  job, exactly as it is off-daemon.
+* a slow subscriber hits the queue policy derived from the same knob
+  (see :func:`repro.service.hub.slow_consumer_policy`).
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional, Tuple
+
+from repro.core.config import MonitorConfig
+from repro.core.errorpolicy import ErrorRecord
+from repro.core.monitor import make_monitor
+from repro.errors import RFDumpError, ServiceProtocolError
+from repro.obs import Observability, render_prometheus
+from repro.service import protocol
+from repro.service.hub import (
+    DISCONNECTED,
+    END_OF_STREAM,
+    EventHub,
+    slow_consumer_policy,
+)
+
+#: sentinel closing the ingest queue (monitor flush follows)
+_INGEST_EOS = object()
+
+#: how long blocking waits sleep before re-checking the stop flag; this
+#: bounds shutdown latency, it is never used to measure time
+_POLL_S = 0.2
+
+#: default bound on each subscriber's live-event queue
+DEFAULT_QUEUE_DEPTH = 256
+
+#: default bound on the ingest window queue (backpressure onto the
+#: client's TCP stream once the monitor falls behind)
+DEFAULT_INGEST_DEPTH = 8
+
+
+class RFDumpDaemon:
+    """The rfdumpd server: ingest socket, monitor pump, subscriber fan-out.
+
+    Parameters
+    ----------
+    config:
+        Monitor configuration; ``config.on_error`` also selects the
+        slow-consumer policy.  An :class:`Observability` sink is
+        attached automatically if the config carries none, so
+        ``/metrics`` always has something to export.
+    kind:
+        ``make_monitor`` kind to run behind the socket (``"streaming"``
+        and ``"sharded"`` carry state across windows; one-shot kinds
+        work too).
+    host / port:
+        Listen address; port 0 picks a free port (see :attr:`address`).
+    metrics_port:
+        When not ``None``, serve ``GET /metrics`` (Prometheus text
+        format) and ``GET /healthz`` (JSON status) on this port
+        (0 = pick free).
+    """
+
+    def __init__(self, config: Optional[MonitorConfig] = None, *,
+                 kind: str = "streaming", host: str = "127.0.0.1",
+                 port: int = 0, metrics_port: Optional[int] = None,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 ingest_depth: int = DEFAULT_INGEST_DEPTH):
+        if config is None:
+            config = MonitorConfig()
+        if config.obs is None:
+            config = config.replace(obs=Observability())
+        self.config = config
+        self.obs = config.obs
+        self.kind = kind
+        self.errors: List[ErrorRecord] = []
+        self._errors_lock = threading.Lock()
+        self.hub = EventHub(
+            policy=slow_consumer_policy(config.on_error),
+            queue_depth=queue_depth,
+            obs=self.obs,
+            on_error_record=self._record_error,
+        )
+        self._host = host
+        self._port = port
+        self._metrics_port = metrics_port
+        self._ingest_queue: "queue.Queue" = queue.Queue(maxsize=ingest_depth)
+        self._ingest_claimed = threading.Lock()
+        self._windows_ingested = 0
+        self._stop = threading.Event()
+        self._stream_done = threading.Event()
+        self._stream_error: Optional[str] = None
+        self._server: Optional[socket.socket] = None
+        self._metrics_server: Optional[ThreadingHTTPServer] = None
+        self._threads: List[threading.Thread] = []
+        self._conns: List[socket.socket] = []
+        self._conns_lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "RFDumpDaemon":
+        if self._server is not None:
+            raise RuntimeError("daemon already started")
+        self._server = socket.create_server((self._host, self._port))
+        self._server.settimeout(_POLL_S)
+        if self._metrics_port is not None:
+            self._metrics_server = _MetricsServer(
+                (self._host, self._metrics_port), self)
+            self._spawn(self._metrics_server.serve_forever, "metrics")
+        self._spawn(self._accept_loop, "accept")
+        self._spawn(self._pump, "pump")
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        # unblock the pump even if no ingest session ever ended
+        try:
+            self._ingest_queue.put_nowait(_INGEST_EOS)
+        except queue.Full:
+            pass
+        if self._server is not None:
+            self._server.close()
+        if self._metrics_server is not None:
+            self._metrics_server.shutdown()
+        self.hub.close()
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            _close_quietly(conn)
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "RFDumpDaemon":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) of the event socket."""
+        if self._server is None:
+            raise RuntimeError("daemon not started")
+        return self._server.getsockname()[:2]
+
+    @property
+    def metrics_address(self) -> Tuple[str, int]:
+        if self._metrics_server is None:
+            raise RuntimeError("daemon has no metrics endpoint")
+        return self._metrics_server.server_address[:2]
+
+    @property
+    def windows_ingested(self) -> int:
+        return self._windows_ingested
+
+    @property
+    def stream_done(self) -> bool:
+        return self._stream_done.is_set()
+
+    @property
+    def stream_error(self) -> Optional[str]:
+        return self._stream_error
+
+    def wait_stream_end(self, timeout: Optional[float] = None) -> bool:
+        """Block until the monitor has flushed (ingest ``end`` seen)."""
+        return self._stream_done.wait(timeout)
+
+    def status(self) -> dict:
+        """The ``/healthz`` document, also handy in tests."""
+        return {
+            "kind": self.kind,
+            "windows": self._windows_ingested,
+            "events": self.hub.published,
+            "subscribers": self.hub.subscriber_count,
+            "stream_done": self._stream_done.is_set(),
+            "stream_error": self._stream_error,
+            "errors": len(self.errors),
+        }
+
+    # -- internals -------------------------------------------------------------
+
+    def _record_error(self, record: ErrorRecord) -> None:
+        with self._errors_lock:
+            self.errors.append(record)
+
+    def _spawn(self, target, name: str) -> None:
+        thread = threading.Thread(
+            target=target, name=f"rfdumpd-{name}", daemon=True)
+        thread.start()
+        self._threads.append(thread)
+
+    def _track(self, conn: socket.socket) -> None:
+        with self._conns_lock:
+            self._conns.append(conn)
+
+    def _untrack(self, conn: socket.socket) -> None:
+        with self._conns_lock:
+            if conn in self._conns:
+                self._conns.remove(conn)
+
+    # the pump: ingest queue -> Monitor.events() -> hub
+
+    def _pump(self) -> None:
+        def windows():
+            while True:
+                try:
+                    item = self._ingest_queue.get(timeout=_POLL_S)
+                except queue.Empty:
+                    if self._stop.is_set():
+                        return
+                    continue
+                if item is _INGEST_EOS:
+                    return
+                yield item
+
+        try:
+            with make_monitor(self.kind, self.config) as monitor:
+                for event in monitor.events(windows()):
+                    self.hub.publish(event)
+        except RFDumpError as exc:
+            # the monitor's own policy said raise; the stream is over
+            self._stream_error = f"{type(exc).__name__}: {exc}"
+            self._record_error(ErrorRecord.from_exception(
+                "service", "pump", exc, action="aborted"))
+            self.obs.counter(
+                "rfdumpd_stream_failures_total",
+                help="event streams terminated by a pipeline fault",
+            ).inc()
+        finally:
+            self.hub.end_stream()
+            self._stream_done.set()
+
+    # the accept loop and per-connection handlers
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed by stop()
+            self._track(conn)
+            self._spawn(lambda c=conn: self._serve_conn(c), "conn")
+
+    def _serve_conn(self, conn: socket.socket) -> None:
+        rw = conn.makefile("rwb")
+        try:
+            frame = protocol.recv_frame(rw)
+            if frame is None:
+                return
+            header, _payload = frame
+            if header.get("type") != "hello":
+                protocol.send_frame(rw, {
+                    "type": "error",
+                    "message": "handshake must start with a hello frame",
+                })
+                return
+            try:
+                protocol.check_version(header)
+            except ServiceProtocolError as exc:
+                protocol.send_frame(rw, {"type": "error", "message": str(exc)})
+                return
+            role = header.get("role")
+            if role == "ingest":
+                self._serve_ingest(rw, header)
+            elif role == "subscribe":
+                self._serve_subscriber(conn, rw, header)
+            else:
+                protocol.send_frame(rw, {
+                    "type": "error",
+                    "message": f"unknown role {role!r}",
+                })
+        except (OSError, ValueError, ServiceProtocolError):
+            # peer vanished or spoke garbage; its session dies with it
+            pass
+        finally:
+            self._untrack(conn)
+            _close_quietly(conn)
+
+    def _serve_ingest(self, rw, hello: dict) -> None:
+        if not self._ingest_claimed.acquire(blocking=False):
+            protocol.send_frame(rw, {
+                "type": "error",
+                "message": "an ingest session is already active",
+            })
+            return
+        try:
+            if self._stream_done.is_set():
+                protocol.send_frame(rw, {
+                    "type": "error",
+                    "message": "event stream already finalized",
+                })
+                return
+            rate = hello.get("sample_rate")
+            if rate is not None and float(rate) != self.config.sample_rate:
+                protocol.send_frame(rw, {
+                    "type": "error",
+                    "message": (
+                        f"daemon monitors at {self.config.sample_rate} sps, "
+                        f"client offers {rate}"
+                    ),
+                })
+                return
+            protocol.send_frame(rw, {
+                "type": "welcome", "role": "ingest",
+                "v": protocol.PROTOCOL_VERSION, "kind": self.kind,
+            })
+            self._ingest_loop(rw)
+        finally:
+            self._ingest_claimed.release()
+
+    def _ingest_loop(self, rw) -> None:
+        expected_seq = 0
+        expected_sample: Optional[int] = None
+        while not self._stop.is_set():
+            frame = protocol.recv_frame(rw)
+            if frame is None:
+                # abrupt EOF: finalize with what arrived
+                self._record_error(ErrorRecord(
+                    stage="service", component="ingest",
+                    error="ConnectionClosed",
+                    message="ingest stream ended without an end frame",
+                    action="flushed",
+                ))
+                self._finish_ingest()
+                return
+            header, payload = frame
+            ftype = header.get("type")
+            if ftype == "end":
+                self._finish_ingest()
+                protocol.send_frame(rw, {
+                    "type": "done",
+                    "windows": self._windows_ingested,
+                    "events": self.hub.published,
+                    "errors": len(self.errors),
+                    "stream_error": self._stream_error,
+                })
+                return
+            if ftype != "window":
+                raise ServiceProtocolError(
+                    f"unexpected {ftype!r} frame during ingest")
+            buffer = protocol.decode_window(
+                header, payload, self.config.sample_rate)
+            gap = self._check_continuity(
+                header, buffer, expected_seq, expected_sample)
+            if gap is not None and self.config.on_error == "raise":
+                protocol.send_frame(rw, {"type": "error", "message": gap})
+                self._finish_ingest()
+                return
+            expected_seq = int(header.get("seq", expected_seq)) + 1
+            expected_sample = buffer.start_sample + len(buffer)
+            self._enqueue_window(buffer)
+        # daemon stopping; drop the connection without a done frame
+
+    def _check_continuity(self, header: dict, buffer, expected_seq: int,
+                          expected_sample: Optional[int]) -> Optional[str]:
+        """Record any ingest discontinuity; returns its description."""
+        seq = int(header.get("seq", expected_seq))
+        gap: Optional[str] = None
+        if seq != expected_seq:
+            gap = f"window seq {seq} arrived where {expected_seq} was expected"
+            self.obs.counter(
+                "rfdumpd_ingest_seq_gaps_total",
+                help="ingest windows with a discontinuous sequence number",
+            ).inc()
+            self._record_error(ErrorRecord(
+                stage="service", component="ingest", error="SequenceGap",
+                message=gap,
+                action="rejected" if self.config.on_error == "raise"
+                else "forwarded",
+                start_sample=buffer.start_sample,
+                end_sample=buffer.start_sample + len(buffer),
+            ))
+        if (expected_sample is not None
+                and buffer.start_sample != expected_sample):
+            gap = (f"window starts at sample {buffer.start_sample}, "
+                   f"stream position is {expected_sample}")
+            self.obs.counter(
+                "rfdumpd_ingest_sample_gaps_total",
+                help="ingest windows discontiguous in sample position",
+            ).inc()
+            self._record_error(ErrorRecord(
+                stage="service", component="ingest", error="StreamGap",
+                message=gap,
+                action="rejected" if self.config.on_error == "raise"
+                else "forwarded",
+                start_sample=buffer.start_sample,
+                end_sample=buffer.start_sample + len(buffer),
+            ))
+        return gap
+
+    def _enqueue_window(self, buffer) -> None:
+        while not self._stop.is_set():
+            try:
+                self._ingest_queue.put(buffer, timeout=_POLL_S)
+                break
+            except queue.Full:
+                continue  # monitor is behind; TCP backpressure builds
+        self._windows_ingested += 1
+        self.obs.counter(
+            "rfdumpd_windows_ingested_total",
+            help="IQ windows accepted over the ingest socket",
+        ).inc()
+
+    def _finish_ingest(self) -> None:
+        while True:
+            try:
+                self._ingest_queue.put(_INGEST_EOS, timeout=_POLL_S)
+                break
+            except queue.Full:
+                if self._stop.is_set():
+                    return
+        while not self._stream_done.wait(_POLL_S):
+            if self._stop.is_set():
+                return
+
+    def _serve_subscriber(self, conn: socket.socket, rw, hello: dict) -> None:
+        from_seq = hello.get("from_seq")
+        if from_seq is not None:
+            from_seq = int(from_seq)
+        sub = self.hub.subscribe(from_seq=from_seq, transport=conn)
+        protocol.send_frame(rw, {
+            "type": "welcome", "role": "subscribe",
+            "v": protocol.PROTOCOL_VERSION, "subscriber": sub.sid,
+        })
+        try:
+            while not self._stop.is_set():
+                item = sub.get(timeout=_POLL_S)
+                if item is None:
+                    continue
+                if item is END_OF_STREAM:
+                    protocol.send_frame(rw, {
+                        "type": "eos",
+                        "events": self.hub.published,
+                        "delivered": sub.delivered,
+                        "dropped": sub.dropped,
+                    })
+                    break
+                if item is DISCONNECTED:
+                    protocol.send_frame(rw, {
+                        "type": "bye", "reason": "slow-consumer",
+                        "dropped": sub.dropped,
+                    })
+                    break
+                protocol.send_frame(rw, {
+                    "type": "event", "event": item.to_dict(),
+                })
+        finally:
+            self.hub.unsubscribe(sub)
+
+
+# -- the /metrics endpoint -----------------------------------------------------
+
+
+class _MetricsServer(ThreadingHTTPServer):
+    """HTTP server exposing the daemon's metrics registry."""
+
+    daemon_threads = True
+
+    def __init__(self, address, rfdumpd: RFDumpDaemon):
+        super().__init__(address, _MetricsHandler)
+        self.rfdumpd = rfdumpd
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    def do_GET(self):  # noqa: N802 (http.server naming contract)
+        rfdumpd = self.server.rfdumpd
+        if self.path == "/metrics":
+            body = render_prometheus(rfdumpd.obs.registry).encode("utf-8")
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif self.path in ("/", "/healthz"):
+            body = (json.dumps(rfdumpd.status(), sort_keys=True) + "\n").encode()
+            ctype = "application/json"
+        else:
+            self.send_error(404, "unknown path (try /metrics or /healthz)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):
+        pass  # the daemon's stdout is not an access log
+
+
+def _close_quietly(conn: socket.socket) -> None:
+    try:
+        conn.close()
+    except OSError:
+        pass

@@ -1,0 +1,152 @@
+"""Wire framing for the ``rfdumpd`` socket protocol.
+
+Every frame is one newline-terminated JSON object (the header).  A
+frame that carries binary data declares ``nbytes`` and the payload —
+raw little-endian complex64 IQ samples, the on-disk trace format —
+follows immediately after the newline.  JSON headers keep the protocol
+inspectable with ``nc``; binary payloads keep a 2 Msps stream off the
+base64 tax.
+
+Frame vocabulary (``type`` field):
+
+==============  ======  =====================================================
+frame           dir     meaning
+==============  ======  =====================================================
+``hello``       c -> s  handshake; ``role`` is ``ingest`` or ``subscribe``
+``welcome``     s -> c  handshake accepted
+``error``       s -> c  handshake or stream rejected; connection closes
+``window``      c -> s  one IQ window; ``seq``, ``start_sample``, payload
+``end``         c -> s  ingest stream complete; daemon flushes the monitor
+``done``        s -> c  flush finished; totals for the ingest session
+``event``       s -> c  one :class:`repro.core.PacketEvent` as its dict form
+``eos``         s -> c  event stream complete (monitor flushed)
+``bye``         s -> c  subscriber disconnected by policy (slow consumer)
+==============  ======  =====================================================
+
+Sequence numbers appear at two layers on purpose: ``window.seq`` is the
+*ingest* sequence (gap detection on the sample stream), while
+``event.seq`` inside the event payload is the *monitor* sequence
+assigned by ``Monitor.events()`` (gap detection between daemon and
+subscriber).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.dsp.samples import SampleBuffer
+from repro.errors import ServiceProtocolError
+from repro.util.timebase import Timebase
+
+#: bumped on any incompatible change to the frame vocabulary
+PROTOCOL_VERSION = 1
+
+#: cap on a single JSON header line; a longer line is a corrupt or
+#: hostile stream, not a bigger frame
+MAX_HEADER_BYTES = 1 << 20
+
+#: cap on a binary payload (64 Mi samples); windows are milliseconds of
+#: IQ, so anything near this is a corrupt length field
+MAX_PAYLOAD_BYTES = 1 << 29
+
+_WINDOW_DTYPE = np.complex64
+
+
+def send_frame(wfile, header: Dict, payload: bytes = b"") -> None:
+    """Write one frame: JSON header line, then the optional payload."""
+    if payload:
+        header = dict(header, nbytes=len(payload))
+    line = json.dumps(header, sort_keys=True, separators=(",", ":"))
+    wfile.write(line.encode("utf-8") + b"\n")
+    if payload:
+        wfile.write(payload)
+    wfile.flush()
+
+
+def recv_frame(rfile) -> Optional[Tuple[Dict, bytes]]:
+    """Read one frame; ``None`` on a clean EOF before any header byte.
+
+    Raises :class:`~repro.errors.ServiceProtocolError` on a malformed
+    header or a payload truncated mid-frame.
+    """
+    line = rfile.readline(MAX_HEADER_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_HEADER_BYTES:
+        raise ServiceProtocolError(
+            f"frame header exceeds {MAX_HEADER_BYTES} bytes"
+        )
+    try:
+        header = json.loads(line)
+    except ValueError as exc:
+        raise ServiceProtocolError(f"malformed frame header: {exc}") from exc
+    if not isinstance(header, dict) or "type" not in header:
+        raise ServiceProtocolError("frame header must be an object with 'type'")
+    nbytes = int(header.get("nbytes", 0))
+    if nbytes < 0 or nbytes > MAX_PAYLOAD_BYTES:
+        raise ServiceProtocolError(f"implausible frame payload size {nbytes}")
+    payload = b""
+    if nbytes:
+        chunks = []
+        remaining = nbytes
+        while remaining:
+            chunk = rfile.read(remaining)
+            if not chunk:
+                raise ServiceProtocolError(
+                    f"stream ended {remaining} bytes short of a "
+                    f"{nbytes}-byte payload"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        payload = b"".join(chunks)
+    return header, payload
+
+
+# -- window frames -------------------------------------------------------------
+
+
+def window_frame(buffer: SampleBuffer) -> Tuple[Dict, bytes]:
+    """Header fields + payload for one IQ window (``seq`` added by caller)."""
+    payload = np.ascontiguousarray(
+        buffer.samples, dtype=_WINDOW_DTYPE
+    ).tobytes()
+    header = {
+        "type": "window",
+        "start_sample": int(buffer.start_sample),
+        "nsamples": len(buffer),
+    }
+    return header, payload
+
+
+def decode_window(header: Dict, payload: bytes,
+                  sample_rate: float) -> SampleBuffer:
+    """Rebuild the :class:`SampleBuffer` a ``window`` frame carries."""
+    itemsize = np.dtype(_WINDOW_DTYPE).itemsize
+    if len(payload) % itemsize:
+        raise ServiceProtocolError(
+            f"window payload of {len(payload)} bytes ends mid-sample"
+        )
+    samples = np.frombuffer(payload, dtype=_WINDOW_DTYPE)
+    declared = header.get("nsamples")
+    if declared is not None and int(declared) != len(samples):
+        raise ServiceProtocolError(
+            f"window declares {declared} samples but carries {len(samples)}"
+        )
+    return SampleBuffer(
+        samples,
+        Timebase(sample_rate),
+        start_sample=int(header.get("start_sample", 0)),
+    )
+
+
+def check_version(header: Dict) -> None:
+    """Reject a handshake speaking an incompatible protocol version."""
+    version = header.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ServiceProtocolError(
+            f"peer speaks protocol v{version}, this build speaks "
+            f"v{PROTOCOL_VERSION}"
+        )

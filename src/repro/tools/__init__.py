@@ -1,7 +1,10 @@
 """Command-line front ends: the tcpdump-of-the-ether experience.
 
 * ``python -m repro.tools.rfdump capture.iq`` — monitor a recorded trace
-  and print the decoded packet log (plus detection statistics).
+  and print the decoded packet log (``--format jsonl`` for the event
+  stream) plus detection statistics.
+* ``python -m repro.tools.rfdumpd serve`` — run the monitoring daemon;
+  ``replay`` feeds it a trace, ``subscribe`` taps its event stream.
 * ``python -m repro.tools.rfrecord out.iq --preset mix`` — render a
   canned emulator scenario to a trace file for later analysis.
 
@@ -9,4 +12,4 @@ The submodules are intentionally not imported here so ``python -m``
 execution stays clean.
 """
 
-__all__ = ["rfdump", "rfrecord"]
+__all__ = ["rfdump", "rfdumpd", "rfrecord"]

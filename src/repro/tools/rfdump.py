@@ -8,6 +8,7 @@ Usage::
     python -m repro.tools.rfdump capture.iq --workers 4 \
         --metrics-out metrics.txt --trace-out trace.json
     python -m repro.tools.rfdump capture.iq --on-error degrade --summary
+    python -m repro.tools.rfdump capture.iq --format jsonl
 
 The trace must have been written by :mod:`repro.trace` (raw complex64 +
 JSON sidecar).  The monitor streams the file in windows, so traces larger
@@ -17,7 +18,10 @@ page of the run's metrics; ``--trace-out`` writes an execution trace
 that loads in ``chrome://tracing``).  ``--on-error degrade`` keeps a
 long-running monitor alive across stream gaps, NaN bursts and crashing
 components, printing a degradation summary to stderr when anything was
-absorbed.
+absorbed.  ``--format jsonl`` emits one canonical
+:class:`~repro.core.PacketEvent` JSON object per line — the exact
+stream an ``rfdumpd`` subscriber receives for the same trace, so the
+two can be diffed byte for byte.
 """
 
 from __future__ import annotations
@@ -27,7 +31,9 @@ import sys
 from collections import Counter
 
 from repro.analysis import render_packet_log, render_summary
+from repro.analysis.export import write_pcap, write_sigmf_meta
 from repro.core.config import MonitorConfig
+from repro.core.events import events_from_records
 from repro.core.monitor import make_monitor
 from repro.errors import RFDumpError, TraceFormatError
 from repro.obs import Observability, write_metrics, write_trace
@@ -88,6 +94,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-protocol statistics instead of the packet log",
     )
     parser.add_argument(
+        "--format", choices=("text", "jsonl"), default="text",
+        help="output format: the human packet log, or one canonical "
+             "PacketEvent JSON object per line — byte-identical to what "
+             "an rfdumpd subscriber receives for the same trace",
+    )
+    parser.add_argument(
+        "--pcap-out", metavar="PATH", default=None,
+        help="also write the event stream as a pcap file "
+             "(DLT_USER0, JSON event payloads)",
+    )
+    parser.add_argument(
+        "--sigmf-out", metavar="PATH", default=None,
+        help="also write a SigMF metadata sidecar annotating every "
+             "decoded transmission",
+    )
+    parser.add_argument(
         "--metrics-out", metavar="PATH", default=None,
         help="write a Prometheus-style metrics page after the run",
     )
@@ -129,6 +151,30 @@ def run(args) -> int:
     )
     window = max(int(args.window_ms * 1e-3 * meta.sample_rate), 1)
     reader = TraceReader(args.trace, window_samples=window)
+
+    if args.monitor == "rfdump" and args.shards > 1:
+        kind = "sharded"
+    elif args.monitor == "rfdump":
+        kind = "streaming"
+    else:
+        kind = args.monitor
+
+    if args.format == "jsonl":
+        # the event-stream path: same monitor, same windows, same wire
+        # form as an rfdumpd subscriber — equivalence is line equality
+        capture = [] if (args.pcap_out or args.sigmf_out) else None
+        with make_monitor(kind, config) as monitor:
+            for event in monitor.events(reader):
+                print(event.to_json())
+                if capture is not None:
+                    capture.append(event)
+        if obs is not None:
+            if args.metrics_out:
+                write_metrics(obs.registry, args.metrics_out)
+            if args.trace_out:
+                write_trace(obs.tracer, args.trace_out)
+        _write_capture_sinks(args, capture, meta)
+        return 0
 
     peaks = 0
     duration = meta.nsamples / meta.sample_rate
@@ -208,9 +254,26 @@ def run(args) -> int:
             print(f"processing cost: {clock.cpu_over_realtime(duration):.2f}x real time")
     else:
         print(render_packet_log(packets, meta.sample_rate))
+    if args.pcap_out or args.sigmf_out:
+        _write_capture_sinks(
+            args, events_from_records(packets, meta.sample_rate), meta)
     if degradation is not None:
         print(degradation, file=sys.stderr)
     return 0
+
+
+def _write_capture_sinks(args, events, meta) -> None:
+    """Write the pcap / SigMF sinks an event stream feeds."""
+    if events is None:
+        return
+    if args.pcap_out:
+        write_pcap(events, args.pcap_out)
+    if args.sigmf_out:
+        write_sigmf_meta(
+            events, meta.sample_rate, args.sigmf_out,
+            center_freq=meta.center_freq,
+            description=f"rfdump events from {args.trace}",
+        )
 
 
 def main(argv=None) -> int:

@@ -1,0 +1,95 @@
+"""Tests for the public repro.core.report merge helpers."""
+
+from repro.analysis.decoders import PacketRecord
+from repro.core import (
+    classification_key,
+    merge_classifications,
+    merge_packets,
+    packet_key,
+)
+from repro.core.detectors.base import Classification
+from repro.core.metadata import Peak
+
+
+def _packet(start, end=None, protocol="wifi", decoder="wifi", ok=True,
+            channel=None, payload_size=10):
+    return PacketRecord(
+        protocol=protocol, start_sample=start,
+        end_sample=end if end is not None else start + 100,
+        ok=ok, decoder=decoder, payload_size=payload_size, channel=channel,
+    )
+
+
+def _classification(start, protocol="wifi", detector="timing",
+                    confidence=0.9):
+    peak = Peak(start_sample=start, end_sample=start + 50,
+                mean_power=1.0, peak_power=1.5)
+    return Classification(peak=peak, protocol=protocol, detector=detector,
+                         confidence=confidence)
+
+
+class TestKeys:
+    def test_packet_key_identity(self):
+        assert packet_key(_packet(100)) == packet_key(_packet(100))
+        assert packet_key(_packet(100)) != packet_key(_packet(200))
+        assert packet_key(_packet(100)) != packet_key(
+            _packet(100, protocol="bluetooth", decoder="bluetooth"))
+
+    def test_classification_key_identity(self):
+        a = _classification(100)
+        b = _classification(100, confidence=0.1)  # confidence not identity
+        assert classification_key(a) == classification_key(b)
+        assert classification_key(a) != classification_key(
+            _classification(100, detector="phase"))
+
+
+class TestMergePackets:
+    def test_dedup_across_monitors(self):
+        shared = _packet(500)
+        merged = merge_packets([[_packet(100), shared], [shared, _packet(900)]])
+        assert [p.start_sample for p in merged] == [100, 500, 900]
+
+    def test_first_copy_wins(self):
+        first = _packet(500, payload_size=11)
+        second = _packet(500, payload_size=99)  # same key, later list
+        merged = merge_packets([[first], [second]])
+        assert merged == [first]
+        assert merged[0].payload_size == 11
+
+    def test_sorted_by_position(self):
+        merged = merge_packets([[_packet(900)], [_packet(100)], [_packet(500)]])
+        assert [p.start_sample for p in merged] == [100, 500, 900]
+
+    def test_empty_inputs(self):
+        assert merge_packets([]) == []
+        assert merge_packets([[], []]) == []
+
+    def test_distinct_channels_both_kept(self):
+        merged = merge_packets([[_packet(100, channel=1)],
+                                [_packet(100, channel=6)]])
+        assert len(merged) == 2
+
+
+class TestMergeClassifications:
+    def test_replicated_detection_collapses(self):
+        # replicated detection: every shard sees the same classifications
+        copies = [[_classification(100), _classification(300)]
+                  for _ in range(3)]
+        merged = merge_classifications(copies)
+        assert [c.peak.start_sample for c in merged] == [100, 300]
+
+    def test_order_deterministic(self):
+        merged = merge_classifications([
+            [_classification(300, detector="phase")],
+            [_classification(100), _classification(300)],
+        ])
+        assert [(c.peak.start_sample, c.detector) for c in merged] == [
+            (100, "timing"), (300, "phase"), (300, "timing"),
+        ]
+
+
+class TestBrokerUsesPublicHelpers:
+    def test_broker_imports_are_the_same_objects(self):
+        from repro.core.shards import broker as broker_mod
+        assert broker_mod.merge_packets is merge_packets
+        assert broker_mod.merge_classifications is merge_classifications

@@ -9,6 +9,7 @@ from repro.core import EnergyNaiveMonitor, NaiveMonitor, RFDumpMonitor
 from repro.core.config import LEGACY_ALIASES, resolve_monitor_config
 from repro.core.monitor import MONITOR_NAMES
 from repro.core.streaming import StreamingMonitor
+from repro.errors import ConfigurationError
 
 
 class TestMonitorConfig:
@@ -47,12 +48,20 @@ class TestMonitorConfig:
         )
         assert MonitorConfig.from_kwargs(**cfg.to_kwargs()) == cfg
 
-    def test_legacy_round_trip(self):
+    def test_legacy_names_still_resolve_in_from_kwargs(self):
         cfg = MonitorConfig(workers=2, backend="process", timeout=1.5)
-        legacy = cfg.to_kwargs(legacy=True)
-        for old in LEGACY_ALIASES:
-            assert old in legacy
+        legacy = {"workers": 2, "parallel_backend": "process",
+                  "parallel_timeout": 1.5}
+        assert set(LEGACY_ALIASES) >= {"parallel_backend", "parallel_timeout"}
         assert MonitorConfig.from_kwargs(**legacy) == cfg
+
+    def test_to_kwargs_emits_canonical_names_only(self):
+        out = MonitorConfig(backend="process").to_kwargs()
+        assert "backend" in out
+        for old in LEGACY_ALIASES:
+            assert old not in out
+        with pytest.raises(TypeError):
+            MonitorConfig().to_kwargs(legacy=True)
 
     def test_from_kwargs_rejects_unknown(self):
         with pytest.raises(TypeError):
@@ -84,17 +93,21 @@ class TestResolve:
         assert out.workers == 2
         assert not [w for w in recwarn if w.category is DeprecationWarning]
 
-    def test_inconsistent_mix_warns_and_keyword_wins(self):
+    def test_inconsistent_mix_raises(self):
         cfg = MonitorConfig(workers=2)
-        with pytest.warns(DeprecationWarning, match="workers"):
-            out = resolve_monitor_config(cfg, workers=4)
-        assert out.workers == 4
+        with pytest.raises(ConfigurationError, match="workers"):
+            resolve_monitor_config(cfg, workers=4)
 
-    def test_legacy_alias_in_override(self):
+    def test_conflicting_legacy_alias_raises(self):
         cfg = MonitorConfig(backend="thread")
-        with pytest.warns(DeprecationWarning, match="backend"):
-            out = resolve_monitor_config(cfg, parallel_backend="process")
-        assert out.backend == "process"
+        with pytest.raises(ConfigurationError, match="backend"):
+            resolve_monitor_config(cfg, parallel_backend="process")
+
+    def test_agreeing_mix_returns_config_unchanged(self):
+        cfg = MonitorConfig(workers=2, backend="process")
+        out = resolve_monitor_config(cfg, workers=2,
+                                     parallel_backend="process")
+        assert out is cfg
 
 
 class TestMonitorsAcceptConfig:
@@ -105,11 +118,10 @@ class TestMonitorsAcceptConfig:
         assert a.config == b.config
         assert a.protocols == b.protocols == ("wifi",)
 
-    def test_rfdump_mixed_warns(self):
+    def test_rfdump_conflicting_mix_raises(self):
         cfg = MonitorConfig(protocols=("wifi",))
-        with pytest.warns(DeprecationWarning):
-            monitor = RFDumpMonitor(config=cfg, protocols=("bluetooth",))
-        assert monitor.protocols == ("bluetooth",)
+        with pytest.raises(ConfigurationError, match="protocols"):
+            RFDumpMonitor(config=cfg, protocols=("bluetooth",))
 
     def test_naive_accepts_config(self):
         cfg = MonitorConfig(protocols=("wifi",), demodulate=False)

@@ -1,0 +1,176 @@
+"""Tests for the EventHub fan-out: bounded queues, drop policies, replay."""
+
+import pytest
+
+from repro.core.events import PacketEvent, PacketMeta
+from repro.service.hub import (
+    DISCONNECTED,
+    END_OF_STREAM,
+    POLICY_DISCONNECT,
+    POLICY_DROP_NEW,
+    POLICY_DROP_OLD,
+    EventHub,
+    SubscriberQueue,
+    slow_consumer_policy,
+)
+
+
+def _event(seq: int) -> PacketEvent:
+    meta = PacketMeta(
+        timestamp=seq * 1e-3, sample_rate=8e6,
+        start_sample=seq * 8000, end_sample=seq * 8000 + 800,
+    )
+    return PacketEvent(seq=seq, protocol="wifi", decoder="wifi", ok=True,
+                       payload_size=10, summary="", meta=meta)
+
+
+class TestPolicyMapping:
+    def test_error_policy_taxonomy(self):
+        assert slow_consumer_policy("raise") == POLICY_DISCONNECT
+        assert slow_consumer_policy("skip") == POLICY_DROP_NEW
+        assert slow_consumer_policy("degrade") == POLICY_DROP_OLD
+        assert slow_consumer_policy(None) == POLICY_DROP_OLD
+
+
+class TestSubscriberQueue:
+    def test_fifo_and_delivered_count(self):
+        q = SubscriberQueue(0, maxlen=4, policy=POLICY_DROP_OLD)
+        for i in range(3):
+            assert q.put(_event(i))
+        got = [q.get(timeout=0.01) for _ in range(3)]
+        assert [e.seq for e in got] == [0, 1, 2]
+        assert q.delivered == 3
+        assert q.get(timeout=0.01) is None  # empty -> timeout
+
+    def test_drop_old_evicts_head(self):
+        q = SubscriberQueue(0, maxlen=2, policy=POLICY_DROP_OLD)
+        for i in range(4):
+            assert q.put(_event(i))
+        assert q.dropped == 2
+        assert [q.get(0.01).seq, q.get(0.01).seq] == [2, 3]
+
+    def test_drop_new_keeps_head(self):
+        q = SubscriberQueue(0, maxlen=2, policy=POLICY_DROP_NEW)
+        for i in range(4):
+            assert q.put(_event(i))
+        assert q.dropped == 2
+        assert [q.get(0.01).seq, q.get(0.01).seq] == [0, 1]
+
+    def test_disconnect_policy_refuses(self):
+        q = SubscriberQueue(0, maxlen=1, policy=POLICY_DISCONNECT)
+        assert q.put(_event(0))
+        assert not q.put(_event(1))  # full -> disconnect me
+        assert q.closed
+
+    def test_put_final_bypasses_bound(self):
+        q = SubscriberQueue(0, maxlen=1, policy=POLICY_DROP_NEW)
+        q.put(_event(0))
+        q.put_final(END_OF_STREAM)
+        assert q.depth == 2
+        assert q.get(0.01).seq == 0
+        assert q.get(0.01) is END_OF_STREAM
+
+    def test_get_after_close_reports_disconnect(self):
+        q = SubscriberQueue(0, maxlen=2, policy=POLICY_DROP_OLD)
+        q.close()
+        assert q.get(timeout=0.01) is DISCONNECTED
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubscriberQueue(0, maxlen=0, policy=POLICY_DROP_OLD)
+        with pytest.raises(ValueError):
+            SubscriberQueue(0, maxlen=1, policy="shrug")
+
+
+class TestEventHub:
+    def test_live_fanout(self):
+        hub = EventHub()
+        a = hub.subscribe(from_seq=None)
+        b = hub.subscribe(from_seq=None)
+        hub.publish(_event(0))
+        assert a.get(0.01).seq == 0
+        assert b.get(0.01).seq == 0
+        assert hub.published == 1
+
+    def test_backlog_replay_from_seq(self):
+        hub = EventHub()
+        for i in range(5):
+            hub.publish(_event(i))
+        late = hub.subscribe(from_seq=2)
+        got = [late.get(0.01) for _ in range(3)]
+        assert [e.seq for e in got] == [2, 3, 4]
+
+    def test_late_subscriber_sees_full_stream_plus_eos(self):
+        hub = EventHub()
+        for i in range(3):
+            hub.publish(_event(i))
+        hub.end_stream()
+        late = hub.subscribe(from_seq=0)
+        got = [late.get(0.01) for _ in range(4)]
+        assert [e.seq for e in got[:3]] == [0, 1, 2]
+        assert got[3] is END_OF_STREAM
+
+    def test_live_only_subscriber_skips_backlog(self):
+        hub = EventHub()
+        hub.publish(_event(0))
+        live = hub.subscribe(from_seq=None)
+        hub.publish(_event(1))
+        assert live.get(0.01).seq == 1
+
+    def test_mid_stream_unsubscribe(self):
+        hub = EventHub()
+        a = hub.subscribe(from_seq=None)
+        b = hub.subscribe(from_seq=None)
+        hub.publish(_event(0))
+        hub.unsubscribe(a)
+        hub.publish(_event(1))
+        assert hub.subscriber_count == 1
+        assert [b.get(0.01).seq, b.get(0.01).seq] == [0, 1]
+
+    def test_backlog_replay_not_counted_as_drop(self):
+        # backlog bigger than the queue bound still replays completely
+        hub = EventHub(queue_depth=2)
+        for i in range(6):
+            hub.publish(_event(i))
+        late = hub.subscribe(from_seq=0)
+        got = [late.get(0.01) for _ in range(6)]
+        assert [e.seq for e in got] == list(range(6))
+        assert late.dropped == 0
+
+    def test_disconnect_policy_detaches_and_records(self):
+        records = []
+        hub = EventHub(policy=POLICY_DISCONNECT, queue_depth=1,
+                       on_error_record=records.append)
+        slow = hub.subscribe(from_seq=None)
+        hub.publish(_event(0))
+        hub.publish(_event(1))  # queue full -> policy fires
+        assert hub.subscriber_count == 0
+        assert slow.get(0.01).seq == 0  # what was queued is still readable
+        assert slow.get(0.01) is DISCONNECTED
+        assert records and records[0].stage == "service"
+        assert records[0].action == "disconnected"
+        assert records[0].error == "SlowConsumer"
+
+    def test_drop_records_carry_policy_action(self):
+        records = []
+        hub = EventHub(policy=POLICY_DROP_OLD, queue_depth=1,
+                       on_error_record=records.append)
+        hub.subscribe(from_seq=None)
+        hub.publish(_event(0))
+        hub.publish(_event(1))
+        assert len(records) == 1
+        assert records[0].action == POLICY_DROP_OLD
+        assert records[0].component == "subscriber:0"
+
+    def test_publish_after_end_is_an_error(self):
+        hub = EventHub()
+        hub.end_stream()
+        with pytest.raises(RuntimeError):
+            hub.publish(_event(0))
+
+    def test_close_tears_down_subscribers(self):
+        hub = EventHub()
+        q = hub.subscribe(from_seq=None)
+        hub.close()
+        assert hub.subscriber_count == 0
+        assert q.get(0.01) is DISCONNECTED

@@ -86,6 +86,116 @@ class TestRfdump:
         assert "decoded packets" in out
 
 
+class TestRfdumpEventFormat:
+    def test_jsonl_emits_canonical_events(self, recorded, capsys):
+        import json
+
+        from repro.core.events import EVENT_SCHEMA_VERSION, read_events
+
+        code = rfdump.main([str(recorded), "--format", "jsonl"])
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines
+        events = list(read_events(lines))
+        assert [e.seq for e in events] == list(range(len(events)))
+        for line, event in zip(lines, events):
+            # each line is the canonical wire form: re-encoding is identity
+            assert event.to_json() == line
+            assert json.loads(line)["v"] == EVENT_SCHEMA_VERSION
+
+    def test_jsonl_matches_text_mode_packet_count(self, recorded, capsys):
+        assert rfdump.main([str(recorded)]) == 0
+        text_lines = [line for line in capsys.readouterr().out.splitlines()
+                      if line and not line.startswith("#")]
+        assert rfdump.main([str(recorded), "--format", "jsonl"]) == 0
+        jsonl_lines = capsys.readouterr().out.splitlines()
+        assert len(jsonl_lines) == len(text_lines)
+
+    def test_jsonl_sharded_equals_streaming(self, recorded, capsys):
+        assert rfdump.main([str(recorded), "--format", "jsonl"]) == 0
+        streaming = capsys.readouterr().out
+        assert rfdump.main([str(recorded), "--format", "jsonl",
+                            "--shards", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == streaming
+
+    def test_capture_sinks(self, recorded, tmp_path, capsys):
+        import json
+        import struct
+
+        pcap_path = tmp_path / "events.pcap"
+        sigmf_path = tmp_path / "events.sigmf-meta"
+        code = rfdump.main([str(recorded), "--format", "jsonl",
+                            "--pcap-out", str(pcap_path),
+                            "--sigmf-out", str(sigmf_path)])
+        assert code == 0
+        n_events = len(capsys.readouterr().out.splitlines())
+
+        raw = pcap_path.read_bytes()
+        magic, _, _, _, _, _, link = struct.unpack("<IHHiIII", raw[:24])
+        assert magic == 0xA1B2C3D4
+        assert link == 147  # DLT_USER0
+        offset, records = 24, 0
+        while offset < len(raw):
+            _, _, cap, orig = struct.unpack("<IIII", raw[offset:offset + 16])
+            assert cap == orig
+            json.loads(raw[offset + 16:offset + 16 + cap])  # JSON payload
+            offset += 16 + cap
+            records += 1
+        assert records == n_events
+
+        doc = json.loads(sigmf_path.read_text())
+        assert doc["global"]["core:datatype"] == "cf32_le"
+        assert len(doc["annotations"]) == n_events
+        starts = [a["core:sample_start"] for a in doc["annotations"]]
+        assert starts == sorted(starts)
+
+
+class TestRfdumpdCLI:
+    def test_address_parsing(self):
+        from repro.tools.rfdumpd import _address
+
+        assert _address("127.0.0.1:4951") == ("127.0.0.1", 4951)
+        with pytest.raises(Exception):
+            _address("no-port")
+
+    def test_replay_connection_refused(self, recorded, capsys):
+        from repro.tools import rfdumpd
+
+        # a closed port: connection errors exit 2, like a missing file
+        code = rfdumpd.main(["replay", str(recorded),
+                             "--connect", "127.0.0.1:1"])
+        assert code == 2
+
+    def test_serve_replay_subscribe_round_trip(self, recorded, capsys):
+        import json
+
+        from repro import MonitorConfig
+        from repro.service import RFDumpDaemon
+        from repro.tools import rfdumpd
+        from repro.trace.io import read_meta
+
+        meta = read_meta(recorded)
+        config = MonitorConfig(sample_rate=meta.sample_rate,
+                               center_freq=meta.center_freq,
+                               protocols=("wifi",))
+        with RFDumpDaemon(config) as daemon:
+            host, port = daemon.address
+            connect = f"{host}:{port}"
+            assert rfdumpd.main(["replay", str(recorded),
+                                 "--connect", connect]) == 0
+            done = json.loads(capsys.readouterr().out)
+            assert done["type"] == "done"
+            assert rfdumpd.main(["subscribe", "--connect", connect]) == 0
+            sub_lines = capsys.readouterr().out.splitlines()
+        assert len(sub_lines) == done["events"]
+        # the subscriber stream is the rfdump --format jsonl stream
+        assert rfdump.main([str(recorded), "--format", "jsonl",
+                            "--protocols", "wifi"]) == 0
+        cli_lines = capsys.readouterr().out.splitlines()
+        assert sub_lines == cli_lines
+
+
 class TestRfdumpObservability:
     def test_metrics_out_is_prometheus_parseable(self, recorded, tmp_path, capsys):
         out_path = tmp_path / "metrics.txt"
