@@ -43,6 +43,7 @@ from repro.core.errorpolicy import ErrorRecord, validate_error_policy
 from repro.dsp.samples import SampleBuffer
 from repro.errors import WorkerCrashError
 from repro.obs import NULL
+from repro.sanitize.hooks import new_lock
 
 BACKENDS = ("thread", "process")
 GRANULARITIES = ("protocol", "range")
@@ -225,34 +226,42 @@ class ParallelAnalysisStage:
         self.last_error: Optional[ErrorRecord] = None
         self._run_errors: List[ErrorRecord] = []
         self._executor: Optional[futures.Executor] = None
+        # guards the executor handle: the streaming monitor's run loop
+        # rebuilds a broken pool while a daemon stop() may close() the
+        # stage from another thread; a torn handoff leaks a pool
+        self._pool_lock = new_lock("parallel.pool")
 
     # -- pool lifecycle -------------------------------------------------------
 
     def _ensure_executor(self) -> futures.Executor:
-        if self._executor is None:
-            if self.backend == "thread":
-                self._executor = futures.ThreadPoolExecutor(
-                    max_workers=self.workers, thread_name_prefix="rfdump-analysis"
-                )
-            else:
-                self._executor = futures.ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    initializer=_process_init,
-                    initargs=(self.decoders,),
-                )
-        return self._executor
+        with self._pool_lock:
+            if self._executor is None:
+                if self.backend == "thread":
+                    self._executor = futures.ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="rfdump-analysis",
+                    )
+                else:
+                    self._executor = futures.ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        initializer=_process_init,
+                        initargs=(self.decoders,),
+                    )
+            return self._executor
 
     def _discard_executor(self) -> None:
         """Drop a broken pool so the next run can build a fresh one."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=False)
-            self._executor = None
+        with self._pool_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)
 
     def close(self) -> None:
         """Shut the pool down; the stage may be reused (pool is rebuilt)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        with self._pool_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __enter__(self) -> "ParallelAnalysisStage":
         return self

@@ -44,6 +44,7 @@ from repro.core.shards.worker import ShardWorker
 from repro.dsp.samples import SampleBuffer
 from repro.errors import ShardCrashError
 from repro.obs import NULL
+from repro.sanitize.hooks import new_lock
 
 
 class ShardBroker(Monitor):
@@ -89,6 +90,10 @@ class ShardBroker(Monitor):
             nshards, nchannels=nchannels, fft_size=fft_size,
             occupancy_fraction=occupancy_fraction,
         )
+        # guards the ownership map: a daemon /healthz or metrics export
+        # reads owned_channels() while a rebalance on the pump thread
+        # rewrites it.  Leaf domain — never held while calling workers.
+        self._ownership_lock = new_lock("shards.ownership")
         self._owner: Dict[int, int] = self.splitter.initial_ownership()
         self.workers: List[ShardWorker] = [
             ShardWorker(
@@ -123,9 +128,10 @@ class ShardBroker(Monitor):
 
     def owned_channels(self, shard: int) -> FrozenSet[int]:
         """Sub-band channels shard ``shard`` currently owns."""
-        return frozenset(
-            ch for ch, owner in self._owner.items() if owner == shard
-        )
+        with self._ownership_lock:
+            return frozenset(
+                ch for ch, owner in self._owner.items() if owner == shard
+            )
 
     @property
     def nshards(self) -> int:
@@ -185,6 +191,8 @@ class ShardBroker(Monitor):
                    window_errors: List[ErrorRecord]) -> None:
         """Retire a tripped shard and hand its sub-bands to a neighbor."""
         dead.retire()
+        # owned_channels() takes the ownership lock itself; compute the
+        # orphan set before re-acquiring for the rewrite
         orphaned = sorted(self.owned_channels(dead.index))
         healthy = [w.index for w in self.workers if w.healthy]
         obs = self.obs or NULL
@@ -192,8 +200,9 @@ class ShardBroker(Monitor):
             # nearest healthy neighbor by shard index; ties go low, so
             # the reassignment is deterministic
             heir = min(healthy, key=lambda k: (abs(k - dead.index), k))
-            for channel in orphaned:
-                self._owner[channel] = heir
+            with self._ownership_lock:
+                for channel in orphaned:
+                    self._owner[channel] = heir
             action = (f"rebalanced: sub-bands {orphaned} -> shard{heir}"
                       if orphaned else "rebalanced: no sub-bands owned")
             self.rebalances += 1

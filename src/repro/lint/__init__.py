@@ -20,29 +20,55 @@ that rule on that line; a baseline file grandfathers existing findings
 per ``(file, rule)`` with a justification.
 """
 
-from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    stale_entries,
+    write_baseline,
+)
 from repro.lint.engine import (
     SYNTAX_RULE,
     lint_paths,
     lint_source,
     package_rel_path,
+    statement_spans,
 )
 from repro.lint.findings import Finding, Severity
-from repro.lint.registry import RULES, ModuleContext, Rule, active_rules, register
+from repro.lint.project import ProjectContext, build_project, lint_project
+from repro.lint.registry import (
+    PROJECT_RULES,
+    RULES,
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    active_project_rules,
+    active_rules,
+    register,
+    register_project,
+)
 
 __all__ = [
     "Finding",
     "Severity",
     "Rule",
     "RULES",
+    "ProjectRule",
+    "PROJECT_RULES",
     "ModuleContext",
+    "ProjectContext",
     "register",
+    "register_project",
     "active_rules",
+    "active_project_rules",
     "lint_source",
     "lint_paths",
+    "lint_project",
+    "build_project",
     "package_rel_path",
+    "statement_spans",
     "SYNTAX_RULE",
     "load_baseline",
     "write_baseline",
     "apply_baseline",
+    "stale_entries",
 ]

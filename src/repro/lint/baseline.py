@@ -18,8 +18,15 @@ from repro.lint.findings import Finding
 BASELINE_VERSION = 1
 
 
-def load_baseline(path: str) -> Dict[Tuple[str, str], int]:
-    """Read a baseline file into ``{(rel, rule): allowed_count}``."""
+def load_baseline(path: str,
+                  require_reasons: bool = False) -> Dict[Tuple[str, str], int]:
+    """Read a baseline file into ``{(rel, rule): allowed_count}``.
+
+    With ``require_reasons=True``, every RFD7xx (cross-module) entry
+    must carry a real justification — a missing or still-``TODO``
+    reason raises.  Whole-program findings grandfathered without a
+    recorded *why* are exactly how deadlock-shaped debt goes invisible.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
     if doc.get("version") != BASELINE_VERSION:
@@ -29,6 +36,15 @@ def load_baseline(path: str) -> Dict[Tuple[str, str], int]:
     allowed: Dict[Tuple[str, str], int] = {}
     for entry in doc.get("entries", []):
         key = (entry["path"], entry["rule"])
+        if require_reasons and entry["rule"].startswith("RFD7"):
+            reason = str(entry.get("reason", "")).strip()
+            if not reason or reason.upper().startswith("TODO"):
+                raise ValueError(
+                    f"baseline entry {entry['path']}:{entry['rule']} in "
+                    f"{path} needs a real 'reason' (found "
+                    f"{entry.get('reason')!r}); cross-module findings may "
+                    f"not be grandfathered without a justification"
+                )
         allowed[key] = allowed.get(key, 0) + int(entry.get("count", 1))
     return allowed
 
@@ -45,6 +61,31 @@ def write_baseline(findings: List[Finding], path: str) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")
+
+
+def stale_entries(
+    findings: List[Finding],
+    allowed: Dict[Tuple[str, str], int],
+    checked_rules: "set[str]",
+    checked_rels: "set[str]",
+) -> List[Tuple[str, str, int, int]]:
+    """Baseline entries whose budget exceeds the findings that remain.
+
+    Returns ``(rel, rule, allowed, actual)`` for every entry that
+    grandfathered more findings than the tree still produces — debt
+    that was paid down without the ledger being updated.  Entries whose
+    rule was not run or whose file was not analyzed in this invocation
+    are skipped (a partial run proves nothing about them).
+    """
+    counts = Counter(f.baseline_key for f in findings)
+    stale: List[Tuple[str, str, int, int]] = []
+    for (rel, rule), budget in sorted(allowed.items()):
+        if rule not in checked_rules or rel not in checked_rels:
+            continue
+        actual = counts.get((rel, rule), 0)
+        if actual < budget:
+            stale.append((rel, rule, budget, actual))
+    return stale
 
 
 def apply_baseline(

@@ -4,8 +4,11 @@ The engine is deliberately runtime-free: it never imports the modules it
 analyzes, so a file with a missing optional dependency (or an
 intentionally broken fixture) lints fine.  Suppression is per-line via
 ``# rfdump: noqa`` (all rules) or ``# rfdump: noqa[RFD101]`` /
-``# rfdump: noqa[RFD101,RFD201]`` (exactly those rules); suppressions
-attach to the physical line a finding is reported on.
+``# rfdump: noqa[RFD101,RFD201]`` (exactly those rules).  A suppression
+covers the whole physical span of the simple statement it sits on, so a
+call wrapped over several lines is covered by a directive on any of
+them — a finding anchored to the first line of a multi-line call is
+suppressed by the trailing comment on its closing line.
 """
 
 from __future__ import annotations
@@ -13,7 +16,7 @@ from __future__ import annotations
 import ast
 import os
 import re
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.lint.astutil import build_imports
 from repro.lint.findings import Finding, Severity
@@ -34,11 +37,52 @@ def package_rel_path(path: str) -> str:
     become ``repro/phy/dsss.py``, so baselines and rule scopes are
     checkout-independent.  Paths outside the package keep their own
     (slash-normalized) shape.
+
+    A ``repro`` component preceded by ``src`` wins (that is the package
+    root, wherever the checkout lives); otherwise the *last* ``repro``
+    component anchors the path, so a checkout directory itself named
+    ``repro`` (``/home/x/repro/src/repro/...``) does not swallow the
+    whole tree into the package namespace.
     """
     parts = os.path.normpath(path).replace(os.sep, "/").split("/")
-    if "repro" in parts:
-        return "/".join(parts[parts.index("repro"):])
+    candidates = [i for i, part in enumerate(parts) if part == "repro"]
+    for i in candidates:
+        if i > 0 and parts[i - 1] == "src":
+            return "/".join(parts[i:])
+    if candidates:
+        return "/".join(parts[candidates[-1]:])
     return "/".join(p for p in parts if p not in (".", ""))
+
+
+#: simple (non-compound) statements whose physical span one noqa covers
+_SIMPLE_STATEMENTS = (
+    ast.Expr, ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Return,
+    ast.Raise, ast.Assert, ast.Delete, ast.Import, ast.ImportFrom,
+    ast.Global, ast.Nonlocal,
+)
+
+
+def statement_spans(tree: ast.AST) -> Dict[int, Tuple[int, int]]:
+    """Line -> ``(first, last)`` physical span of its simple statement.
+
+    Only simple statements get a span: a noqa on the closing paren of a
+    wrapped call should cover the call, but a noqa on a ``with`` or
+    ``def`` line must not silence the entire block beneath it.
+    """
+    spans: Dict[int, Tuple[int, int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, _SIMPLE_STATEMENTS):
+            continue
+        first = getattr(node, "lineno", None)
+        last = getattr(node, "end_lineno", None)
+        if first is None or last is None or last <= first:
+            continue
+        for line in range(first, last + 1):
+            # innermost (shortest) span wins if statements ever nest
+            existing = spans.get(line)
+            if existing is None or (last - first) < (existing[1] - existing[0]):
+                spans[line] = (first, last)
+    return spans
 
 
 def noqa_directives(lines: List[str]) -> Dict[int, Optional[Set[str]]]:
@@ -92,19 +136,32 @@ def lint_source(
         if rule.applies_to(ctx):
             findings.extend(rule.check(ctx))
 
-    directives = noqa_directives(lines)
-    if directives:
-        kept = []
-        for finding in findings:
-            suppressed = directives.get(finding.line)
-            if suppressed is None and finding.line in directives:
-                continue  # bare noqa: all rules on this line
-            if suppressed and finding.rule in suppressed:
-                continue
-            kept.append(finding)
-        findings = kept
+    findings = filter_suppressed(findings, lines, tree)
     findings.sort(key=Finding.sort_key)
     return findings
+
+
+def filter_suppressed(findings: List[Finding], lines: List[str],
+                      tree: ast.AST) -> List[Finding]:
+    """Drop findings silenced by a noqa anywhere on their statement's span."""
+    directives = noqa_directives(lines)
+    if not directives:
+        return list(findings)
+    spans = statement_spans(tree)
+    kept = []
+    for finding in findings:
+        span = spans.get(finding.line, (finding.line, finding.line))
+        silenced = False
+        for line in range(span[0], span[1] + 1):
+            if line not in directives:
+                continue
+            suppressed = directives[line]
+            if suppressed is None or finding.rule in suppressed:
+                silenced = True
+                break
+        if not silenced:
+            kept.append(finding)
+    return kept
 
 
 def iter_python_files(paths: Iterable[str]) -> List[str]:

@@ -1,0 +1,241 @@
+"""Whole-program context for the RFD7xx rules.
+
+Per-module rules see one file; the concurrency contracts this codebase
+lives by span files.  ``EventHub.subscribe`` (``service/hub.py``) calls
+``SubscriberQueue.put_final`` while holding the hub lock — whether that
+is a lock-order edge depends on what ``put_final`` acquires, one class
+away.  :class:`ProjectContext` parses every module once and builds the
+shared indexes the project rules need:
+
+* the **import graph** (module rel -> imported dotted modules),
+* the **class index** (class name -> :class:`ClassInfo` with methods,
+  properties, inferred attribute types and lock attributes),
+* per-class **lock domains** — the string identities locks carry at
+  runtime, read straight from ``new_lock("service.hub")`` /
+  ``new_condition(...)`` calls (:mod:`repro.sanitize.hooks`), falling
+  back to ``ClassName.attr`` for plain ``threading`` primitives.  These
+  are the *same* names the runtime sanitizer reports, so a static
+  RFD703 cycle and a runtime ``order-cycle`` point at the same edge.
+
+Type inference is deliberately shallow and deterministic: a local or
+attribute is typed only when it is assigned a direct constructor call of
+an indexed class (``queue = SubscriberQueue(...)``) or annotated with
+its name.  That resolves every cross-class call the service stack
+actually makes without a fixpoint analysis.
+
+:func:`lint_project` is the driver: it builds the context, runs every
+registered :class:`~repro.lint.registry.ProjectRule`, and applies the
+same per-statement noqa suppression the module engine uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.astutil import build_imports, dotted_name
+from repro.lint.engine import (
+    filter_suppressed,
+    iter_python_files,
+    package_rel_path,
+)
+from repro.lint.findings import Finding
+from repro.lint.registry import ModuleContext, active_project_rules
+
+#: the factory functions of the sanitizer's injection seam
+_LOCK_FACTORIES = ("repro.sanitize.hooks.new_lock", "repro.sanitize.new_lock")
+_COND_FACTORIES = ("repro.sanitize.hooks.new_condition",
+                   "repro.sanitize.new_condition")
+#: plain threading primitives a class may still construct directly
+_THREADING_LOCKS = ("threading.Lock", "threading.RLock",
+                    "threading.Condition")
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``self.X`` -> ``"X"`` (else None)."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+@dataclass
+class ClassInfo:
+    """Everything the project rules need to know about one class."""
+
+    name: str
+    module: ModuleContext
+    node: ast.ClassDef
+    #: method name -> its def node (functions directly in the class body)
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: names defined with @property
+    properties: Set[str] = field(default_factory=set)
+    #: lock attribute name -> lock domain string
+    lock_attrs: Dict[str, str] = field(default_factory=dict)
+    #: attribute name -> class name (shallow constructor/annotation types)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    #: does any method start a threading.Thread?
+    spawns_threads: bool = False
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module.rel}:{self.name}"
+
+
+class ProjectContext:
+    """All analyzed modules plus the cross-module indexes."""
+
+    def __init__(self, modules: Dict[str, ModuleContext],
+                 reference_modules: Optional[Dict[str, ModuleContext]] = None):
+        #: rel -> module, the analyzed set (findings come from these)
+        self.modules = modules
+        #: rel -> module, reference-only set (tests: scanned for metric
+        #: name references, never a finding target)
+        self.reference_modules = reference_modules or {}
+        #: module rel -> dotted modules it imports
+        self.import_graph: Dict[str, Set[str]] = {}
+        #: class name -> ClassInfo (last definition wins; the repo has
+        #: no cross-module duplicate class names on the threaded paths)
+        self.classes: Dict[str, ClassInfo] = {}
+        for rel in sorted(modules):
+            self._index_module(modules[rel])
+
+    # -- index construction ----------------------------------------------------
+
+    def _index_module(self, module: ModuleContext) -> None:
+        imported: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                imported.update(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                imported.add(node.module)
+        self.import_graph[module.rel] = imported
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                self.classes[node.name] = self._index_class(module, node)
+
+    def _index_class(self, module: ModuleContext,
+                     node: ast.ClassDef) -> ClassInfo:
+        info = ClassInfo(name=node.name, module=module, node=node)
+        for item in node.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            info.methods[item.name] = item
+            for deco in item.decorator_list:
+                if isinstance(deco, ast.Name) and deco.id == "property":
+                    info.properties.add(item.name)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                called = dotted_name(sub.func, module.imports)
+                if called and (called == "threading.Thread"
+                               or called.endswith(".Thread")):
+                    info.spawns_threads = True
+            if not isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                value = sub.value
+                if isinstance(value, ast.Call):
+                    domain = self._lock_domain(module, node.name, attr, value)
+                    if domain is not None:
+                        info.lock_attrs[attr] = domain
+                        continue
+                    ctor = dotted_name(value.func, module.imports)
+                    if ctor:
+                        info.attr_types.setdefault(attr, ctor.split(".")[-1])
+                if (isinstance(sub, ast.AnnAssign)
+                        and isinstance(sub.annotation, ast.Name)):
+                    info.attr_types.setdefault(attr, sub.annotation.id)
+        return info
+
+    def _lock_domain(self, module: ModuleContext, cls: str, attr: str,
+                     call: ast.Call) -> Optional[str]:
+        """The lock domain of ``self.attr = <call>``, if it is a lock."""
+        called = dotted_name(call.func, module.imports)
+        if called is None:
+            return None
+        if called in _LOCK_FACTORIES or called in _COND_FACTORIES \
+                or called.endswith(".new_lock") or called.endswith(".new_condition") \
+                or called in ("new_lock", "new_condition"):
+            if call.args and isinstance(call.args[0], ast.Constant) \
+                    and isinstance(call.args[0].value, str):
+                return call.args[0].value
+            return f"{cls}.{attr}"
+        if called in _THREADING_LOCKS:
+            return f"{cls}.{attr}"
+        return None
+
+    # -- lookups ---------------------------------------------------------------
+
+    def class_of_module(self, rel: str) -> List[ClassInfo]:
+        return [c for c in self.classes.values() if c.module.rel == rel]
+
+    def resolve_attr_class(self, info: ClassInfo,
+                           attr: str) -> Optional[ClassInfo]:
+        """The ClassInfo behind ``self.attr``, when shallow typing knows it."""
+        cls_name = info.attr_types.get(attr)
+        if cls_name is None:
+            return None
+        return self.classes.get(cls_name)
+
+
+def build_project(paths: Iterable[str],
+                  reference_paths: Iterable[str] = ()) -> ProjectContext:
+    """Parse every ``.py`` file under ``paths`` into a ProjectContext.
+
+    Files that do not parse are skipped here — the per-module pass
+    already reports them as RFD000, and a half-parsed project index
+    would produce misleading cross-module findings.
+    """
+    def load(file_paths: Iterable[str]) -> Dict[str, ModuleContext]:
+        out: Dict[str, ModuleContext] = {}
+        for filename in iter_python_files(file_paths):
+            with open(filename, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            try:
+                tree = ast.parse(source, filename=filename)
+            except SyntaxError:
+                continue
+            rel = package_rel_path(filename)
+            out[rel] = ModuleContext(
+                path=filename, rel=rel, source=source, tree=tree,
+                lines=source.splitlines(), imports=build_imports(tree),
+            )
+        return out
+
+    return ProjectContext(load(paths), load(reference_paths))
+
+
+def lint_project(
+    paths: Iterable[str],
+    reference_paths: Iterable[str] = (),
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    project: Optional[ProjectContext] = None,
+) -> List[Finding]:
+    """Run every registered project rule over the whole tree at once."""
+    if project is None:
+        project = build_project(paths, reference_paths)
+    findings: List[Finding] = []
+    for rule in active_project_rules(select, ignore):
+        findings.extend(rule.check(project))
+    # noqa suppression works exactly as in the per-module engine, and
+    # applies to reference modules too (a test may intentionally name a
+    # bogus metric to assert on the linter's own output)
+    by_rel: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        by_rel.setdefault(finding.rel, []).append(finding)
+    kept: List[Finding] = []
+    for rel, group in by_rel.items():
+        module = project.modules.get(rel) or project.reference_modules.get(rel)
+        if module is None:
+            kept.extend(group)
+            continue
+        kept.extend(filter_suppressed(group, module.lines, module.tree))
+    kept.sort(key=Finding.sort_key)
+    return kept

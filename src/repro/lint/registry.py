@@ -65,8 +65,41 @@ class Rule:
         )
 
 
+class ProjectRule:
+    """Base class for whole-program rules (the RFD7xx family).
+
+    Where :class:`Rule` sees one :class:`ModuleContext` at a time, a
+    project rule's :meth:`check` receives a
+    :class:`repro.lint.project.ProjectContext` holding every analyzed
+    module, the import graph and the class index — so it can relate a
+    lock acquired in one file to a call made from another.  Register
+    with :func:`register_project`; run via ``rflint --project``.
+    """
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleContext, node, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=module.path,
+            rel=module.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
 #: rule id -> singleton rule instance
 RULES: Dict[str, Rule] = {}
+
+#: project-rule id -> singleton instance (disjoint id space from RULES)
+PROJECT_RULES: Dict[str, ProjectRule] = {}
 
 
 def register(cls: Type[Rule]) -> Type[Rule]:
@@ -77,6 +110,19 @@ def register(cls: Type[Rule]) -> Type[Rule]:
     if rule.id in RULES and type(RULES[rule.id]) is not cls:
         raise ValueError(f"duplicate rule id {rule.id}")
     RULES[rule.id] = rule
+    return cls
+
+
+def register_project(cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator: add a whole-program rule to the project registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"project rule {cls.__name__} has no id")
+    if rule.id in RULES:
+        raise ValueError(f"project rule id {rule.id} collides with a module rule")
+    if rule.id in PROJECT_RULES and type(PROJECT_RULES[rule.id]) is not cls:
+        raise ValueError(f"duplicate project rule id {rule.id}")
+    PROJECT_RULES[rule.id] = rule
     return cls
 
 
@@ -95,4 +141,22 @@ def active_rules(select: Optional[Iterable[str]] = None,
         if rule_id in ignored:
             continue
         out.append(RULES[rule_id])
+    return out
+
+
+def active_project_rules(select: Optional[Iterable[str]] = None,
+                         ignore: Optional[Iterable[str]] = None
+                         ) -> List[ProjectRule]:
+    """The registered whole-program rules, filtered like :func:`active_rules`."""
+    import repro.lint.rules  # noqa: F401  (import is the side effect)
+
+    selected = set(select) if select else None
+    ignored = set(ignore) if ignore else set()
+    out = []
+    for rule_id in sorted(PROJECT_RULES):
+        if selected is not None and rule_id not in selected:
+            continue
+        if rule_id in ignored:
+            continue
+        out.append(PROJECT_RULES[rule_id])
     return out

@@ -9,11 +9,16 @@ Rule id space:
 * ``RFD4xx``      API contracts (frozen config, metric names)
 * ``RFD5xx``      typing hygiene
 * ``RFD6xx``      performance (hot-path modules stay loop-free)
+* ``RFD7xx``      whole-program concurrency & contracts
+                  (:class:`~repro.lint.registry.ProjectRule` family,
+                  run by ``rflint --project``)
 """
 
 from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     api_contracts,
     concurrency,
+    concurrency_project,
+    contracts_project,
     determinism,
     dtype,
     perf,

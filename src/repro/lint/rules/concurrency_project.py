@@ -1,0 +1,486 @@
+"""Whole-program concurrency rules (RFD701-RFD704).
+
+These rules check the locking discipline the runtime sanitizer
+(:mod:`repro.sanitize`) observes dynamically, but on the *source*, over
+the whole tree at once:
+
+* RFD701 — a class that guards an attribute with a lock must guard
+  every write to it: attributes written under ``with self._lock`` /
+  ``with self._cond`` define the class's *guarded set*, and any write
+  to a guarded attribute outside a lock (and outside ``__init__``) is
+  a data race in waiting.
+* RFD702 — blocking while holding a lock: unbounded ``wait``/``join``,
+  ``queue.get``/``put`` without a timeout, socket receives and blocking
+  sends inside a ``with <lock>`` body stall every other user of that
+  lock (the daemon's no-unbounded-wait discipline, mechanized).
+* RFD703 — the static lock-acquisition-order graph: nested ``with``
+  blocks and calls made while holding a lock are expanded across
+  classes (shallow constructor typing); any cycle among lock domains is
+  a potential deadlock.  Domains are the same strings the sanitizer
+  reports (``"service.hub" -> "service.subscriber"``).
+* RFD704 — every ``threading.Thread`` must either be a daemon or have a
+  bounded ``join`` somewhere in its owning scope; a non-daemon thread
+  with no bounded join can hang interpreter shutdown forever.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.astutil import dotted_name
+from repro.lint.findings import Finding, Severity
+from repro.lint.project import ClassInfo, ProjectContext, _self_attr
+from repro.lint.registry import ModuleContext, ProjectRule, register_project
+
+#: mutating method calls that count as writes to their receiver
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popleft", "appendleft",
+    "clear", "add", "discard", "update", "setdefault",
+})
+
+#: receiver methods that block regardless of receiver name
+_ALWAYS_BLOCKING = frozenset({"recv", "recv_into", "accept", "sendall",
+                              "serve_forever"})
+#: receiver methods that block when the receiver looks like a transport
+_TRANSPORT_BLOCKING = frozenset({"send", "connect"})
+_TRANSPORT_HINTS = ("sock", "conn", "transport", "peer", "rw")
+
+
+def _with_lock_domains(info: ClassInfo, stmt: ast.With) -> List[Tuple[str, str]]:
+    """``(attr, domain)`` for each ``with self.<lock_attr>`` item."""
+    out = []
+    for item in stmt.items:
+        expr = item.context_expr
+        # `with self._lock:` and `with self._lock as x:` both count;
+        # `with self._lock.acquire_timeout(...)` style does not exist here
+        attr = _self_attr(expr)
+        if attr is not None and attr in info.lock_attrs:
+            out.append((attr, info.lock_attrs[attr]))
+    return out
+
+
+def _call_has_timeout(call: ast.Call) -> bool:
+    """Does this call pass any positional arg or a timeout= kwarg?"""
+    if call.args:
+        return True
+    return any(kw.arg == "timeout" and not (
+        isinstance(kw.value, ast.Constant) and kw.value.value is None
+    ) for kw in call.keywords)
+
+
+def _iter_methods(info: ClassInfo) -> Iterator[Tuple[str, ast.FunctionDef]]:
+    for name in sorted(info.methods):
+        yield name, info.methods[name]
+
+
+class _WriteCollector(ast.NodeVisitor):
+    """Collects writes to ``self.<attr>`` split by lock coverage."""
+
+    def __init__(self, info: ClassInfo):
+        self.info = info
+        self.depth = 0          # with-lock nesting depth
+        #: (attr, node, guarded, kind)
+        self.writes: List[Tuple[str, ast.AST, bool, str]] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = bool(_with_lock_domains(self.info, node))
+        if locked:
+            self.depth += 1
+        for item in node.items:
+            self.visit(item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+        if locked:
+            self.depth -= 1
+
+    def _record(self, target: ast.expr, node: ast.AST, kind: str) -> None:
+        attr = _self_attr(target)
+        if attr is not None:
+            self.writes.append((attr, node, self.depth > 0, kind))
+        elif isinstance(target, ast.Subscript):
+            attr = _self_attr(target.value)
+            if attr is not None:
+                self.writes.append((attr, node, self.depth > 0, "subscript"))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record(elt, node, kind)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record(target, node, "assign")
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(node.target, node, "augmented-assign")
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record(node.target, node, "assign")
+            self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._record(target, node, "delete")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            attr = _self_attr(func.value)
+            if attr is not None:
+                self.writes.append(
+                    (attr, node, self.depth > 0, f".{func.attr}()"))
+        self.generic_visit(node)
+
+
+@register_project
+class UnguardedSharedWrite(ProjectRule):
+    """RFD701: unguarded write to a lock-guarded attribute."""
+
+    id = "RFD701"
+    severity = Severity.ERROR
+    description = ("attribute written under a lock elsewhere is written "
+                   "without it (data race in a threaded class)")
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        for name in sorted(project.classes):
+            info = project.classes[name]
+            if not info.lock_attrs:
+                continue
+            per_method: Dict[str, List[Tuple[str, ast.AST, bool, str]]] = {}
+            guarded: Set[str] = set()
+            for mname, method in _iter_methods(info):
+                collector = _WriteCollector(info)
+                for stmt in method.body:
+                    collector.visit(stmt)
+                per_method[mname] = collector.writes
+                for attr, _node, is_guarded, _kind in collector.writes:
+                    if is_guarded and attr not in info.lock_attrs:
+                        guarded.add(attr)
+            for mname, writes in sorted(per_method.items()):
+                if mname == "__init__":
+                    continue  # construction happens-before publication
+                for attr, node, is_guarded, kind in writes:
+                    if attr in guarded and not is_guarded:
+                        yield self.finding(
+                            info.module, node,
+                            f"{name}.{mname} writes self.{attr} ({kind}) "
+                            f"without a lock, but other methods of "
+                            f"{name} guard writes to it",
+                        )
+
+
+@register_project
+class BlockingCallUnderLock(ProjectRule):
+    """RFD702: blocking call while holding a lock."""
+
+    id = "RFD702"
+    severity = Severity.ERROR
+    description = ("blocking call (unbounded wait/join, timeout-less "
+                   "queue or socket op) inside a with-lock body")
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        for name in sorted(project.classes):
+            info = project.classes[name]
+            if not info.lock_attrs:
+                continue
+            for mname, method in _iter_methods(info):
+                local_queues = _queue_locals(info, method)
+                yield from self._walk(project, info, mname, method.body,
+                                      held=[], local_queues=local_queues)
+
+    def _walk(self, project: ProjectContext, info: ClassInfo, mname: str,
+              stmts: List[ast.stmt], held: List[str],
+              local_queues: Set[str]) -> Iterator[Finding]:
+        for stmt in stmts:
+            if isinstance(stmt, ast.With):
+                attrs = [a for a, _d in _with_lock_domains(info, stmt)]
+                yield from self._walk(project, info, mname, stmt.body,
+                                      held + attrs, local_queues)
+                continue
+            if held:
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Call):
+                        yield from self._check_call(
+                            project, info, mname, node, held, local_queues)
+            # recurse into nested compound statements to keep tracking
+            # the held set (ast.walk above only runs when a lock is held)
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.With):
+                    attrs = [a for a, _d in _with_lock_domains(info, child)]
+                    yield from self._walk(project, info, mname, child.body,
+                                          held + attrs, local_queues)
+                elif hasattr(child, "body") and isinstance(
+                        getattr(child, "body"), list) and not held:
+                    yield from self._walk(
+                        project, info, mname, child.body, held, local_queues)
+
+    def _check_call(self, project: ProjectContext, info: ClassInfo,
+                    mname: str, call: ast.Call, held: List[str],
+                    local_queues: Set[str]) -> Iterator[Finding]:
+        func = call.func
+        where = f"{info.name}.{mname} holds {', '.join(sorted(set(held)))}"
+        resolved = dotted_name(func, info.module.imports)
+        if resolved and (resolved == "time.sleep"
+                         or resolved.endswith(".sleep")):
+            yield self.finding(info.module, call,
+                               f"time.sleep while {where}")
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        method = func.attr
+        receiver = func.value
+        receiver_attr = _self_attr(receiver)
+        receiver_name = receiver_attr or (
+            receiver.id if isinstance(receiver, ast.Name) else "")
+        if method == "wait" and not _call_has_timeout(call):
+            # waiting on the condition you hold is the cv protocol —
+            # flagged only when *another* lock is also held; waiting on
+            # anything else under a lock is always a stall
+            is_own_cond = (receiver_attr in info.lock_attrs
+                           and held[-1:] == [receiver_attr])
+            if not is_own_cond or len(set(held)) > 1:
+                yield self.finding(
+                    info.module, call,
+                    f"unbounded .wait() on {receiver_name or 'object'} "
+                    f"while {where}")
+            return
+        if method == "join" and not _call_has_timeout(call):
+            yield self.finding(info.module, call,
+                               f"unbounded .join() while {where}")
+            return
+        if method in ("get", "put"):
+            is_queue = (
+                (receiver_attr is not None
+                 and info.attr_types.get(receiver_attr) == "Queue")
+                or (isinstance(receiver, ast.Name)
+                    and receiver.id in local_queues)
+            )
+            if is_queue and not _call_has_timeout(call) and not any(
+                    kw.arg == "block" for kw in call.keywords):
+                yield self.finding(
+                    info.module, call,
+                    f"queue .{method}() without timeout while {where}")
+            return
+        if method in _ALWAYS_BLOCKING:
+            yield self.finding(info.module, call,
+                               f"blocking .{method}() while {where}")
+            return
+        if method in _TRANSPORT_BLOCKING and any(
+                hint in receiver_name.lower() for hint in _TRANSPORT_HINTS):
+            yield self.finding(
+                info.module, call,
+                f"blocking .{method}() on {receiver_name} while {where}")
+
+
+def _queue_locals(info: ClassInfo, method: ast.FunctionDef) -> Set[str]:
+    """Local names assigned ``queue.Queue(...)`` in this method."""
+    out: Set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            ctor = dotted_name(node.value.func, info.module.imports)
+            if ctor and ctor.split(".")[-1] in ("Queue", "LifoQueue",
+                                                "PriorityQueue"):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out.add(target.id)
+    return out
+
+
+# -- RFD703: the static lock-order graph ---------------------------------------
+
+
+class _LockGraph:
+    """Domain-level acquisition-order edges with their first source site."""
+
+    def __init__(self) -> None:
+        self.edges: Dict[Tuple[str, str],
+                         Tuple[ModuleContext, ast.AST, str]] = {}
+
+    def add(self, src: str, dst: str, module: ModuleContext, node: ast.AST,
+            via: str) -> None:
+        self.edges.setdefault((src, dst), (module, node, via))
+
+    def nodes(self) -> List[str]:
+        seen: Set[str] = set()
+        for src, dst in self.edges:
+            seen.add(src)
+            seen.add(dst)
+        return sorted(seen)
+
+    def successors(self, node: str) -> List[str]:
+        return sorted(dst for (src, dst) in self.edges if src == node)
+
+
+def build_lock_graph(project: ProjectContext) -> _LockGraph:
+    """Expand every method: nested withs + calls made while locked."""
+    graph = _LockGraph()
+    for name in sorted(project.classes):
+        info = project.classes[name]
+        if not info.lock_attrs:
+            continue
+        for mname, method in _iter_methods(info):
+            _expand(project, graph, info, mname, method.body,
+                    held=[], visited={(info.name, mname)})
+    return graph
+
+
+def _expand(project: ProjectContext, graph: _LockGraph, info: ClassInfo,
+            mname: str, stmts: List[ast.stmt], held: List[str],
+            visited: Set[Tuple[str, str]]) -> None:
+    via = f"{info.module.rel}:{info.name}.{mname}"
+    for stmt in stmts:
+        if isinstance(stmt, ast.With):
+            domains = [d for _a, d in _with_lock_domains(info, stmt)]
+            for new in domains:
+                for holder in held:
+                    graph.add(holder, new, info.module, stmt, via)
+            _expand(project, graph, info, mname, stmt.body,
+                    held + domains, visited)
+            continue
+        if held:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    _expand_call(project, graph, info, node, held, visited)
+        for child in ast.iter_child_nodes(stmt):
+            body = getattr(child, "body", None)
+            if isinstance(body, list):
+                _expand(project, graph, info, mname, body, held, visited)
+
+
+def _expand_call(project: ProjectContext, graph: _LockGraph, info: ClassInfo,
+                 call: ast.Call, held: List[str],
+                 visited: Set[Tuple[str, str]]) -> None:
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return
+    target: Optional[ClassInfo] = None
+    receiver_attr = _self_attr(func.value)
+    if receiver_attr is not None:
+        target = project.resolve_attr_class(info, receiver_attr)
+    elif isinstance(func.value, ast.Name):
+        if func.value.id == "self":
+            target = info
+        else:
+            cls_name = _local_type(info, func.value.id, call)
+            if cls_name is not None:
+                target = project.classes.get(cls_name)
+    if target is None or func.attr not in target.methods:
+        return
+    key = (target.name, func.attr)
+    if key in visited:
+        return
+    _expand(project, graph, target, func.attr,
+            target.methods[func.attr].body, held, visited | {key})
+
+
+#: per-class cache of (method-agnostic) local constructor types
+_LOCAL_TYPE_CACHE: Dict[int, Dict[str, str]] = {}
+
+
+def _local_type(info: ClassInfo, local: str, at: ast.AST) -> Optional[str]:
+    """Shallow type of a local: the class it was constructed as, if any."""
+    cache = _LOCAL_TYPE_CACHE.setdefault(id(info.node), {})
+    if not cache:
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                ctor = node.value.func
+                ctor_name = ctor.id if isinstance(ctor, ast.Name) else (
+                    ctor.attr if isinstance(ctor, ast.Attribute) else None)
+                if ctor_name is None:
+                    continue
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        cache.setdefault(tgt.id, ctor_name)
+        cache.setdefault("", "")
+    got = cache.get(local)
+    return got or None
+
+
+@register_project
+class LockOrderCycle(ProjectRule):
+    """RFD703: cycle in the static lock-acquisition-order graph."""
+
+    id = "RFD703"
+    severity = Severity.ERROR
+    description = ("lock domains acquired in conflicting orders across "
+                   "methods (potential deadlock)")
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        _LOCAL_TYPE_CACHE.clear()
+        graph = build_lock_graph(project)
+        for src, dst in sorted(graph.edges):
+            if src == dst:
+                module, node, via = graph.edges[(src, dst)]
+                yield self.finding(
+                    module, node,
+                    f"same-domain lock nesting: {src!r} acquired while "
+                    f"already held (via {via})")
+        for cycle in _find_cycles(graph):
+            first = (cycle[0], cycle[1 % len(cycle)])
+            if first[0] == first[1]:
+                continue  # self-loops reported above
+            module, node, via = graph.edges[first]
+            pretty = " -> ".join([*cycle, cycle[0]])
+            yield self.finding(
+                module, node,
+                f"lock-order cycle: {pretty} (first edge via {via})")
+
+
+def _find_cycles(graph: _LockGraph) -> List[List[str]]:
+    """Distinct simple cycles, canonicalized to start at their minimum."""
+    cycles: Set[Tuple[str, ...]] = set()
+    for start in graph.nodes():
+        stack = [start]
+        on_stack = {start}
+
+        def walk(node: str) -> None:
+            for nxt in graph.successors(node):
+                if nxt == start and len(stack) > 1:
+                    cycle = tuple(stack)
+                    pivot = cycle.index(min(cycle))
+                    cycles.add(cycle[pivot:] + cycle[:pivot])
+                elif nxt not in on_stack and nxt > start:
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    walk(nxt)
+                    on_stack.discard(nxt)
+                    stack.pop()
+
+        walk(start)
+    return [list(c) for c in sorted(cycles)]
+
+
+@register_project
+class UnjoinedThread(ProjectRule):
+    """RFD704: thread neither daemonized nor joined with a bound."""
+
+    id = "RFD704"
+    severity = Severity.ERROR
+    description = ("threading.Thread without daemon flag or a bounded "
+                   "join in its owning module")
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        for rel in sorted(project.modules):
+            module = project.modules[rel]
+            has_bounded_join = any(
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join" and _call_has_timeout(node)
+                for node in ast.walk(module.tree)
+            )
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                called = dotted_name(node.func, module.imports)
+                if called != "threading.Thread":
+                    continue
+                daemonized = any(kw.arg == "daemon" for kw in node.keywords)
+                if daemonized or has_bounded_join:
+                    continue
+                yield self.finding(
+                    module, node,
+                    "Thread is neither daemon=... nor joined with a "
+                    "timeout anywhere in this module; a wedged thread "
+                    "hangs shutdown forever")

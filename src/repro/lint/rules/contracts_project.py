@@ -1,0 +1,292 @@
+"""Whole-program contract rules (RFD705-RFD706).
+
+Cross-file name drift is invisible to per-module lint: the wire
+protocol's builder writes header fields in ``service/protocol.py`` that
+the daemon and client *read* two files away, and a metric registered in
+one subsystem is asserted on by exporters and tests that only know its
+string name.  Both contracts are pure string vocabularies, so the
+project pass can check them exactly:
+
+* RFD705 — frame drift: every header field a parser requires
+  (``header.get("seq")``, ``hello["from_seq"]``, ``"type" in header``)
+  must be emitted by some builder (a dict literal with a ``"type"``
+  key, a ``dict(header, k=...)`` augmentation, or a ``header["k"] =``
+  store); every frame ``type`` a parser matches on must be built
+  somewhere and vice versa; and every ``X_frame`` builder needs its
+  ``decode_X`` partner (and the reverse).
+* RFD706 — metric-name drift: every ``rfdump_*`` / ``rfdumpd_*`` string
+  referenced anywhere (src or tests) must be a registered registry name
+  (``.counter("...")`` / ``.gauge`` / ``.histogram``), modulo the
+  Prometheus histogram series suffixes (``_bucket``/``_sum``/
+  ``_count``) derived at export time.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.project import ProjectContext
+from repro.lint.registry import ModuleContext, ProjectRule, register_project
+
+#: modules that speak the wire protocol
+_PROTOCOL_SCOPE = ("repro/service/", "repro/tools/rfdumpd.py")
+
+#: receivers treated as frame headers when fields are read off them
+_HEADER_NAMES = ("header", "hello", "frame", "doc")
+
+_METRIC_NAME_RE = re.compile(r"^rfdumpd?_[a-z0-9]+(?:_[a-z0-9]+)+$")
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _protocol_modules(project: ProjectContext) -> List[ModuleContext]:
+    out = []
+    for rel in sorted(project.modules):
+        module = project.modules[rel]
+        if any(rel == scope or (scope.endswith("/") and rel.startswith(scope))
+               for scope in _PROTOCOL_SCOPE):
+            out.append(module)
+    return out
+
+
+def _looks_like_header(node: ast.expr) -> bool:
+    """Is this expression a frame-header receiver by naming convention?"""
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is None:
+        return False
+    return any(hint in name.lower() for hint in _HEADER_NAMES)
+
+
+@register_project
+class FrameFieldDrift(ProjectRule):
+    """RFD705: wire-protocol frame fields read but never emitted."""
+
+    id = "RFD705"
+    severity = Severity.ERROR
+    description = ("frame field or frame type required by a parser is "
+                   "emitted by no builder (wire-protocol drift)")
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        modules = _protocol_modules(project)
+        if not modules:
+            return
+        emitted_keys: Set[str] = set()
+        emitted_types: Set[str] = set()
+        builders: Dict[str, Tuple[ModuleContext, ast.AST]] = {}
+        decoders: Dict[str, Tuple[ModuleContext, ast.AST]] = {}
+        type_literal_sites: Dict[str, Tuple[ModuleContext, ast.AST]] = {}
+        for module in modules:
+            for node in ast.walk(module.tree):
+                self._collect_emissions(
+                    module, node, emitted_keys, emitted_types,
+                    type_literal_sites)
+                if isinstance(node, ast.FunctionDef):
+                    if node.name.endswith("_frame") and node.name != "send_frame" \
+                            and node.name != "recv_frame":
+                        builders[node.name[:-len("_frame")]] = (module, node)
+                    elif node.name.startswith("decode_"):
+                        decoders[node.name[len("decode_"):]] = (module, node)
+
+        # pass 2: requirements, checked against the union of emissions
+        checked_types: Set[str] = set()
+        for module in modules:
+            ftype_locals = _ftype_locals(module)
+            for node in ast.walk(module.tree):
+                for key, site in self._required_keys(module, node):
+                    if key not in emitted_keys:
+                        yield self.finding(
+                            module, site,
+                            f"parser requires header field {key!r} but no "
+                            f"builder in {_PROTOCOL_SCOPE[0]}* emits it")
+                for ftype, site in self._checked_types(module, node,
+                                                       ftype_locals):
+                    checked_types.add(ftype)
+                    if ftype not in emitted_types:
+                        yield self.finding(
+                            module, site,
+                            f"parser matches frame type {ftype!r} but no "
+                            f"builder emits a frame of that type")
+        for ftype in sorted(emitted_types - checked_types):
+            module, site = type_literal_sites[ftype]
+            yield self.finding(
+                module, site,
+                f"frame type {ftype!r} is emitted but no parser ever "
+                f"matches on it (dead or misspelled frame type)")
+        for name in sorted(set(builders) - set(decoders)):
+            # a builder without a decoder: the peer cannot parse it
+            module, site = builders[name]
+            yield self.finding(
+                module, site,
+                f"builder {name}_frame has no decode_{name} partner")
+        for name in sorted(set(decoders) - set(builders)):
+            module, site = decoders[name]
+            yield self.finding(
+                module, site,
+                f"decoder decode_{name} has no {name}_frame partner")
+
+    # -- emissions -------------------------------------------------------------
+
+    def _collect_emissions(
+            self, module: ModuleContext, node: ast.AST,
+            emitted_keys: Set[str], emitted_types: Set[str],
+            type_sites: Dict[str, Tuple[ModuleContext, ast.AST]]) -> None:
+        if isinstance(node, ast.Dict):
+            keys = [k.value for k in node.keys
+                    if isinstance(k, ast.Constant) and isinstance(k.value, str)]
+            if "type" not in keys:
+                return
+            emitted_keys.update(keys)
+            for key_node, val in zip(node.keys, node.values):
+                if (isinstance(key_node, ast.Constant)
+                        and key_node.value == "type"
+                        and isinstance(val, ast.Constant)
+                        and isinstance(val.value, str)):
+                    emitted_types.add(val.value)
+                    type_sites.setdefault(val.value, (module, node))
+        elif isinstance(node, ast.Call):
+            # dict(header, nbytes=...) augments the frame in flight
+            if isinstance(node.func, ast.Name) and node.func.id == "dict":
+                emitted_keys.update(
+                    kw.arg for kw in node.keywords if kw.arg)
+        elif isinstance(node, (ast.Assign,)):
+            # header["seq"] = ... augments the frame before sending
+            for target in node.targets:
+                if (isinstance(target, ast.Subscript)
+                        and _looks_like_header(target.value)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)):
+                    emitted_keys.add(target.slice.value)
+
+    # -- requirements ----------------------------------------------------------
+
+    def _required_keys(self, module: ModuleContext,
+                       node: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute) and func.attr == "get"
+                    and _looks_like_header(func.value)
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                yield node.args[0].value, node
+        elif isinstance(node, ast.Subscript) and not isinstance(
+                getattr(node, "ctx", None), ast.Store):
+            if (_looks_like_header(node.value)
+                    and isinstance(node.slice, ast.Constant)
+                    and isinstance(node.slice.value, str)):
+                yield node.slice.value, node
+        elif isinstance(node, ast.Compare):
+            # "type" in header  /  "type" not in header
+            if (len(node.ops) == 1
+                    and isinstance(node.ops[0], (ast.In, ast.NotIn))
+                    and isinstance(node.left, ast.Constant)
+                    and isinstance(node.left.value, str)
+                    and _looks_like_header(node.comparators[0])):
+                yield node.left.value, node
+
+    def _checked_types(self, module: ModuleContext, node: ast.AST,
+                       ftype_locals: Set[str]) -> Iterator[Tuple[str, ast.AST]]:
+        if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+            return
+        if not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+            return
+        sides = [node.left, node.comparators[0]]
+        literal = next((s.value for s in sides
+                        if isinstance(s, ast.Constant)
+                        and isinstance(s.value, str)), None)
+        if literal is None:
+            return
+        other = next(s for s in sides
+                     if not (isinstance(s, ast.Constant)
+                             and isinstance(s.value, str)))
+        if _is_type_read(other, ftype_locals):
+            yield literal, node
+
+
+def _is_type_read(node: ast.expr, ftype_locals: Set[str]) -> bool:
+    """Is this expression the value of a frame's ``type`` field?"""
+    if isinstance(node, ast.Name):
+        return node.id in ftype_locals
+    if isinstance(node, ast.Call):
+        func = node.func
+        return (isinstance(func, ast.Attribute) and func.attr == "get"
+                and bool(node.args)
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value == "type")
+    if isinstance(node, ast.Subscript):
+        return (isinstance(node.slice, ast.Constant)
+                and node.slice.value == "type")
+    return False
+
+
+def _ftype_locals(module: ModuleContext) -> Set[str]:
+    """Names assigned from a ``.get("type")`` read anywhere in the module."""
+    out: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Assign) and _is_type_read(node.value, set()):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+    return out
+
+
+@register_project
+class MetricNameDrift(ProjectRule):
+    """RFD706: metric name referenced but never registered."""
+
+    id = "RFD706"
+    severity = Severity.ERROR
+    description = ("rfdump_* metric name referenced in code or tests is "
+                   "registered nowhere (stale or misspelled series)")
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        registered: Set[str] = set()
+        registration_sites: Set[Tuple[str, int, str]] = set()
+        for rel in sorted(project.modules):
+            module = project.modules[rel]
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (isinstance(func, ast.Attribute)
+                        and func.attr in ("counter", "gauge", "histogram")):
+                    continue
+                if node.args and isinstance(node.args[0], ast.Constant) \
+                        and isinstance(node.args[0].value, str):
+                    name = node.args[0].value
+                    registered.add(name)
+                    registration_sites.add((rel, node.args[0].lineno, name))
+        everything = dict(project.modules)
+        everything.update(project.reference_modules)
+        for rel in sorted(everything):
+            module = everything[rel]
+            for node in ast.walk(module.tree):
+                if not (isinstance(node, ast.Constant)
+                        and isinstance(node.value, str)):
+                    continue
+                name = node.value
+                if not _METRIC_NAME_RE.match(name):
+                    continue
+                if (rel, getattr(node, "lineno", 0), name) in registration_sites:
+                    continue
+                if self._known(name, registered):
+                    continue
+                yield self.finding(
+                    module, node,
+                    f"metric name {name!r} is referenced here but "
+                    f"registered by no .counter/.gauge/.histogram call")
+
+    @staticmethod
+    def _known(name: str, registered: Set[str]) -> bool:
+        if name in registered:
+            return True
+        for suffix in _HISTOGRAM_SUFFIXES:
+            if name.endswith(suffix) and name[:-len(suffix)] in registered:
+                return True
+        return False

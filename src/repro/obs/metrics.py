@@ -16,6 +16,8 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.sanitize.hooks import new_lock
+
 LabelSet = Tuple[Tuple[str, str], ...]
 
 #: default histogram bounds for per-stage seconds — log-spaced from well
@@ -129,31 +131,40 @@ class MetricsRegistry:
     call registers the series, later calls with the same name and labels
     return the same object.  Re-registering a name as a different metric
     kind is an error — one name, one type, as in Prometheus.
+
+    Registration is thread-safe: the daemon's pump, accept and
+    connection threads all get-or-create series concurrently, and a
+    check-then-act race here would hand two threads distinct ``Counter``
+    objects for the same key (one of which silently loses every
+    increment).  The registry lock is a leaf domain — held only around
+    the dict lookup/insert, never while calling out.
     """
 
     def __init__(self, namespace: str = "rfdump"):
         self.namespace = namespace
         self._metrics: Dict[Tuple[str, LabelSet], Metric] = {}
         self._kinds: Dict[str, str] = {}
+        self._lock = new_lock("obs.registry")
 
     def _get_or_create(self, cls, name: str, help: str, labels: Dict[str, object],
                        **kwargs) -> Metric:
         key = (name, _label_set(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            known = self._kinds.get(name)
-            if known is not None and known != cls.kind:
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                known = self._kinds.get(name)
+                if known is not None and known != cls.kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as a {known}"
+                    )
+                metric = cls(name, labels=key[1], help=help, **kwargs)
+                self._metrics[key] = metric
+                self._kinds[name] = cls.kind
+            elif not isinstance(metric, cls):
                 raise ValueError(
-                    f"metric {name!r} already registered as a {known}"
+                    f"metric {name!r} already registered as a {metric.kind}"
                 )
-            metric = cls(name, labels=key[1], help=help, **kwargs)
-            self._metrics[key] = metric
-            self._kinds[name] = cls.kind
-        elif not isinstance(metric, cls):
-            raise ValueError(
-                f"metric {name!r} already registered as a {metric.kind}"
-            )
-        return metric
+            return metric
 
     def counter(self, name: str, help: str = "", **labels) -> Counter:
         return self._get_or_create(Counter, name, help, labels)
@@ -169,14 +180,19 @@ class MetricsRegistry:
 
     def collect(self) -> Iterator[Metric]:
         """Every registered metric, sorted by (name, labels) for
-        deterministic export."""
-        for key in sorted(self._metrics):
-            yield self._metrics[key]
+        deterministic export.  Snapshots the key set under the lock and
+        yields outside it, so an exporter iterating while the daemon
+        registers new series never sees a dict-changed-size error."""
+        with self._lock:
+            snapshot = [self._metrics[key] for key in sorted(self._metrics)]
+        for metric in snapshot:
+            yield metric
 
     def value(self, name: str, **labels) -> Optional[Union[int, float]]:
         """The current value of a counter/gauge, or a histogram's count;
         None when the series does not exist (nothing was ever recorded)."""
-        metric = self._metrics.get((name, _label_set(labels)))
+        with self._lock:
+            metric = self._metrics.get((name, _label_set(labels)))
         if metric is None:
             return None
         if isinstance(metric, Histogram):
@@ -188,4 +204,5 @@ class MetricsRegistry:
         return [m for m in self.collect() if m.name == name]
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)

@@ -28,6 +28,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.sanitize.hooks import new_lock
+
 
 @dataclass
 class Span:
@@ -81,7 +83,9 @@ class Tracer:
         self._epoch = clock()
         self.spans: List[Span] = []
         self._local = threading.local()
-        self._lock = threading.Lock()
+        # leaf domain: held only for the list append, never while
+        # calling out of the tracer
+        self._lock = new_lock("obs.tracer")
 
     def _now(self) -> float:
         return self._clock() - self._epoch

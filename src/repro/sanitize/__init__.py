@@ -1,0 +1,44 @@
+"""Runtime lock-order sanitizer for the threaded service stack.
+
+The static RFD7xx rules (:mod:`repro.lint.rules.concurrency_project`)
+prove properties of the *source*; this package checks the same
+properties on *executions*: :class:`SanitizedLock` and
+:class:`SanitizedCondition` record per-thread acquisition stacks, build
+the observed lock-order graph, and report order inversions, unbounded
+held-lock waits and re-acquisition deadlocks at teardown.
+
+Enable it for a test run with ``pytest --sanitize`` (wired in
+``tests/conftest.py``): every lock created through
+:mod:`repro.sanitize.hooks` during the session feeds one cumulative
+graph, and any violation fails the test that produced it.  See
+DESIGN.md "Concurrency invariants" for the lock-order discipline the
+sanitizer enforces.
+"""
+
+from repro.sanitize.hooks import (
+    current,
+    install,
+    new_condition,
+    new_lock,
+    uninstall,
+)
+from repro.sanitize.locks import (
+    LockOrderSanitizer,
+    SanitizedCondition,
+    SanitizedLock,
+    SanitizerReport,
+    Violation,
+)
+
+__all__ = [
+    "LockOrderSanitizer",
+    "SanitizedLock",
+    "SanitizedCondition",
+    "SanitizerReport",
+    "Violation",
+    "install",
+    "uninstall",
+    "current",
+    "new_lock",
+    "new_condition",
+]

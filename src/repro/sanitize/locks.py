@@ -1,0 +1,368 @@
+"""Sanitized locking primitives: observed lock-order graph + violations.
+
+A :class:`LockOrderSanitizer` hands out :class:`SanitizedLock` /
+:class:`SanitizedCondition` wrappers that behave exactly like
+``threading.Lock`` / ``threading.Condition`` but additionally record,
+per thread, the stack of locks currently held.  Every acquisition made
+while another lock is held adds a *domain* edge (``held -> acquired``)
+to the observed lock-order graph, with the Python stack of the first
+acquisition that created the edge.  From those observations the
+sanitizer reports three classes of bug the static RFD7xx rules can only
+approximate:
+
+``order-cycle``
+    an acquisition order ``A -> B`` was observed after ``B -> A`` — two
+    threads interleaving those paths can deadlock.  Detected the moment
+    the reversing edge appears, with both stacks.
+``held-blocking``
+    an unbounded ``Condition.wait()`` (no timeout) while the thread
+    holds *another* sanitized lock — the classic way one stalled
+    consumer freezes every other user of that lock.
+``re-acquire``
+    a thread blocks on a non-reentrant lock it already holds — certain
+    deadlock, raised immediately instead of hanging the test run.
+
+Locks are identified by *domain* strings (``"service.hub"``,
+``"daemon.conns"``), the same names the static analyzer derives, so a
+runtime report and an ``rflint --project`` report speak the same
+vocabulary.  Domains deliberately name lock *roles*, not instances: two
+instances of the same domain nested inside each other is reported too
+(``same-domain nesting``), because instance order is unverifiable.
+
+The sanitizer itself reads no clocks and keeps deterministic structures
+only; it is safe to enable around the determinism-audited pipeline.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+def _capture_stack(skip: int = 2, limit: int = 24) -> str:
+    """The current stack, trimmed of the sanitizer's own frames."""
+    frames = traceback.extract_stack()
+    if skip:
+        frames = frames[:-skip]
+    return "".join(traceback.format_list(frames[-limit:]))
+
+
+@dataclass
+class Violation:
+    """One observed locking bug."""
+
+    kind: str          # "order-cycle" | "held-blocking" | "re-acquire"
+    message: str
+    stack: str = ""
+
+    def format(self) -> str:
+        text = f"[{self.kind}] {self.message}"
+        if self.stack:
+            text += "\n" + self.stack.rstrip()
+        return text
+
+
+@dataclass
+class Edge:
+    """One observed ``held -> acquired`` ordering between lock domains."""
+
+    src: str
+    dst: str
+    count: int = 0
+    #: stack of the acquisition that first created this edge
+    stack: str = ""
+
+
+@dataclass
+class SanitizerReport:
+    """Everything the sanitizer observed, for teardown-time assertion."""
+
+    edges: List[Tuple[str, str, int]] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    locks_created: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format(self) -> str:
+        lines = [
+            f"lock-order sanitizer: {self.locks_created} lock(s), "
+            f"{len(self.edges)} ordering edge(s), "
+            f"{len(self.violations)} violation(s)"
+        ]
+        for src, dst, count in self.edges:
+            lines.append(f"  order: {src} -> {dst} (x{count})")
+        for violation in self.violations:
+            lines.append(violation.format())
+        return "\n".join(lines)
+
+
+class LockOrderSanitizer:
+    """Observes every sanitized acquisition and accumulates the report.
+
+    One sanitizer instance spans a whole test session; its graph is
+    cumulative, so an ordering established by one test and reversed by
+    another is still caught.  All bookkeeping happens under a private
+    plain mutex (never exposed, never held while calling out), so the
+    sanitizer cannot itself participate in an ordering cycle.
+    """
+
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._local = threading.local()
+        self._edges: Dict[Tuple[str, str], Edge] = {}
+        self._violations: List[Violation] = []
+        self._locks_created = 0
+
+    # -- factories -------------------------------------------------------------
+
+    def lock(self, domain: str = "lock") -> "SanitizedLock":
+        with self._mutex:
+            self._locks_created += 1
+        return SanitizedLock(self, domain)
+
+    def condition(self, domain: str = "condition") -> "SanitizedCondition":
+        with self._mutex:
+            self._locks_created += 1
+        return SanitizedCondition(self, domain)
+
+    # -- per-thread held stack -------------------------------------------------
+
+    def _held(self) -> List["SanitizedLock"]:
+        held = getattr(self._local, "held", None)
+        if held is None:
+            held = self._local.held = []
+        return held
+
+    def held_domains(self) -> Tuple[str, ...]:
+        """Domains the calling thread currently holds, outermost first."""
+        return tuple(lock.domain for lock in self._held())
+
+    # -- acquisition bookkeeping ----------------------------------------------
+
+    def _before_acquire(self, lock: "SanitizedLock", blocking: bool,
+                        timeout: Optional[float]) -> None:
+        if not any(h is lock for h in self._held()):
+            return
+        unbounded = blocking and (timeout is None or timeout < 0)
+        violation = Violation(
+            kind="re-acquire",
+            message=(f"thread re-acquires non-reentrant lock "
+                     f"{lock.domain!r} it already holds"
+                     + ("" if unbounded else " (bounded attempt)")),
+            stack=_capture_stack(skip=3),
+        )
+        with self._mutex:
+            self._violations.append(violation)
+        if unbounded:
+            # proceeding would hang the suite forever; fail loudly instead
+            raise RuntimeError(violation.format())
+
+    def _after_acquire(self, lock: "SanitizedLock") -> None:
+        held = self._held()
+        for holder in held:
+            self._add_edge(holder, lock)
+        held.append(lock)
+
+    def _on_release(self, lock: "SanitizedLock") -> None:
+        held = self._held()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] is lock:
+                del held[i]
+                return
+
+    def _add_edge(self, holder: "SanitizedLock", acquired: "SanitizedLock") -> None:
+        src, dst = holder.domain, acquired.domain
+        with self._mutex:
+            edge = self._edges.get((src, dst))
+            if edge is not None:
+                edge.count += 1
+                return
+            stack = _capture_stack(skip=4)
+            self._edges[(src, dst)] = Edge(src, dst, count=1, stack=stack)
+            if src == dst:
+                self._violations.append(Violation(
+                    kind="order-cycle",
+                    message=(f"same-domain nesting: two {src!r} locks held "
+                             "at once (instance order is unverifiable)"),
+                    stack=stack,
+                ))
+                return
+            path = self._find_path(dst, src)
+            if path is not None:
+                cycle = " -> ".join([src, *path])
+                detail = ""
+                if len(path) >= 2:
+                    first = self._edges.get((path[0], path[1]))
+                    if first is not None and first.stack:
+                        detail = ("\nfirst acquisition of the reversed "
+                                  "order:\n" + first.stack)
+                self._violations.append(Violation(
+                    kind="order-cycle",
+                    message=f"lock-order inversion: {cycle}",
+                    stack=stack + detail,
+                ))
+
+    def _find_path(self, src: str, dst: str) -> Optional[List[str]]:
+        """A domain path src ~> dst over recorded edges (DFS, sorted)."""
+        seen: Set[str] = set()
+        path: List[str] = [src]
+
+        def walk(node: str) -> Optional[List[str]]:
+            if node == dst:
+                return list(path)
+            seen.add(node)
+            for (a, b) in sorted(self._edges):
+                if a != node or b in seen:
+                    continue
+                path.append(b)
+                found = walk(b)
+                if found is not None:
+                    return found
+                path.pop()
+            return None
+
+        return walk(src)
+
+    # -- condition-wait bookkeeping -------------------------------------------
+
+    def _on_wait(self, lock: "SanitizedLock", timeout: Optional[float]) -> None:
+        if timeout is not None:
+            return
+        others = [h.domain for h in self._held() if h is not lock]
+        if not others:
+            return
+        with self._mutex:
+            self._violations.append(Violation(
+                kind="held-blocking",
+                message=(f"unbounded wait on {lock.domain!r} while holding "
+                         f"{', '.join(repr(d) for d in others)}"),
+                stack=_capture_stack(skip=4),
+            ))
+
+    def _suspend(self, lock: "SanitizedLock") -> None:
+        self._on_release(lock)
+
+    def _resume(self, lock: "SanitizedLock") -> None:
+        self._after_acquire(lock)
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def violations(self) -> List[Violation]:
+        with self._mutex:
+            return list(self._violations)
+
+    def edges(self) -> List[Tuple[str, str, int]]:
+        with self._mutex:
+            return [(e.src, e.dst, e.count)
+                    for _, e in sorted(self._edges.items())]
+
+    def order_cycles(self) -> List[Violation]:
+        return [v for v in self.violations if v.kind == "order-cycle"]
+
+    def report(self) -> SanitizerReport:
+        with self._mutex:
+            return SanitizerReport(
+                edges=[(e.src, e.dst, e.count)
+                       for _, e in sorted(self._edges.items())],
+                violations=list(self._violations),
+                locks_created=self._locks_created,
+            )
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._edges.clear()
+            self._violations.clear()
+            self._locks_created = 0
+
+
+class SanitizedLock:
+    """Drop-in ``threading.Lock`` that reports to a sanitizer."""
+
+    def __init__(self, sanitizer: LockOrderSanitizer, domain: str):
+        self._sanitizer = sanitizer
+        self.domain = domain
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._sanitizer._before_acquire(
+            self, blocking, None if timeout == -1 else timeout)
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._sanitizer._after_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        self._sanitizer._on_release(self)
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<SanitizedLock {self.domain!r}>"
+
+
+class SanitizedCondition:
+    """Drop-in ``threading.Condition`` that reports to a sanitizer.
+
+    The condition owns a :class:`SanitizedLock` and binds the real
+    ``threading.Condition`` to that lock's inner primitive, so every
+    ``with cond:`` records ordering exactly like a plain sanitized lock
+    while ``wait``/``notify`` keep stdlib semantics.  ``wait`` with no
+    timeout while the thread holds any *other* sanitized lock is the
+    ``held-blocking`` violation.
+    """
+
+    def __init__(self, sanitizer: LockOrderSanitizer, domain: str):
+        self._sanitizer = sanitizer
+        self.domain = domain
+        self._sanlock = SanitizedLock(sanitizer, domain)
+        self._cond = threading.Condition(self._sanlock._lock)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        return self._sanlock.acquire(blocking, timeout)
+
+    def release(self) -> None:
+        self._sanlock.release()
+
+    def __enter__(self) -> bool:
+        return self._sanlock.__enter__()
+
+    def __exit__(self, *exc) -> None:
+        self._sanlock.__exit__(*exc)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        self._sanitizer._on_wait(self._sanlock, timeout)
+        self._sanitizer._suspend(self._sanlock)
+        try:
+            return self._cond.wait(timeout)
+        finally:
+            self._sanitizer._resume(self._sanlock)
+
+    def wait_for(self, predicate, timeout: Optional[float] = None):
+        self._sanitizer._on_wait(self._sanlock, timeout)
+        self._sanitizer._suspend(self._sanlock)
+        try:
+            return self._cond.wait_for(predicate, timeout)
+        finally:
+            self._sanitizer._resume(self._sanlock)
+
+    def notify(self, n: int = 1) -> None:
+        self._cond.notify(n)
+
+    def notify_all(self) -> None:
+        self._cond.notify_all()
+
+    def __repr__(self) -> str:
+        return f"<SanitizedCondition {self.domain!r}>"

@@ -43,6 +43,7 @@ from repro.core.errorpolicy import ErrorRecord
 from repro.core.monitor import make_monitor
 from repro.errors import RFDumpError, ServiceProtocolError
 from repro.obs import Observability, render_prometheus
+from repro.sanitize.hooks import new_lock
 from repro.service import protocol
 from repro.service.hub import (
     DISCONNECTED,
@@ -101,7 +102,7 @@ class RFDumpDaemon:
         self.obs = config.obs
         self.kind = kind
         self.errors: List[ErrorRecord] = []
-        self._errors_lock = threading.Lock()
+        self._errors_lock = new_lock("daemon.errors")
         self.hub = EventHub(
             policy=slow_consumer_policy(config.on_error),
             queue_depth=queue_depth,
@@ -112,7 +113,7 @@ class RFDumpDaemon:
         self._port = port
         self._metrics_port = metrics_port
         self._ingest_queue: "queue.Queue" = queue.Queue(maxsize=ingest_depth)
-        self._ingest_claimed = threading.Lock()
+        self._ingest_claimed = new_lock("daemon.ingest-claim")
         self._windows_ingested = 0
         self._stop = threading.Event()
         self._stream_done = threading.Event()
@@ -121,7 +122,12 @@ class RFDumpDaemon:
         self._metrics_server: Optional[ThreadingHTTPServer] = None
         self._threads: List[threading.Thread] = []
         self._conns: List[socket.socket] = []
-        self._conns_lock = threading.Lock()
+        self._conns_lock = new_lock("daemon.conns")
+        # guards the cross-thread scalars and the thread roster: _threads
+        # grows from the accept thread while stop() (any thread) walks it,
+        # _windows_ingested is bumped by the ingest thread and read by
+        # /healthz, _stream_error is set by the pump and read everywhere
+        self._state_lock = new_lock("daemon.state")
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -154,7 +160,9 @@ class RFDumpDaemon:
             conns = list(self._conns)
         for conn in conns:
             _close_quietly(conn)
-        for thread in self._threads:
+        with self._state_lock:
+            threads = list(self._threads)
+        for thread in threads:
             thread.join(timeout)
 
     def __enter__(self) -> "RFDumpDaemon":
@@ -180,7 +188,8 @@ class RFDumpDaemon:
 
     @property
     def windows_ingested(self) -> int:
-        return self._windows_ingested
+        with self._state_lock:
+            return self._windows_ingested
 
     @property
     def stream_done(self) -> bool:
@@ -188,7 +197,8 @@ class RFDumpDaemon:
 
     @property
     def stream_error(self) -> Optional[str]:
-        return self._stream_error
+        with self._state_lock:
+            return self._stream_error
 
     def wait_stream_end(self, timeout: Optional[float] = None) -> bool:
         """Block until the monitor has flushed (ingest ``end`` seen)."""
@@ -196,13 +206,16 @@ class RFDumpDaemon:
 
     def status(self) -> dict:
         """The ``/healthz`` document, also handy in tests."""
+        with self._state_lock:
+            windows = self._windows_ingested
+            stream_error = self._stream_error
         return {
             "kind": self.kind,
-            "windows": self._windows_ingested,
+            "windows": windows,
             "events": self.hub.published,
             "subscribers": self.hub.subscriber_count,
             "stream_done": self._stream_done.is_set(),
-            "stream_error": self._stream_error,
+            "stream_error": stream_error,
             "errors": len(self.errors),
         }
 
@@ -216,7 +229,8 @@ class RFDumpDaemon:
         thread = threading.Thread(
             target=target, name=f"rfdumpd-{name}", daemon=True)
         thread.start()
-        self._threads.append(thread)
+        with self._state_lock:
+            self._threads.append(thread)
 
     def _track(self, conn: socket.socket) -> None:
         with self._conns_lock:
@@ -248,7 +262,8 @@ class RFDumpDaemon:
                     self.hub.publish(event)
         except RFDumpError as exc:
             # the monitor's own policy said raise; the stream is over
-            self._stream_error = f"{type(exc).__name__}: {exc}"
+            with self._state_lock:
+                self._stream_error = f"{type(exc).__name__}: {exc}"
             self._record_error(ErrorRecord.from_exception(
                 "service", "pump", exc, action="aborted"))
             self.obs.counter(
@@ -308,6 +323,16 @@ class RFDumpDaemon:
             _close_quietly(conn)
 
     def _serve_ingest(self, rw, hello: dict) -> None:
+        # finalized beats claimed: the previous session's done frame is
+        # sent only after _stream_done is set but *before* it releases
+        # the claim, so a client reconnecting right after done must see
+        # "finalized", never a racy "already active"
+        if self._stream_done.is_set():
+            protocol.send_frame(rw, {
+                "type": "error",
+                "message": "event stream already finalized",
+            })
+            return
         if not self._ingest_claimed.acquire(blocking=False):
             protocol.send_frame(rw, {
                 "type": "error",
@@ -360,10 +385,10 @@ class RFDumpDaemon:
                 self._finish_ingest()
                 protocol.send_frame(rw, {
                     "type": "done",
-                    "windows": self._windows_ingested,
+                    "windows": self.windows_ingested,
                     "events": self.hub.published,
                     "errors": len(self.errors),
-                    "stream_error": self._stream_error,
+                    "stream_error": self.stream_error,
                 })
                 return
             if ftype != "window":
@@ -426,7 +451,8 @@ class RFDumpDaemon:
                 break
             except queue.Full:
                 continue  # monitor is behind; TCP backpressure builds
-        self._windows_ingested += 1
+        with self._state_lock:
+            self._windows_ingested += 1
         self.obs.counter(
             "rfdumpd_windows_ingested_total",
             help="IQ windows accepted over the ingest socket",

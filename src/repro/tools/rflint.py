@@ -3,14 +3,24 @@
 Usage::
 
     python -m repro.tools.rflint src/
+    python -m repro.tools.rflint --project            # + whole-program RFD7xx
     python -m repro.tools.rflint src/ --format json
     python -m repro.tools.rflint src/ --json-out rflint-report.json
     python -m repro.tools.rflint src/ --write-baseline
     python -m repro.tools.rflint --list-rules
 
+``--project`` adds the whole-program pass (lock-order graph, shared
+state audit, wire/metric vocabulary drift) on top of the per-module
+rules; paths default to ``src`` and test files (``--tests``, default
+``tests`` when present) are scanned as metric-name references without
+being lint targets themselves.  In project mode, baseline entries for
+RFD7xx rules must carry real reasons, and a baseline entry whose budget
+exceeds the findings the tree still produces (stale debt) fails the run.
+
 Exit status: 0 when every finding is fixed, suppressed
 (``# rfdump: noqa[RULE]``) or grandfathered by the baseline file;
-1 when any active finding remains; 2 on usage errors.
+1 when any active finding remains or the baseline is stale; 2 on usage
+errors or an invalid baseline.
 """
 
 from __future__ import annotations
@@ -23,14 +33,21 @@ from typing import List, Optional
 
 from repro.lint import (
     Finding,
+    active_project_rules,
     active_rules,
     apply_baseline,
     lint_paths,
+    lint_project,
     load_baseline,
+    package_rel_path,
+    stale_entries,
     write_baseline,
 )
+from repro.lint.engine import SYNTAX_RULE, iter_python_files
 
 DEFAULT_BASELINE = "lint-baseline.json"
+DEFAULT_PATHS = ("src",)
+DEFAULT_TESTS = "tests"
 
 
 def _parse_rule_list(value: Optional[str]) -> Optional[List[str]]:
@@ -46,7 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
                     "(determinism, dtype, concurrency, API contracts, typing)",
     )
     parser.add_argument("paths", nargs="*", default=[],
-                        help="files or directories to analyze (e.g. src/)")
+                        help="files or directories to analyze (e.g. src/; "
+                             "defaults to src with --project)")
+    parser.add_argument("--project", action="store_true",
+                        help="also run the whole-program RFD7xx rules "
+                             "(lock-order graph, shared-state audit, "
+                             "wire/metric drift)")
+    parser.add_argument("--tests", metavar="DIR", default=None,
+                        help="test directory scanned as metric-name "
+                             "references in --project mode (default: "
+                             f"{DEFAULT_TESTS} if present)")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="report format on stdout")
     parser.add_argument("--json-out", metavar="FILE",
@@ -68,7 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _report(findings: List[Finding], grandfathered: int, files_hint: str) -> dict:
+def _report(findings: List[Finding], grandfathered: int,
+            files_hint: str) -> dict:
     return {
         "version": 1,
         "tool": "rflint",
@@ -88,13 +115,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         for rule in active_rules():
             print(f"{rule.id}  [{rule.severity}]  {rule.description}")
+        for rule in active_project_rules():
+            print(f"{rule.id}  [{rule.severity}]  {rule.description}  "
+                  f"(--project)")
         return 0
     if not args.paths:
-        parser.error("no paths given (try: python -m repro.tools.rflint src/)")
+        if args.project:
+            args.paths = [p for p in DEFAULT_PATHS if os.path.exists(p)]
+        if not args.paths:
+            parser.error(
+                "no paths given (try: python -m repro.tools.rflint src/)")
 
     select = _parse_rule_list(args.select)
     ignore = _parse_rule_list(args.ignore)
     findings = lint_paths(args.paths, select=select, ignore=ignore)
+    checked_rules = {r.id for r in active_rules(select, ignore)}
+    checked_rules.add(SYNTAX_RULE)
+    if args.project:
+        tests = args.tests
+        if tests is None and os.path.isdir(DEFAULT_TESTS):
+            tests = DEFAULT_TESTS
+        reference_paths = [tests] if tests else []
+        findings.extend(lint_project(
+            args.paths, reference_paths=reference_paths,
+            select=select, ignore=ignore,
+        ))
+        findings.sort(key=Finding.sort_key)
+        checked_rules.update(r.id for r in active_project_rules(select, ignore))
 
     if args.write_baseline:
         write_baseline(findings, args.baseline)
@@ -103,11 +150,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     grandfathered: List[Finding] = []
+    stale: List = []
     if not args.no_baseline and os.path.exists(args.baseline):
-        allowed = load_baseline(args.baseline)
+        try:
+            allowed = load_baseline(args.baseline,
+                                    require_reasons=args.project)
+        except ValueError as exc:
+            print(f"rflint: invalid baseline: {exc}", file=sys.stderr)
+            return 2
+        checked_rels = {
+            package_rel_path(f) for f in iter_python_files(args.paths)
+        }
+        stale = stale_entries(findings, allowed, checked_rules, checked_rels)
         findings, grandfathered = apply_baseline(findings, allowed)
 
     report = _report(findings, len(grandfathered), " ".join(args.paths))
+    if stale:
+        report["stale_baseline"] = [
+            {"path": rel, "rule": rule, "allowed": budget, "actual": actual}
+            for rel, rule, budget, actual in stale
+        ]
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2)
@@ -119,11 +181,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         for finding in findings:
             print(finding.format())
+        for rel, rule, budget, actual in stale:
+            print(f"{rel}: stale baseline entry: {rule} allows {budget} "
+                  f"finding(s) but only {actual} remain — shrink it")
         summary = f"rflint: {len(findings)} active finding(s)"
         if grandfathered:
             summary += f", {len(grandfathered)} grandfathered by {args.baseline}"
+        if stale:
+            summary += f", {len(stale)} stale baseline entr(y/ies)"
         print(summary)
-    return 1 if findings else 0
+    return 1 if (findings or stale) else 0
 
 
 if __name__ == "__main__":

@@ -27,6 +27,12 @@ class TestPathNormalization:
         ("/ckpt/x/src/repro/obs/tracing.py", "repro/obs/tracing.py"),
         ("repro/core/parallel.py", "repro/core/parallel.py"),
         ("elsewhere/module.py", "elsewhere/module.py"),
+        # a checkout directory itself named "repro" must not win over
+        # the package root: prefer the "repro" preceded by "src", else
+        # the last occurrence
+        ("/home/x/repro/src/repro/phy/a.py", "repro/phy/a.py"),
+        ("/home/x/repro/repro/phy/a.py", "repro/phy/a.py"),
+        ("/home/x/repro/tests/test_a.py", "repro/tests/test_a.py"),
     ])
     def test_package_rel_path(self, path, rel):
         assert package_rel_path(path) == rel
@@ -148,6 +154,157 @@ class TestCli:
         with pytest.raises(SystemExit) as exc:
             rflint.main([])
         assert exc.value.code == 2
+
+
+class TestNoqaSpans:
+    def test_noqa_on_closing_line_covers_multiline_statement(self):
+        findings = lint_source(textwrap.dedent(
+            """
+            import time
+            stamp = time.time(
+            )  # rfdump: noqa[RFD101]
+            """
+        ), path="src/repro/phy/mod.py")
+        assert findings == []
+
+    def test_noqa_on_first_line_covers_multiline_statement(self):
+        findings = lint_source(textwrap.dedent(
+            """
+            import time
+            stamp = time.time(  # rfdump: noqa[RFD101]
+            )
+            """
+        ), path="src/repro/phy/mod.py")
+        assert findings == []
+
+    def test_noqa_on_def_line_does_not_silence_the_body(self):
+        findings = lint_source(textwrap.dedent(
+            """
+            import time
+            def f():  # rfdump: noqa[RFD101]
+                return time.time()
+            """
+        ), path="src/repro/phy/mod.py")
+        assert [f.rule for f in findings] == ["RFD101"]
+
+    def test_noqa_for_another_rule_does_not_suppress(self):
+        findings = lint_source(textwrap.dedent(
+            """
+            import time
+            stamp = time.time(
+            )  # rfdump: noqa[RFD501]
+            """
+        ), path="src/repro/phy/mod.py")
+        assert [f.rule for f in findings] == ["RFD101"]
+
+
+class TestStaleBaseline:
+    def _tree_with_one_finding(self, tmp_path):
+        mod = tmp_path / "src" / "repro" / "phy" / "mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("import time\nstamp = time.time()\n")
+
+    def _baseline(self, tmp_path, count, rel="repro/phy/mod.py",
+                  rule="RFD101"):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"path": rel, "rule": rule, "count": count,
+                         "reason": "grandfathered at introduction"}],
+        }))
+        return baseline
+
+    def test_overbudget_entry_fails_the_run(self, tmp_path, capsys):
+        self._tree_with_one_finding(tmp_path)
+        baseline = self._baseline(tmp_path, count=3)
+        code = rflint.main([str(tmp_path), "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "stale baseline entry" in out
+        assert "allows 3 finding(s) but only 1 remain" in out
+
+    def test_exact_budget_passes(self, tmp_path):
+        self._tree_with_one_finding(tmp_path)
+        baseline = self._baseline(tmp_path, count=1)
+        assert rflint.main([str(tmp_path), "--baseline", str(baseline)]) == 0
+
+    def test_entry_for_unanalyzed_file_is_not_stale(self, tmp_path):
+        self._tree_with_one_finding(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [
+                {"path": "repro/phy/mod.py", "rule": "RFD101", "count": 1,
+                 "reason": "grandfathered at introduction"},
+                {"path": "repro/gone/elsewhere.py", "rule": "RFD101",
+                 "count": 4, "reason": "file not part of this run"},
+            ],
+        }))
+        assert rflint.main([str(tmp_path), "--baseline", str(baseline)]) == 0
+
+    def test_entry_for_unselected_rule_is_not_stale(self, tmp_path):
+        self._tree_with_one_finding(tmp_path)
+        baseline = self._baseline(tmp_path, count=3)
+        # RFD101 was not run at all, so its budget is unverifiable
+        assert rflint.main([
+            str(tmp_path), "--baseline", str(baseline),
+            "--select", "RFD501",
+        ]) == 0
+
+    def test_stale_entries_reported_in_json(self, tmp_path, capsys):
+        self._tree_with_one_finding(tmp_path)
+        baseline = self._baseline(tmp_path, count=2)
+        code = rflint.main([str(tmp_path), "--baseline", str(baseline),
+                            "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert report["stale_baseline"] == [{
+            "path": "repro/phy/mod.py", "rule": "RFD101",
+            "allowed": 2, "actual": 1,
+        }]
+
+
+class TestBaselineReasons:
+    def test_rfd7_entry_needs_a_reason_in_project_mode(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"path": "repro/service/daemon.py", "rule": "RFD703",
+                         "count": 1, "reason": "TODO: justify or fix"}],
+        }))
+        with pytest.raises(ValueError, match="needs a real 'reason'"):
+            load_baseline(str(bad), require_reasons=True)
+        # outside project mode the same file loads fine
+        assert load_baseline(str(bad)) == {
+            ("repro/service/daemon.py", "RFD703"): 1,
+        }
+
+    def test_cli_project_mode_rejects_unjustified_rfd7_entries(
+            self, tmp_path, capsys):
+        mod = tmp_path / "src" / "repro" / "phy" / "ok.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("import numpy as np\nZERO = np.complex64(0)\n")
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"path": "repro/svc/x.py", "rule": "RFD701",
+                         "count": 1, "reason": ""}],
+        }))
+        code = rflint.main([str(tmp_path), "--project",
+                            "--baseline", str(bad)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "invalid baseline" in err
+
+    def test_non_rfd7_entries_never_need_reasons(self, tmp_path):
+        fine = tmp_path / "baseline.json"
+        fine.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"path": "repro/phy/mod.py", "rule": "RFD101",
+                         "count": 2}],
+        }))
+        allowed = load_baseline(str(fine), require_reasons=True)
+        assert allowed == {("repro/phy/mod.py", "RFD101"): 2}
 
 
 class TestFindingOrdering:

@@ -1,0 +1,266 @@
+"""Runtime lock-order sanitizer: cycles, held-blocking, re-acquire.
+
+These tests drive :mod:`repro.sanitize` directly (no ``--sanitize``
+flag needed): a private :class:`LockOrderSanitizer` per test, wrapped
+locks acquired in controlled orders, and assertions on the observed
+graph and violation list.  The hooks-level tests check the injection
+seam contract the production code relies on: plain ``threading``
+primitives when nothing is installed, sanitized wrappers when it is.
+"""
+
+import threading
+
+import pytest
+
+from repro.sanitize import (
+    LockOrderSanitizer,
+    SanitizedCondition,
+    SanitizedLock,
+    hooks,
+)
+
+
+@pytest.fixture
+def san():
+    return LockOrderSanitizer()
+
+
+class TestOrdering:
+    def test_nested_acquire_records_edge(self, san):
+        a, b = san.lock("A"), san.lock("B")
+        with a:
+            with b:
+                pass
+        assert san.edges() == [("A", "B", 1)]
+        assert san.report().ok
+
+    def test_consistent_order_is_clean(self, san):
+        a, b = san.lock("A"), san.lock("B")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        (src, dst, count), = san.edges()
+        assert (src, dst, count) == ("A", "B", 3)
+        assert san.violations == []
+
+    def test_inverted_order_is_a_cycle(self, san):
+        a, b = san.lock("A"), san.lock("B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        cycles = san.order_cycles()
+        assert len(cycles) == 1
+        assert "lock-order inversion" in cycles[0].message
+        assert "B -> A -> B" in cycles[0].message
+
+    def test_cycle_through_intermediate_domain(self, san):
+        a, b, c = san.lock("A"), san.lock("B"), san.lock("C")
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with a:
+                pass  # closes C -> A -> B -> C
+        cycles = san.order_cycles()
+        assert len(cycles) == 1
+        assert "C -> A -> B -> C" in cycles[0].message
+
+    def test_cycle_detected_across_threads(self, san):
+        """Two threads each acquire in their own order; no real deadlock
+        is staged (a barrier sequences them), but the graph still sees
+        the inversion — that is the point of order sanitizing."""
+        a, b = san.lock("A"), san.lock("B")
+        first_done = threading.Event()
+
+        def thread_one():
+            with a:
+                with b:
+                    pass
+            first_done.set()
+
+        def thread_two():
+            first_done.wait(timeout=5.0)
+            with b:
+                with a:
+                    pass
+
+        t1 = threading.Thread(target=thread_one, daemon=True)
+        t2 = threading.Thread(target=thread_two, daemon=True)
+        t1.start(); t2.start()
+        t1.join(timeout=5.0); t2.join(timeout=5.0)
+        assert len(san.order_cycles()) == 1
+
+    def test_same_domain_nesting_flagged(self, san):
+        one, two = san.lock("pool"), san.lock("pool")
+        with one:
+            with two:
+                pass
+        cycles = san.order_cycles()
+        assert len(cycles) == 1
+        assert "same-domain nesting" in cycles[0].message
+
+
+class TestHeldBlocking:
+    def test_unbounded_wait_while_holding_another_lock(self, san):
+        outer = san.lock("outer")
+        cond = san.condition("cv")
+
+        def waiter():
+            with outer:
+                with cond:
+                    cond.wait()  # unbounded, outer still held
+
+        t = threading.Thread(target=waiter, daemon=True)
+        t.start()
+        # let the waiter reach the wait, then release it
+        deadline_poll = 0
+        while not san.violations and deadline_poll < 500:
+            threading.Event().wait(0.002)
+            deadline_poll += 1
+        with cond:
+            cond.notify_all()
+        t.join(timeout=5.0)
+        kinds = [v.kind for v in san.violations]
+        assert kinds == ["held-blocking"]
+        assert "'outer'" in san.violations[0].message
+
+    def test_bounded_wait_is_fine(self, san):
+        outer = san.lock("outer")
+        cond = san.condition("cv")
+        with outer:
+            with cond:
+                cond.wait(timeout=0.001)
+        assert san.report().ok
+
+    def test_wait_on_own_condition_alone_is_fine(self, san):
+        cond = san.condition("cv")
+        notifier = threading.Timer(0.05, lambda: _notify(cond))
+        notifier.start()
+        with cond:
+            cond.wait()  # the cv protocol itself: nothing else held
+        notifier.join(timeout=5.0)
+        assert san.report().ok
+
+    def test_wait_releases_and_reacquires_in_held_stack(self, san):
+        """During wait the lock leaves the held stack (so no spurious
+        edges), and returns to it afterwards."""
+        cond = san.condition("cv")
+        observed = []
+
+        def waiter():
+            with cond:
+                cond.wait(timeout=2.0)
+                observed.append(san.held_domains())
+
+        t = threading.Thread(target=waiter, daemon=True)
+        t.start()
+        with cond:
+            cond.notify_all()
+        t.join(timeout=5.0)
+        assert observed == [("cv",)]
+
+
+class TestReacquire:
+    def test_unbounded_reacquire_raises(self, san):
+        lock = san.lock("L")
+        with lock:
+            with pytest.raises(RuntimeError, match="re-acquires"):
+                lock.acquire()
+        assert [v.kind for v in san.violations] == ["re-acquire"]
+
+    def test_bounded_reacquire_records_but_returns(self, san):
+        lock = san.lock("L")
+        with lock:
+            assert lock.acquire(timeout=0.001) is False
+        assert [v.kind for v in san.violations] == ["re-acquire"]
+        assert "bounded attempt" in san.violations[0].message
+
+
+class TestReport:
+    def test_report_counts_and_format(self, san):
+        a, b = san.lock("A"), san.lock("B")
+        with a:
+            with b:
+                pass
+        report = san.report()
+        assert report.locks_created == 2
+        assert report.ok
+        text = report.format()
+        assert "2 lock(s)" in text
+        assert "order: A -> B (x1)" in text
+        assert "0 violation(s)" in text
+
+    def test_reset_clears_everything(self, san):
+        with san.lock("A"):
+            pass
+        san.reset()
+        report = san.report()
+        assert report.locks_created == 0 and report.edges == []
+
+    def test_violation_carries_a_stack(self, san):
+        a, b = san.lock("A"), san.lock("B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert "test_sanitize" in san.order_cycles()[0].stack
+
+
+@pytest.fixture
+def restore_hooks():
+    """Preserve any session-wide sanitizer (``pytest --sanitize``)."""
+    previous = hooks.current()
+    yield
+    if previous is not None:
+        hooks.install(previous)
+    else:
+        hooks.uninstall()
+
+
+class TestHooks:
+    def test_plain_primitives_when_uninstalled(self, restore_hooks):
+        hooks.uninstall()
+        assert hooks.current() is None
+        lock = hooks.new_lock("x")
+        cond = hooks.new_condition("y")
+        assert not isinstance(lock, SanitizedLock)
+        assert not isinstance(cond, SanitizedCondition)
+        with lock:
+            pass
+        with cond:
+            cond.notify_all()
+
+    def test_install_wraps_and_uninstall_restores(self, restore_hooks):
+        san = hooks.install()
+        assert hooks.current() is san
+        lock = hooks.new_lock("service.hub")
+        assert isinstance(lock, SanitizedLock)
+        assert lock.domain == "service.hub"
+        cond = hooks.new_condition("service.subscriber")
+        assert isinstance(cond, SanitizedCondition)
+        assert cond.domain == "service.subscriber"
+        hooks.uninstall()
+        assert hooks.current() is None
+        assert not isinstance(hooks.new_lock("x"), SanitizedLock)
+
+    def test_install_accepts_existing_sanitizer(self, restore_hooks):
+        mine = LockOrderSanitizer()
+        assert hooks.install(mine) is mine
+        with hooks.new_lock("a"):
+            with hooks.new_lock("b"):
+                pass
+        assert mine.edges() == [("a", "b", 1)]
+
+
+def _notify(cond):
+    with cond:
+        cond.notify_all()
