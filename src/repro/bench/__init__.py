@@ -34,7 +34,12 @@ from repro.bench.results import (
     result_filename,
     write_result,
 )
-from repro.bench.runner import BenchOptions, BenchRunner
+from repro.bench.runner import (
+    BenchOptions,
+    BenchRunner,
+    SpeedupMeasurement,
+    measure_speedup,
+)
 from repro.bench.scenarios import peak_soup, preset_buffer
 
 __all__ = [
@@ -47,6 +52,7 @@ __all__ = [
     "Comparison",
     "EquivalenceError",
     "SCHEMA_VERSION",
+    "SpeedupMeasurement",
     "all_benchmarks",
     "assert_detection_equivalence",
     "calibrate",
@@ -56,6 +62,7 @@ __all__ = [
     "load_result",
     "load_results",
     "machine_fingerprint",
+    "measure_speedup",
     "peak_soup",
     "preset_buffer",
     "register_benchmark",

@@ -112,6 +112,12 @@ def _make_sharded(config: MonitorConfig, kwargs: dict):
     return ShardBroker(config=config, **kwargs)
 
 
+def _make_flowgraph(config: MonitorConfig, kwargs: dict):
+    from repro.flowgraph.monitor import FlowGraphMonitor
+
+    return FlowGraphMonitor(config=config, **kwargs)
+
+
 #: name -> constructor; aliases cover the labels the figures use
 _FACTORIES: Dict[str, Callable[[MonitorConfig, dict], Monitor]] = {
     "rfdump": _make_rfdump,
@@ -120,6 +126,7 @@ _FACTORIES: Dict[str, Callable[[MonitorConfig, dict], Monitor]] = {
     "naive+energy": _make_energy,
     "streaming": _make_streaming,
     "sharded": _make_sharded,
+    "flowgraph": _make_flowgraph,
 }
 
 MONITOR_NAMES = tuple(sorted(_FACTORIES))

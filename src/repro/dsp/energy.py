@@ -8,7 +8,7 @@ threshold is applied.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -16,19 +16,24 @@ from repro.constants import DEFAULT_CHUNK_SAMPLES, DEFAULT_ENERGY_WINDOW
 from repro.dsp.samples import chunk_views
 
 
-def instant_power(samples: np.ndarray) -> np.ndarray:
+def instant_power(samples: np.ndarray,
+                  out: Optional[np.ndarray] = None) -> np.ndarray:
     """Per-sample ``|x|^2`` as float64, in one pass over real and imag.
 
     ``re*re + im*im`` avoids the intermediate magnitude array (and the
-    square root) that ``np.abs(x) ** 2`` would compute.
+    square root) that ``np.abs(x) ** 2`` would compute; ``dtype=float64``
+    on the ufunc folds the upcast into the multiply, skipping the
+    ``astype`` copies.  With ``out`` (a float64 array of the input's
+    length — the fused-kernel scratch path) the result is written in
+    place; values are bitwise identical either way.
     """
     x = np.asarray(samples)
     if np.iscomplexobj(x):
-        re = x.real.astype(np.float64)
-        im = x.imag.astype(np.float64)
-        return re * re + im * im
-    x = x.astype(np.float64)
-    return x * x
+        re, im = x.real, x.imag
+        out = np.multiply(re, re, dtype=np.float64, out=out)
+        out += np.multiply(im, im, dtype=np.float64)
+        return out
+    return np.multiply(x, x, dtype=np.float64, out=out)
 
 
 def interval_stats(
@@ -67,17 +72,38 @@ def interval_stats(
     return sums, means, maxes
 
 
-def moving_average_of(power: np.ndarray, window: int) -> np.ndarray:
-    """Causal moving average of a precomputed power array."""
+#: cached ``[1, 2, ..., head]`` divisors for the moving-average warm-up
+#: prefix — one small array per distinct window, allocated once instead
+#: of per call on the streaming path
+_RAMP_CACHE: dict = {}
+
+
+def _ramp(head: int) -> np.ndarray:
+    ramp = _RAMP_CACHE.get(head)
+    if ramp is None:
+        ramp = _RAMP_CACHE[head] = np.arange(1, head + 1)
+    return ramp
+
+
+def moving_average_of(power: np.ndarray, window: int,
+                      out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Causal moving average of a precomputed power array.
+
+    ``out`` (a float64 array of the input's length) reuses a
+    caller-provided destination — the fused-kernel scratch path; values
+    are bitwise identical to the allocating path.
+    """
     if window <= 0:
         raise ValueError("window must be positive")
     power = np.asarray(power)
     if power.size == 0:
-        return power.astype(np.float64)
-    csum = np.cumsum(power, dtype=np.float64)
-    out = np.empty(power.size, dtype=np.float64)
+        return power.astype(np.float64) if out is None else out[:0]
+    # np.add.accumulate is np.cumsum minus the fromnumeric wrapper
+    csum = np.add.accumulate(power, dtype=np.float64)
+    if out is None:
+        out = np.empty(power.size, dtype=np.float64)
     head = min(window, power.size)
-    out[:head] = csum[:head] / np.arange(1, head + 1)
+    out[:head] = csum[:head] / _ramp(head)
     if power.size > window:
         out[window:] = (csum[window:] - csum[:-window]) / window
     return out
@@ -93,19 +119,30 @@ def moving_average_power(samples: np.ndarray, window: int = DEFAULT_ENERGY_WINDO
     return moving_average_of(instant_power(samples), window)
 
 
-def chunk_average_of(power: np.ndarray, chunk_samples: int) -> np.ndarray:
-    """Per-chunk mean of a precomputed power array."""
+def chunk_average_of(power: np.ndarray, chunk_samples: int,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Per-chunk mean of a precomputed power array.
+
+    ``out`` (a float64 array of ``ceil(len(power) / chunk_samples)``
+    entries) reuses a caller-provided destination — the fused-kernel
+    scratch path; values are bitwise identical to the allocating path.
+    """
     if chunk_samples <= 0:
         raise ValueError("chunk_samples must be positive")
     body, tail = chunk_views(np.asarray(power), chunk_samples)
-    out = []
-    if body.shape[0]:
-        out.append(body.mean(axis=1))
+    nbody = body.shape[0]
+    n_out = nbody + (1 if tail.size else 0)
+    if out is None:
+        out = np.empty(n_out, dtype=np.float64)
+    # row means as one ufunc reduce + in-place divide: bitwise identical
+    # to body.mean(axis=1) (np.mean is the same pairwise add.reduce),
+    # without the per-call _methods._mean machinery
+    if nbody:
+        np.add.reduce(body, axis=1, dtype=np.float64, out=out[:nbody])
+        out[:nbody] /= chunk_samples
     if tail.size:
-        out.append(np.array([tail.mean()]))
-    if not out:
-        return np.zeros(0, dtype=np.float64)
-    return np.concatenate(out)
+        out[nbody] = np.add.reduce(tail, dtype=np.float64) / tail.size
+    return out[:n_out]
 
 
 def chunk_average_power(

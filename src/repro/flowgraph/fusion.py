@@ -1,0 +1,378 @@
+"""Stream fusion: collapse linear block chains into single fused blocks.
+
+The interpreter in :mod:`repro.flowgraph.graph` executes block-per-block:
+every item is handed to the scheduler, counted, dispatched through
+``work``, and its outputs collected into a fresh list before the next
+block sees them — a fully materialized intermediate between every stage.
+"Complete Stream Fusion for Software-Defined Radio" shows the same
+overhead in SDR frameworks can be compiled away: a *linear*
+single-producer/single-consumer chain of blocks is semantically one
+function, so run it as one.
+
+The pass here:
+
+1. :func:`find_chains` walks the typed-port DAG and extracts every
+   maximal linear chain of fusable blocks — each interior node has
+   exactly one producer and one consumer, no member is a source, and no
+   member opts out via :attr:`~repro.flowgraph.block.Block.fusable`.
+   Fan-out, fan-in, sources and opted-out blocks fall back to the
+   unfused interpreter unchanged.
+2. :func:`compile_graph` replaces each chain with one
+   :class:`FusedBlock` and rewires the edges.  Runs of adjacent
+   :class:`~repro.flowgraph.block.ChunkKernelBlock` members additionally
+   collapse into a :class:`_KernelRun` that applies their kernels
+   back-to-back over reused scratch buffers — zero intermediate arrays
+   materialized per item.  Adjacent kernels whose port dtypes are not
+   statically compatible stay in separate runs (the generic member path
+   executes them, still inside the fused chain).
+
+Fusion is a pure scheduling transform: member blocks are the *same
+objects* (their collected state — sinks, filters — stays observable),
+outputs are byte-identical to the unfused interpreter, and the per-block
+``flowgraph_items_total`` / ``flowgraph_samples_total`` counters are
+preserved because the fused block counts on behalf of its members.
+Compilation itself is counted under ``rfdump_fusion_chains_total`` and
+``rfdump_fusion_blocks_fused_total``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.flowgraph.block import Block, ChunkKernelBlock, SinkBlock, SourceBlock
+
+
+def _generic_stage(kernel: Callable[..., Any],
+                   out: np.ndarray) -> Callable[[np.ndarray], Any]:
+    """Fallback plan stage for blocks without a specialized form."""
+    return lambda data: kernel(data, out=out)
+
+
+class _KernelRun:
+    """Adjacent chunk kernels executed back-to-back over reused scratch.
+
+    One call maps ``(start, chunk) -> (start, transformed)`` through every
+    kernel in order.  The per-stage shape/dtype bookkeeping is resolved
+    *once* per distinct input shape into a plan — a flat list of
+    ``(kernel, scratch)`` pairs — so the steady-state per-item cost is
+    just the bound kernel calls writing into preallocated scratch, with
+    no intermediate array materialized per item.  A streaming source
+    produces at most two shapes (the chunk size and the tail), so the
+    plan cache stays tiny.  Only the run's final output is copied out,
+    because downstream consumers may retain it across items.
+    """
+
+    __slots__ = ("kernels", "_plans", "_last_n", "_last_dtype", "_last_plan")
+
+    def __init__(self, kernels: Sequence[ChunkKernelBlock]):
+        self.kernels: Tuple[ChunkKernelBlock, ...] = tuple(kernels)
+        #: (n, dtype) -> [(kernel callable, scratch array), ...]
+        self._plans: Dict[Tuple[int, np.dtype], list] = {}
+        self._last_n = -1
+        self._last_dtype: Optional[np.dtype] = None
+        self._last_plan: Optional[list] = None
+
+    def reset(self) -> None:
+        self._plans.clear()
+        self._last_n, self._last_dtype, self._last_plan = -1, None, None
+
+    def _plan_for(self, n: int, dtype: np.dtype) -> list:
+        key = (n, dtype)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = []
+            # the first stage's input varies per item (the source chunk);
+            # every later stage reads the previous stage's scratch — a
+            # fixed array the block may specialize against
+            src: Optional[np.ndarray] = None
+            for block in self.kernels:  # rfdump: noqa[RFD601] plan build, once per input shape
+                m = block.out_len(n)
+                out_dtype = np.dtype(block.out_dtype(dtype))
+                out = np.empty(m, dtype=out_dtype)
+                fn = block.specialize(n, dtype, out, src)
+                if fn is None:
+                    fn = _generic_stage(block.kernel, out)
+                plan.append(fn)
+                n, dtype, src = m, out_dtype, out
+            self._plans[key] = plan
+        self._last_n, self._last_dtype, self._last_plan = key[0], key[1], plan
+        return plan
+
+    def __call__(self, item: Tuple[int, np.ndarray],
+                 count: Optional[Callable[[Block, Any], None]] = None):
+        start, data = item
+        if count is not None:
+            for block in self.kernels:  # rfdump: noqa[RFD601] per-member counting, bounded by chain length
+                count(block, item)
+        # stage dispatch: one iteration per *kernel*, bounded by the chain
+        # length, not the sample count — the samples move in whole-array
+        # numpy kernels below.  A stream has one steady-state shape (plus
+        # a tail), so the last plan almost always hits; builtin dtypes
+        # are singletons, making the identity check exact.
+        n, dtype = data.shape[0], data.dtype
+        if n == self._last_n and dtype is self._last_dtype:
+            plan = self._last_plan
+        else:
+            plan = self._plan_for(n, dtype)
+        for stage in plan:  # rfdump: noqa[RFD601] fused-kernel dispatch, bounded by chain length
+            data = stage(data)
+        # the chain's *output* is not an intermediate: downstream members
+        # (sinks, collectors) may hold it, so hand out a copy, never the
+        # scratch
+        return (start, data.copy())
+
+
+def _kernel_compatible(prev: ChunkKernelBlock, nxt: ChunkKernelBlock) -> bool:
+    """May ``nxt``'s kernel read ``prev``'s scratch directly?
+
+    The static analogue of the dtype handshake: the downstream input port
+    must accept the upstream output port *including* its dtype.  Ports
+    with wildcard dtypes are fine — the run derives the concrete dtype
+    per item via :meth:`ChunkKernelBlock.out_dtype`.
+    """
+    if prev.out_sig is None or nxt.in_sig is None:
+        return False
+    return nxt.in_sig.accepts(prev.out_sig)
+
+
+def _segment(members: Sequence[Block]) -> List[object]:
+    """Group a chain's members into kernel runs and generic singletons."""
+    segments: List[object] = []
+    pending: List[ChunkKernelBlock] = []
+
+    def flush() -> None:
+        if len(pending) >= 2:
+            segments.append(_KernelRun(pending))
+        else:
+            segments.extend(pending)
+        pending.clear()
+
+    for block in members:  # rfdump: noqa[RFD601] compile-time segmentation, bounded by chain length
+        if isinstance(block, ChunkKernelBlock):
+            if pending and not _kernel_compatible(pending[-1], block):
+                flush()
+            pending.append(block)
+        else:
+            flush()
+            segments.append(block)
+    flush()
+    return segments
+
+
+class FusedBlock(Block):
+    """A maximal linear chain of blocks executed as one block.
+
+    The members are the original block objects: their per-run state
+    (collected items, pass/drop tallies) remains observable after a fused
+    run exactly as after an unfused one.  ``in_sig``/``out_sig`` mirror
+    the chain's head input and tail output, so a compiled graph still
+    passes :meth:`FlowGraph.check`.
+    """
+
+    #: compiled output — never re-fused by a second compile pass
+    fusable = False
+    #: tells the scheduler the fused block counts items for its members
+    counts_members = True
+
+    def __init__(self, members: Sequence[Block]):
+        if len(members) < 2:
+            raise ValueError("a fused chain needs at least two members")
+        names = "+".join(b.name for b in members)
+        super().__init__(f"fused({names})")
+        self.members: Tuple[Block, ...] = tuple(members)
+        self.member_names: Tuple[str, ...] = tuple(b.name for b in members)
+        self.in_sig = members[0].in_sig
+        self.out_sig = members[-1].out_sig
+        self._segments = _segment(members)
+        self._count: Optional[Callable[[Block, Any], None]] = None
+        self._obs = None
+        #: (kernel run, sink) when the chain is exactly one kernel run
+        #: feeding one sink — the canonical front-end shape, dispatched
+        #: without the generic segment loop
+        self._run_into_sink: Optional[Tuple[_KernelRun, Block]] = None
+        if (len(self._segments) == 2
+                and isinstance(self._segments[0], _KernelRun)
+                and isinstance(self._segments[1], SinkBlock)):
+            self._run_into_sink = (self._segments[0], self._segments[1])
+
+    def bind(self, count: Optional[Callable[[Block, Any], None]],
+             obs=None) -> "FusedBlock":
+        """Attach the compiled graph's per-member item counter and obs."""
+        self._count = count
+        self._obs = obs
+        return self
+
+    # -- scheduler surface ---------------------------------------------------
+
+    def start(self) -> None:
+        for member in self.members:  # rfdump: noqa[RFD601] per-member reset, bounded by chain length
+            member.start()
+        for seg in self._segments:  # rfdump: noqa[RFD601] scratch reset, bounded by chain length
+            if isinstance(seg, _KernelRun):
+                seg.reset()
+
+    def work(self, item: Any) -> List[Any]:
+        count = self._count
+        if self._run_into_sink is not None:
+            run, sink = self._run_into_sink
+            out = run(item, count)
+            if count is not None:
+                count(sink, out)
+            sink.consume(out)
+            return []
+        items: List[Any] = [item]
+        # segment dispatch: iterations bounded by the chain length; the
+        # per-sample work happens inside whole-array kernels
+        for seg in self._segments:  # rfdump: noqa[RFD601] fused segment dispatch, bounded by chain length
+            if isinstance(seg, _KernelRun):
+                items = [seg(it, count) for it in items]
+                continue
+            produced: List[Any] = []
+            for it in items:  # rfdump: noqa[RFD601] item fan-through, mirrors the interpreter's propagate loop
+                if count is not None:
+                    count(seg, it)
+                out = seg.work(it)
+                if out:
+                    produced.extend(out)
+            if not produced:
+                return []
+            items = produced
+        return items
+
+    def _feed(self, items: List[Any], start_index: int) -> List[Any]:
+        """Run items through members[start_index:] at member granularity.
+
+        The flush path: rare, so it trades the segment fast path for the
+        exact member-by-member semantics of the unfused interpreter.
+        """
+        count = self._count
+        for member in self.members[start_index:]:  # rfdump: noqa[RFD601] flush cascade, bounded by chain length
+            if not items:
+                return []
+            produced: List[Any] = []
+            for it in items:  # rfdump: noqa[RFD601] flush fan-through, bounded by buffered item count
+                if count is not None:
+                    count(member, it)
+                out = member.work(it)
+                if out:
+                    produced.extend(out)
+            items = produced
+        return items
+
+    def _flush(self) -> List[Any]:
+        outputs: List[Any] = []
+        for i, member in enumerate(self.members):  # rfdump: noqa[RFD601] flush ordering, bounded by chain length
+            flushed = list(member.finish())
+            if flushed:
+                outputs.extend(self._feed(flushed, i + 1))
+        return outputs
+
+    def finish(self) -> List[Any]:
+        if self._obs:
+            with self._obs.span(
+                "fused_flush", category="fusion",
+                blocks=",".join(self.member_names),
+            ):
+                return self._flush()
+        return self._flush()
+
+
+def find_chains(graph) -> List[List[Block]]:
+    """Maximal linear fusable chains of ``graph``, in block order.
+
+    A chain is a run ``b1 -> b2 -> ... -> bk`` (k >= 2) where every edge
+    is the *only* edge touching that port: each member except the tail
+    has exactly one successor, each member except the head has exactly
+    one predecessor, and every member is fusable and not a source.
+    Everything else — fan-out, fan-in, sources, ``fusable = False`` —
+    stays on the unfused interpreter.
+    """
+    blocks = graph.blocks
+    succs: Dict[Block, List[Block]] = {b: graph.successors(b) for b in blocks}
+    preds: Dict[Block, List[Block]] = {b: [] for b in blocks}
+    for src, dsts in succs.items():  # rfdump: noqa[RFD601] compile-time pass, bounded by graph size
+        for dst in dsts:  # rfdump: noqa[RFD601] compile-time pass, bounded by graph size
+            preds[dst].append(src)
+
+    def eligible(block: Block) -> bool:
+        return block.fusable and not isinstance(block, SourceBlock)
+
+    def linked(prev: Block, nxt: Block) -> bool:
+        """Is prev -> nxt a fusable single-producer/single-consumer link?"""
+        return (eligible(prev) and eligible(nxt)
+                and len(succs[prev]) == 1 and len(preds[nxt]) == 1)
+
+    chains: List[List[Block]] = []
+    for block in blocks:  # rfdump: noqa[RFD601] compile-time chain walk, bounded by graph size
+        if not eligible(block):
+            continue
+        upstream = preds[block]
+        if len(upstream) == 1 and linked(upstream[0], block):
+            continue  # interior of a chain; its head will collect it
+        chain = [block]
+        while len(succs[chain[-1]]) == 1:  # rfdump: noqa[RFD601] compile-time chain walk, bounded by graph size
+            nxt = succs[chain[-1]][0]
+            if not linked(chain[-1], nxt):
+                break
+            chain.append(nxt)
+        if len(chain) >= 2:
+            chains.append(chain)
+    return chains
+
+
+def compile_graph(graph):
+    """Fuse every linear chain of ``graph``; returns the compiled graph.
+
+    The input graph is validated (:meth:`FlowGraph.check`) and left
+    untouched; the compiled graph shares the member block objects.  When
+    no chain is fusable the original graph is returned unchanged, so
+    compiling is always safe to do unconditionally.
+    """
+    from repro.flowgraph.graph import FlowGraph
+
+    graph.check()
+    chains = find_chains(graph)
+    obs = graph.obs
+    if obs:
+        # register even when nothing fuses: a metrics page showing the
+        # counters at zero says "the pass ran and found no linear
+        # chains", which is distinguishable from "never compiled"
+        obs.counter(
+            "rfdump_fusion_chains_total",
+            help="linear chains collapsed by the fusion pass",
+        ).inc(len(chains))
+        obs.counter(
+            "rfdump_fusion_blocks_fused_total",
+            help="blocks absorbed into fused chains",
+        ).inc(sum(len(members) for members in chains))
+    if not chains:
+        return graph
+
+    fused_of: Dict[Block, FusedBlock] = {}
+    head_of: Dict[FusedBlock, Block] = {}
+    for members in chains:  # rfdump: noqa[RFD601] compile-time pass, bounded by graph size
+        fused = FusedBlock(members)
+        head_of[fused] = members[0]
+        for member in members:  # rfdump: noqa[RFD601] compile-time pass, bounded by chain length
+            fused_of[member] = fused
+
+    compiled = FlowGraph(obs=graph.obs)
+    for block in graph.blocks:  # rfdump: noqa[RFD601] compile-time rewiring, bounded by graph size
+        mapped = fused_of.get(block)
+        if mapped is None:
+            compiled.add(block)
+        elif head_of[mapped] is block:
+            compiled.add(mapped)
+    for src in graph.blocks:  # rfdump: noqa[RFD601] compile-time rewiring, bounded by graph size
+        for dst in graph.successors(src):  # rfdump: noqa[RFD601] compile-time rewiring, bounded by graph size
+            fsrc = fused_of.get(src)
+            fdst = fused_of.get(dst)
+            if fsrc is not None and fsrc is fdst:
+                continue  # edge internal to a chain
+            compiled.connect(fsrc or src, fdst or dst)
+
+    for fused in head_of:  # rfdump: noqa[RFD601] compile-time binding, bounded by chain count
+        fused.bind(compiled._count if obs else None, obs)
+    return compiled

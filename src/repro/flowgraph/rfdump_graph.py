@@ -18,7 +18,11 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.constants import DEFAULT_CENTER_FREQ
+from repro.constants import (
+    DEFAULT_CENTER_FREQ,
+    DEFAULT_CHUNK_SAMPLES,
+    DEFAULT_ENERGY_WINDOW,
+)
 from repro.core.detectors.base import Classification, Detector
 from repro.core.dispatcher import Dispatcher
 from repro.core.peak_detector import PeakDetector, PeakDetectorConfig
@@ -33,7 +37,16 @@ from repro.flowgraph.block import (
     Block,
     IOSignature,
 )
-from repro.flowgraph.blocks import BufferChunkSource, CollectSink
+from repro.flowgraph.blocks import (
+    BufferChunkSource,
+    ChunkMeanBlock,
+    ClampBlock,
+    CollectSink,
+    DcRemovalBlock,
+    GainBlock,
+    MovingAverageBlock,
+    PowerBlock,
+)
 from repro.flowgraph.graph import FlowGraph
 from repro.util.timebase import Timebase
 
@@ -152,6 +165,50 @@ class AnalyzerBlock(Block):
         return self._decoder.scan(sub)
 
 
+def build_frontend_graph(
+    buffer: SampleBuffer,
+    chunk_samples: int = DEFAULT_CHUNK_SAMPLES,
+    gain: float = 1.0,
+    agc: float = 1.0,
+    window: int = DEFAULT_ENERGY_WINDOW,
+    slow_window: int = 4 * DEFAULT_ENERGY_WINDOW,
+    mean_chunk: int = DEFAULT_CHUNK_SAMPLES,
+    saturation: float = 1e6,
+    obs=None,
+):
+    """The front-end conditioning chain; returns ``(graph, sink)``.
+
+    An eight-stage linear pipeline of chunk kernels —
+
+        source -> gain -> dc-removal -> agc -> power -> clamp
+               -> ma-short -> ma-long -> chunk-mean -> sink
+
+    — front-end scaling, DC blocking, gain normalization, instantaneous
+    power, a saturation/underflow guard, the detector's short energy
+    window, a longer noise-tracking smoother, and per-chunk decimation.
+    This is the shape where stream fusion pays: every interior edge is
+    single-producer/single-consumer, so :meth:`FlowGraph.compile`
+    collapses the whole run into one fused block executing all eight
+    kernels over reused scratch per chunk.  Per-chunk mean powers land
+    in ``sink.items`` as ``(start_sample, means)``.
+    """
+    graph = FlowGraph(obs=obs)
+    sink = CollectSink("chunk-powers")
+    graph.chain(
+        BufferChunkSource(buffer, chunk_samples),
+        GainBlock(gain, "gain"),
+        DcRemovalBlock(),
+        GainBlock(agc, "agc"),
+        PowerBlock(),
+        ClampBlock(0.0, saturation),
+        MovingAverageBlock(window, "ma-short"),
+        MovingAverageBlock(slow_window, "ma-long"),
+        ChunkMeanBlock(mean_chunk),
+        sink,
+    )
+    return graph, sink
+
+
 def build_rfdump_graph(
     buffer: SampleBuffer,
     protocols: Sequence[str] = ("wifi", "bluetooth"),
@@ -161,11 +218,14 @@ def build_rfdump_graph(
     demodulate: bool = True,
     noise_floor: Optional[float] = None,
     config: Optional[PeakDetectorConfig] = None,
+    obs=None,
 ):
     """Wire up Figure 2 for a buffer; returns (graph, packet_sink, cls_sink).
 
     Run with ``graph.run()``; decoded packets land in ``packet_sink.items``
-    and raw classifications in ``cls_sink.items``.
+    and raw classifications in ``cls_sink.items``.  ``obs`` attaches an
+    observability sink: per-block item/sample counters, and the fusion
+    pass's chain counters when the graph is compiled.
     """
     from repro.analysis.decoders import (
         BluetoothStreamDecoder,
@@ -175,7 +235,7 @@ def build_rfdump_graph(
     )
 
     config = config or PeakDetectorConfig()
-    graph = FlowGraph()
+    graph = FlowGraph(obs=obs)
     source = BufferChunkSource(buffer, config.chunk_samples)
     peaks = PeakDetectionBlock(buffer.sample_rate, config, noise_floor)
     dispatcher = DispatcherBlock(config.chunk_samples)

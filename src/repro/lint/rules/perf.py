@@ -26,6 +26,9 @@ HOT_PATH_MODULES = (
     "repro/dsp/phase.py",
     "repro/dsp/fftutil.py",
     "repro/dsp/samples.py",
+    # the fused execution path runs once per streamed item; its loops
+    # must be bounded by chain length, never by sample count
+    "repro/flowgraph/fusion.py",
 )
 
 

@@ -18,6 +18,7 @@ baseline — the CI regression gate.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -26,8 +27,10 @@ from repro.bench import (
     BenchRunner,
     all_benchmarks,
     compare_results,
+    get_benchmark,
     load_results,
     machine_fingerprint,
+    measure_speedup,
     render_comparison,
     write_result,
 )
@@ -60,6 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--skip-equivalence", action="store_true",
                      help="skip the serial-vs-vectorized equivalence gate "
                           "(timings are marked unchecked)")
+    run.add_argument("--require-speedup", action="append", default=[],
+                     metavar="NAME:FACTOR",
+                     help="after the run, time NAME's reference and current "
+                          "implementations interleaved in this process and "
+                          "fail unless the median per-pair speedup reaches "
+                          "FACTOR (repeatable); same-process pairing cancels "
+                          "the host-load noise a two-invocation comparison "
+                          "folds in")
 
     compare = sub.add_parser(
         "compare", help="compare a result set against committed baselines")
@@ -91,7 +102,14 @@ def _cmd_list() -> int:
     return 0
 
 
+def _ci_error(message: str) -> None:
+    """Surface a failure as a GitHub Actions ``::error`` annotation."""
+    if os.environ.get("GITHUB_ACTIONS"):
+        print(f"::error title=rfbench::{message}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    requirements = _parse_speedup_requirements(args.require_speedup)
     names = None
     if args.select:
         names = [n.strip() for n in args.select.split(",") if n.strip()]
@@ -111,7 +129,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         checked = "equivalence ok" if result.equivalence_checked else "unchecked"
         print(f"{result.name:<20} {result.samples_per_second:>14.0f} sps  "
               f"normalized {result.normalized:>8.4f}  ({checked}) -> {path}")
-    return 0
+    failed = False
+    for name, factor in requirements:
+        measurement = measure_speedup(get_benchmark(name), options)
+        if measurement.factor < factor:
+            message = (f"{name} same-process speedup {measurement.factor:.2f}x "
+                       f"is below the required {factor:.2f}x")
+            print(f"rfbench: {message}", file=sys.stderr)
+            _ci_error(message)
+            failed = True
+        else:
+            print(f"rfbench: {name} same-process speedup "
+                  f"{measurement.factor:.2f}x meets the required "
+                  f"{factor:.2f}x")
+    return 1 if failed else 0
 
 
 def _parse_speedup_requirements(specs: List[str]) -> List[tuple]:
@@ -145,21 +176,43 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         return 2
     rows = compare_results(current, baseline, max_regress=args.max_regress)
     print(render_comparison(rows, args.max_regress))
-    failed = any(row.regressed for row in rows)
+    regressions = [row for row in rows if row.regressed]
+    failed = bool(regressions)
     by_name = {row.name: row for row in rows}
     for name, factor in requirements:
         row = by_name.get(name)
         if row is None or row.speedup == 0.0:
-            print(f"rfbench: required speedup for {name!r} but it was not "
-                  "measured on both sides", file=sys.stderr)
+            message = (f"required speedup for {name!r} but it was not "
+                       "measured on both sides")
+            print(f"rfbench: {message}", file=sys.stderr)
+            _ci_error(message)
             failed = True
         elif row.speedup < factor:
-            print(f"rfbench: {name} speedup {row.speedup:.2f}x is below the "
-                  f"required {factor:.2f}x", file=sys.stderr)
+            message = (f"{name} speedup {row.speedup:.2f}x is below the "
+                       f"required {factor:.2f}x "
+                       f"(baseline {row.baseline_normalized:.4f} -> "
+                       f"current {row.current_normalized:.4f} normalized sps)")
+            print(f"rfbench: {message}", file=sys.stderr)
+            _ci_error(message)
             failed = True
         else:
             print(f"rfbench: {name} speedup {row.speedup:.2f}x meets the "
                   f"required {factor:.2f}x")
+    if regressions:
+        # the focused per-suite delta table: what fell, from what, to
+        # what — readable straight from the job log, no artifact spelunking
+        print("\nregressed suites (normalized samples/sec):", file=sys.stderr)
+        for row in regressions:
+            delta = (row.speedup - 1.0) * 100.0
+            print(f"  {row.name:<24} old {row.baseline_normalized:>10.4f}  "
+                  f"new {row.current_normalized:>10.4f}  "
+                  f"ratio {row.speedup:.2f}x ({delta:+.0f}%)",
+                  file=sys.stderr)
+            _ci_error(
+                f"{row.name} regressed: normalized throughput "
+                f"{row.baseline_normalized:.4f} -> "
+                f"{row.current_normalized:.4f} ({row.speedup:.2f}x, "
+                f"allowed drop {args.max_regress * 100:.0f}%)")
     return 1 if failed else 0
 
 

@@ -73,8 +73,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool backend when --workers > 1",
     )
     parser.add_argument(
-        "--monitor", choices=("rfdump", "naive", "energy"), default="rfdump",
-        help="monitoring architecture (baselines for cost comparison)",
+        "--monitor", choices=("rfdump", "naive", "energy", "flowgraph"),
+        default="rfdump",
+        help="monitoring architecture (baselines for cost comparison; "
+             "'flowgraph' runs the Figure 2 block DAG per window)",
+    )
+    parser.add_argument(
+        "--fuse", action="store_true",
+        help="compile the flowgraph with the stream-fusion pass before "
+             "running: maximal linear chains of fusable blocks collapse "
+             "into single fused kernels over reused scratch (flowgraph "
+             "monitor only; output is identical to unfused execution)",
     )
     parser.add_argument(
         "--shards", type=int, default=1,
@@ -136,6 +145,10 @@ def run(args) -> int:
         print("rfdump: --shards applies to the rfdump monitor only",
               file=sys.stderr)
         return 2
+    if args.fuse and args.monitor != "flowgraph":
+        print("rfdump: --fuse applies to the flowgraph monitor only",
+              file=sys.stderr)
+        return 2
     obs = Observability() if (args.metrics_out or args.trace_out) else None
     config = MonitorConfig(
         sample_rate=meta.sample_rate,
@@ -158,12 +171,13 @@ def run(args) -> int:
         kind = "streaming"
     else:
         kind = args.monitor
+    extra = {"fused": True} if args.fuse else {}
 
     if args.format == "jsonl":
         # the event-stream path: same monitor, same windows, same wire
         # form as an rfdumpd subscriber — equivalence is line equality
         capture = [] if (args.pcap_out or args.sigmf_out) else None
-        with make_monitor(kind, config) as monitor:
+        with make_monitor(kind, config, **extra) as monitor:
             for event in monitor.events(reader):
                 print(event.to_json())
                 if capture is not None:
@@ -218,7 +232,7 @@ def run(args) -> int:
         packets = []
         classifications = []
         clock = None
-        with make_monitor(args.monitor, config) as monitor:
+        with make_monitor(args.monitor, config, **extra) as monitor:
             for buf in reader:
                 report = monitor.process(buf)
                 packets.extend(report.packets)
