@@ -34,7 +34,10 @@ class Benchmark:
     repetition and returns the number of IQ samples processed, and
     ``equivalence`` (optional) asserts cross-implementation agreement on
     the workload — the runner refuses to trust timings for a benchmark
-    whose equivalence hook fails.
+    whose equivalence hook fails.  ``report`` (optional) runs after the
+    timed repetitions and returns extra result metadata the workload
+    accumulated (e.g. per-window latency quantiles); the runner merges
+    it into the result's ``meta`` for gates like ``rfbench --max-p99``.
     """
 
     name: str
@@ -42,6 +45,7 @@ class Benchmark:
     setup: Callable[[BenchContext], Any]
     run: Callable[[Any, BenchContext], int]
     equivalence: Optional[Callable[[Any, BenchContext], Dict[str, object]]] = None
+    report: Optional[Callable[[Any, BenchContext], Dict[str, object]]] = None
     tags: Sequence[str] = field(default_factory=tuple)
 
 

@@ -146,6 +146,8 @@ class BenchRunner:
             with clock.stage(stage):
                 n_samples = bench.run(workload, ctx)
             seconds.append(clock.seconds[stage])
+        if bench.report is not None:
+            meta.update(bench.report(workload, ctx))
         median = _median(seconds)
         if median <= 0:
             raise RuntimeError(

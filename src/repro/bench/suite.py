@@ -314,6 +314,85 @@ def _sharded_equivalence(workload, ctx: BenchContext) -> Dict[str, object]:
     return {"events": len(outputs[0]), "identical": True}
 
 
+# -- end-to-end window latency under a deadline ------------------------------
+#
+# The deadline layer's SLO benchmark: a full streaming run (detection,
+# dispatch, demodulation) over the mix preset with a 100 ms window
+# budget, accumulating each window's measured latency.  The ``report``
+# hook turns the accumulated latencies into p50/p99 quantiles that
+# ``rfbench run --max-p99 window_latency:SECONDS`` gates on in CI —
+# the latency SLO counterpart of the throughput baselines.
+
+_LATENCY_WINDOW = 160_000
+_LATENCY_OVERLAP = 48_000
+_LATENCY_DEADLINE_MS = 100.0
+
+
+def _latency_setup(ctx: BenchContext):
+    from repro.faults.harness import split_windows
+
+    duration = 0.05 if ctx.quick else 0.25
+    buffer = preset_buffer("mix", duration, seed=3)
+    return {"windows": split_windows(buffer, _LATENCY_WINDOW),
+            "latencies": [], "deadline_misses": 0, "ranges_shed": 0}
+
+
+def _latency_run(workload, ctx: BenchContext) -> int:
+    from repro.core.config import MonitorConfig
+    from repro.core.streaming import StreamingMonitor
+
+    # fresh monitor per repetition: streaming state is consumed by a run
+    monitor = StreamingMonitor(
+        config=MonitorConfig(deadline_ms=_LATENCY_DEADLINE_MS),
+        overlap=_LATENCY_OVERLAP,
+    )
+    latencies = workload["latencies"]
+    total = 0
+    for window in workload["windows"]:
+        report = monitor.process(window)
+        if report is not None:
+            latencies.append(report.latency_seconds)
+        total += len(window)
+    monitor.flush()
+    workload["deadline_misses"] += monitor.deadline_misses
+    workload["ranges_shed"] += monitor.ranges_shed
+    return total
+
+
+def _latency_quantile(ordered, q: float) -> float:
+    # nearest-rank on the raw per-window measurements (no bucketing)
+    rank = max(1, -(-int(q * len(ordered) * 100) // 100))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _latency_report(workload, ctx: BenchContext) -> Dict[str, object]:
+    ordered = sorted(workload["latencies"])
+    if not ordered:
+        return {"latency": {"windows": 0, "p50": 0.0, "p99": 0.0,
+                            "max": 0.0, "deadline_misses": 0,
+                            "ranges_shed": 0}}
+    return {"latency": {
+        "windows": len(ordered),
+        "p50": _latency_quantile(ordered, 0.50),
+        "p99": _latency_quantile(ordered, 0.99),
+        "max": ordered[-1],
+        "deadline_misses": workload["deadline_misses"],
+        "ranges_shed": workload["ranges_shed"],
+    }}
+
+
+register_benchmark(Benchmark(
+    name="window_latency",
+    description="per-window end-to-end latency (p50/p99) of a streaming "
+                "RFDump run with a 100 ms deadline budget over the mix "
+                "preset",
+    setup=_latency_setup,
+    run=_latency_run,
+    report=_latency_report,
+    tags=("pipeline", "latency"),
+))
+
+
 register_benchmark(Benchmark(
     name="pipeline_mix_sharded_1",
     description="streaming RFDump service through a single-shard broker "

@@ -14,6 +14,13 @@ from repro.core.errorpolicy import (
     CircuitBreaker,
     ErrorRecord,
 )
+from repro.core.deadline import (
+    AdmissionController,
+    DeadlineScheduler,
+    WindowBudget,
+    order_tasks,
+    range_priority,
+)
 from repro.core.monitor import MONITOR_NAMES, Monitor, make_monitor
 from repro.core.events import (
     EVENT_SCHEMA_VERSION,
@@ -46,6 +53,11 @@ __all__ = [
     "ERROR_POLICIES",
     "CircuitBreaker",
     "ErrorRecord",
+    "AdmissionController",
+    "DeadlineScheduler",
+    "WindowBudget",
+    "order_tasks",
+    "range_priority",
     "Monitor",
     "make_monitor",
     "MONITOR_NAMES",

@@ -63,6 +63,13 @@ class MonitorConfig:
     backend: str = "thread"
     granularity: str = "protocol"
     timeout: Optional[float] = None
+    #: per-window latency budget in milliseconds; enables the deadline/
+    #: admission layer (:mod:`repro.core.deadline`): dispatched ranges
+    #: are ordered by deadline slack × confidence, analysis tasks get
+    #: absolute deadlines capped by the window budget, and under
+    #: sustained overload the lowest-confidence ranges are shed before
+    #: demodulation.  None (the default) disables deadlines entirely.
+    deadline_ms: Optional[float] = None
     #: fault policy threaded through every pipeline seam: None (legacy
     #: per-component defaults), "raise", "skip" or "degrade" — see
     #: :mod:`repro.core.errorpolicy`
@@ -92,6 +99,8 @@ class MonitorConfig:
             raise ValueError(f"granularity must be one of {_GRANULARITIES}")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError("timeout must be positive")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
         validate_error_policy(self.on_error)
 
     @classmethod

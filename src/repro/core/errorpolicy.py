@@ -69,7 +69,8 @@ class ErrorRecord:
     #: stringified exception message
     message: str
     #: recovery taken: "resync", "sanitized", "skipped", "quarantined",
-    #: "fallback", "retried", "timeout"
+    #: "fallback", "retried", "timeout", "shed" (a range dropped by the
+    #: deadline/admission layer to hold the window's latency budget)
     action: str = ""
     #: absolute sample bounds of the affected region, when known
     start_sample: int = 0

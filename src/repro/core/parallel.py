@@ -15,11 +15,32 @@ a :mod:`concurrent.futures` pool, with
   merges back into the caller's clock,
 * deterministic output (packets sorted by :func:`packet_sort_key`, so a
   parallel run is list-identical to a serial one),
-* a per-range timeout with graceful fallback: any task whose worker
-  fails, times out, or cannot be scheduled is re-run serially in the
-  calling thread, never dropped — and never silently: every handled
+* **absolute per-task deadlines measured from submit time**: results are
+  collected with :func:`concurrent.futures.wait` against deadlines fixed
+  when each task is submitted (``timeout_per_range × n_ranges``, capped
+  by the window's :class:`~repro.core.deadline.WindowBudget`).  The old
+  submission-order ``fut.result(timeout)`` loop restarted the clock per
+  future and serialized head-of-line waits; here a task that was never
+  even started still expires on time, and a stalled worker cannot push
+  any other task past its deadline,
+* crash fallback: a task whose worker fails or cannot be scheduled is
+  re-run serially in the calling thread — never silently: every handled
   failure leaves an :class:`~repro.core.errorpolicy.ErrorRecord` that
-  the monitor surfaces on its report, and
+  the monitor surfaces on its report,
+* timeout handling *per policy*: ``"degrade"``/``"skip"`` **shed** the
+  task (re-running a decode that already blew its budget would stall
+  the window exactly the way the watchdog exists to prevent),
+  ``"raise"`` raises :class:`~repro.errors.DecodeTimeoutError`, and the
+  legacy ``None`` policy keeps its calling-thread inline-retry contract
+  when no window budget is set, but under a budget the retry is
+  *bounded* (an abandonable daemon thread joined for at most the
+  remaining budget),
+* leaked-worker accounting: ``Future.cancel()`` on a running worker is
+  a no-op, so a timed-out worker keeps occupying its pool slot until
+  the abandoned decode finishes.  The stage counts those slots on the
+  ``rfdump_parallel_leaked_workers`` gauge, reclaims them when the
+  worker eventually returns, and in ``"degrade"`` mode rebuilds the
+  pool outright once leaks exhaust every slot, and
 * an ``on_error`` policy (:mod:`repro.core.errorpolicy`): ``"raise"``
   turns worker failures into :class:`~repro.errors.WorkerCrashError`,
   ``"skip"`` drops a failed task's ranges instead of re-running them,
@@ -38,15 +59,19 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.decoders import PacketRecord
 from repro.core.accounting import StageClock
+from repro.core.deadline import SHED_HELP, WindowBudget, order_tasks
 from repro.core.dispatcher import DispatchedRange
 from repro.core.errorpolicy import ErrorRecord, validate_error_policy
 from repro.dsp.samples import SampleBuffer
-from repro.errors import WorkerCrashError
+from repro.errors import DecodeTimeoutError, WorkerCrashError
 from repro.obs import NULL
 from repro.sanitize.hooks import new_lock
 
 BACKENDS = ("thread", "process")
 GRANULARITIES = ("protocol", "range")
+
+_LEAKED_HELP = ("pool slots occupied by abandoned analysis workers "
+                "(timed out but still running)")
 
 
 def packet_sort_key(packet: PacketRecord) -> Tuple:
@@ -73,6 +98,9 @@ class AnalysisTask:
     protocol: str
     #: ``(sample range, channel hint)`` pairs, in dispatch order
     jobs: List[Tuple[SampleBuffer, Optional[int]]] = field(default_factory=list)
+    #: strongest classification confidence over the task's ranges; the
+    #: deadline scheduler's priority signal (0.0 when unknown)
+    confidence: float = 0.0
 
     @property
     def n_ranges(self) -> int:
@@ -107,6 +135,22 @@ class TaskOutcome:
     #: tracer in deterministic order
     spans: List[dict] = field(default_factory=list)
     worker: str = "main"
+
+
+@dataclass
+class _TaskEntry:
+    """Collection-side bookkeeping for one submitted task."""
+
+    index: int
+    task: AnalysisTask
+    fut: Optional["futures.Future"]
+    #: absolute monotonic instant the task must be done by (None: no bound)
+    deadline: Optional[float]
+    outcome: Optional[TaskOutcome] = None
+    #: why the outcome came from an inline re-run ("crash" | "timeout")
+    fallback_reason: Optional[str] = None
+    skipped: bool = False
+    shed: bool = False
 
 
 def _worker_id() -> str:
@@ -222,6 +266,10 @@ class ParallelAnalysisStage:
         self.obs = obs
         #: lifetime count of tasks that fell back to serial execution
         self.fallbacks = 0
+        #: lifetime count of ranges shed on timeout (budget exhausted)
+        self.shed_ranges = 0
+        #: lifetime count of pools rebuilt because leaks exhausted them
+        self.leak_rebuilds = 0
         #: most recent handled worker failure, surviving across runs
         self.last_error: Optional[ErrorRecord] = None
         self._run_errors: List[ErrorRecord] = []
@@ -230,6 +278,11 @@ class ParallelAnalysisStage:
         # rebuilds a broken pool while a daemon stop() may close() the
         # stage from another thread; a torn handoff leaks a pool
         self._pool_lock = new_lock("parallel.pool")
+        # guards the leaked-slot count and its pool generation; leaks
+        # are reclaimed from worker done-callbacks, i.e. other threads
+        self._leak_lock = new_lock("parallel.leaks")
+        self._leaked = 0
+        self._pool_generation = 0
 
     # -- pool lifecycle -------------------------------------------------------
 
@@ -249,10 +302,24 @@ class ParallelAnalysisStage:
                     )
             return self._executor
 
+    def _reset_leaks(self) -> int:
+        """New pool generation: stale leak callbacks become no-ops.
+
+        Returns the number of slots that were leaked at reset time.
+        """
+        with self._leak_lock:
+            leaked, self._leaked = self._leaked, 0
+            self._pool_generation += 1
+        (self.obs or NULL).gauge(
+            "rfdump_parallel_leaked_workers", help=_LEAKED_HELP,
+        ).set(0)
+        return leaked
+
     def _discard_executor(self) -> None:
         """Drop a broken pool so the next run can build a fresh one."""
         with self._pool_lock:
             executor, self._executor = self._executor, None
+        self._reset_leaks()
         if executor is not None:
             executor.shutdown(wait=False)
 
@@ -260,8 +327,10 @@ class ParallelAnalysisStage:
         """Shut the pool down; the stage may be reused (pool is rebuilt)."""
         with self._pool_lock:
             executor, self._executor = self._executor, None
+        leaked = self._reset_leaks()
         if executor is not None:
-            executor.shutdown(wait=True)
+            # don't join workers we already know are stuck mid-decode
+            executor.shutdown(wait=leaked == 0)
 
     def __enter__(self) -> "ParallelAnalysisStage":
         return self
@@ -284,9 +353,15 @@ class ParallelAnalysisStage:
                 for r in proto_ranges
             ]
             if self.granularity == "range":
-                tasks.extend(AnalysisTask(protocol, [job]) for job in jobs)
+                tasks.extend(
+                    AnalysisTask(protocol, [job], confidence=r.confidence)
+                    for job, r in zip(jobs, proto_ranges)
+                )
             else:
-                tasks.append(AnalysisTask(protocol, jobs))
+                tasks.append(AnalysisTask(
+                    protocol, jobs,
+                    confidence=max(r.confidence for r in proto_ranges),
+                ))
         return tasks
 
     def _run_inline(self, task: AnalysisTask) -> TaskOutcome:
@@ -341,6 +416,7 @@ class ParallelAnalysisStage:
         buffer: SampleBuffer,
         ranges: Dict[str, List[DispatchedRange]],
         clock: Optional[StageClock] = None,
+        budget: Optional[WindowBudget] = None,
     ) -> Tuple[List[PacketRecord], Dict[str, float], int]:
         """Decode every dispatched range concurrently.
 
@@ -350,12 +426,23 @@ class ParallelAnalysisStage:
         ``"demodulation"``, the stage's own wall time under
         ``"demodulation_wall"``), keeping the accounting comparable to a
         serial run while still exposing the achieved overlap.
+
+        ``budget`` is the window's deadline budget, if any: it caps every
+        task's absolute deadline, and once it expires remaining tasks are
+        shed rather than retried inline.
         """
         clock = clock if clock is not None else StageClock()
         obs = self.obs or NULL
         self._run_errors = []
         tasks = self.tasks_for(buffer, ranges)
+        if budget is not None or self.timeout_per_range is not None:
+            # deadline-priority submission order: confident, cheap work
+            # starts first, so whatever the budget cannot cover is the
+            # least valuable tail (see repro.core.deadline)
+            tasks = order_tasks(tasks)
         wall_start = time.perf_counter()
+        if self.on_error == "degrade":
+            self._rebuild_if_leaks_exhausted(obs)
         try:
             pool: Optional[futures.Executor] = self._ensure_executor()
         except Exception as exc:
@@ -375,79 +462,55 @@ class ParallelAnalysisStage:
                 raise WorkerCrashError(
                     f"could not start the analysis pool: {exc}"
                 ) from exc
-        submitted = [(task, self._submit(pool, task)) for task in tasks]
+        entries: List[_TaskEntry] = []
+        for index, task in enumerate(tasks):
+            fut = self._submit(pool, task)
+            entries.append(_TaskEntry(
+                index=index, task=task, fut=fut,
+                deadline=None if fut is None
+                else self._task_deadline(task, budget),
+            ))
+        for entry in entries:
+            if entry.fut is None:
+                self._fail_entry(entry, budget, obs)
+        self._collect(entries, budget, obs)
+        wall = time.perf_counter() - wall_start
 
         outcomes: List[TaskOutcome] = []
-        fallbacks = 0
+        crash_fallbacks = 0
+        timeout_fallbacks = 0
         skipped = 0
-        pool_restarts = 0
-        for task, fut in submitted:
-            outcome = None
-            failed = fut is None
-            timeout = (
-                None
-                if self.timeout_per_range is None
-                else self.timeout_per_range * max(task.n_ranges, 1)
-            )
-            while fut is not None:
-                try:
-                    outcome = fut.result(timeout=timeout)
-                    break
-                except futures.TimeoutError as exc:
-                    fut.cancel()
-                    self._record_error(task, exc, action="timeout")
-                    failed = True
-                    break
-                except futures.BrokenExecutor as exc:
-                    self._discard_executor()
-                    self._record_error(task, exc, action="fallback")
-                    if self.on_error == "raise":
-                        raise WorkerCrashError(
-                            f"analysis pool broke decoding {task.protocol}: "
-                            f"{exc}", protocol=task.protocol,
-                        ) from exc
-                    failed = True
-                    fut = None
-                    # degrade: rebuild the pool (a bounded number of
-                    # times per run) and give the task one more shot on
-                    # a worker before re-running it inline
-                    if (self.on_error == "degrade"
-                            and pool_restarts < self.max_pool_restarts):
-                        pool_restarts += 1
-                        obs.counter(
-                            "rfdump_parallel_pool_restarts_total",
-                            help="broken worker pools rebuilt mid-run",
-                        ).inc()
-                        try:
-                            fut = self._submit(
-                                self._ensure_executor(), task, record=False
-                            )
-                        except Exception:
-                            fut = None
-                except Exception as exc:
-                    self._record_error(task, exc, action="fallback")
-                    if self.on_error == "raise":
-                        raise WorkerCrashError(
-                            f"{task.protocol} analysis worker failed: {exc}",
-                            protocol=task.protocol,
-                        ) from exc
-                    failed = True
-                    break
-            if outcome is None:
-                if self.on_error == "skip" and failed:
-                    skipped += 1
-                    continue
-                outcome = self._run_inline(task)
-                fallbacks += 1
-            outcomes.append(outcome)
-        wall = time.perf_counter() - wall_start
+        shed = 0
+        for entry in entries:
+            if entry.outcome is not None:
+                outcomes.append(entry.outcome)
+                if entry.fallback_reason == "crash":
+                    crash_fallbacks += 1
+                elif entry.fallback_reason == "timeout":
+                    timeout_fallbacks += 1
+            elif entry.shed:
+                shed += max(entry.task.n_ranges, 1)
+            elif entry.skipped:
+                skipped += 1
+        fallbacks = crash_fallbacks + timeout_fallbacks
         self.fallbacks += fallbacks
-        if fallbacks:
+        self.shed_ranges += shed
+        if crash_fallbacks:
             obs.counter(
                 "rfdump_parallel_fallbacks_total",
-                help="analysis tasks re-run serially after worker failure "
-                     "or timeout",
-            ).inc(fallbacks)
+                help="analysis tasks re-run serially, by reason (crash: "
+                     "worker failure; timeout: bounded legacy retry after "
+                     "a missed decode deadline)",
+                reason="crash",
+            ).inc(crash_fallbacks)
+        if timeout_fallbacks:
+            obs.counter(
+                "rfdump_parallel_fallbacks_total",
+                help="analysis tasks re-run serially, by reason (crash: "
+                     "worker failure; timeout: bounded legacy retry after "
+                     "a missed decode deadline)",
+                reason="timeout",
+            ).inc(timeout_fallbacks)
         if skipped:
             obs.counter(
                 "rfdump_parallel_skipped_tasks_total",
@@ -468,6 +531,279 @@ class ParallelAnalysisStage:
         )
         packets.sort(key=packet_sort_key)
         return packets, demod_by_protocol, fallbacks
+
+    # -- result collection ----------------------------------------------------
+
+    def _task_deadline(self, task: AnalysisTask,
+                       budget: Optional[WindowBudget]) -> Optional[float]:
+        """Absolute monotonic deadline for a task submitted *now*.
+
+        ``timeout_per_range × n_ranges`` from the submit instant, capped
+        by the window budget's own deadline; measured from submit (not
+        from when the caller gets around to waiting), so a task that
+        never even starts still expires on time.
+        """
+        deadline: Optional[float] = None
+        if self.timeout_per_range is not None:
+            deadline = (time.monotonic()
+                        + self.timeout_per_range * max(task.n_ranges, 1))
+        if budget is not None:
+            deadline = (budget.deadline if deadline is None
+                        else min(deadline, budget.deadline))
+        return deadline
+
+    def _collect(self, entries: List[_TaskEntry],
+                 budget: Optional[WindowBudget], obs) -> None:
+        """Drain the pending futures against their absolute deadlines.
+
+        One ``futures.wait`` over the whole pending set replaces the old
+        submission-order ``fut.result(timeout)`` loop: deadlines are
+        fixed instants rather than per-future countdowns, so waiting on
+        one stalled task can no longer extend any other task's allowance
+        (the head-of-line serialization this module used to have).
+        """
+        pending: Dict["futures.Future", _TaskEntry] = {
+            e.fut: e for e in entries if e.fut is not None
+        }
+        pool_restarts = 0
+        while pending:
+            now = time.monotonic()
+            deadlines = [e.deadline for e in pending.values()
+                         if e.deadline is not None]
+            wait_for = (None if not deadlines
+                        else max(min(deadlines) - now, 0.0))
+            done, _ = futures.wait(set(pending), timeout=wait_for,
+                                   return_when=futures.FIRST_COMPLETED)
+            for fut in sorted(done, key=lambda f: pending[f].index):
+                entry = pending.pop(fut)
+                if fut.cancelled():
+                    exc: BaseException = futures.CancelledError(
+                        f"{entry.task.protocol} task cancelled by its "
+                        "broken pool before it started"
+                    )
+                else:
+                    exc = fut.exception()  # type: ignore[assignment]
+                if exc is None:
+                    entry.outcome = fut.result()
+                elif isinstance(exc, futures.BrokenExecutor):
+                    self._discard_executor()
+                    self._record_error(entry.task, exc, action="fallback")
+                    if self.on_error == "raise":
+                        self._cancel_all(pending)
+                        raise WorkerCrashError(
+                            f"analysis pool broke decoding "
+                            f"{entry.task.protocol}: {exc}",
+                            protocol=entry.task.protocol,
+                        ) from exc
+                    resubmitted = False
+                    # degrade: rebuild the pool (a bounded number of
+                    # times per run) and give the task one more shot on
+                    # a worker before re-running it inline
+                    if (self.on_error == "degrade"
+                            and pool_restarts < self.max_pool_restarts):
+                        pool_restarts += 1
+                        obs.counter(
+                            "rfdump_parallel_pool_restarts_total",
+                            help="broken worker pools rebuilt mid-run",
+                        ).inc()
+                        try:
+                            new_fut = self._submit(
+                                self._ensure_executor(), entry.task,
+                                record=False)
+                        except Exception:
+                            new_fut = None
+                        if new_fut is not None:
+                            entry.fut = new_fut
+                            entry.deadline = self._task_deadline(
+                                entry.task, budget)
+                            pending[new_fut] = entry
+                            resubmitted = True
+                    if not resubmitted:
+                        self._fail_entry(entry, budget, obs)
+                else:
+                    self._record_error(entry.task, exc, action="fallback")
+                    if self.on_error == "raise":
+                        self._cancel_all(pending)
+                        raise WorkerCrashError(
+                            f"{entry.task.protocol} analysis worker "
+                            f"failed: {exc}",
+                            protocol=entry.task.protocol,
+                        ) from exc
+                    self._fail_entry(entry, budget, obs)
+            if done:
+                continue
+            # the wait timed out with nothing finished: expire every
+            # entry whose absolute deadline has passed
+            now = time.monotonic()
+            expired = [e for e in pending.values()
+                       if e.deadline is not None and e.deadline <= now]
+            for entry in sorted(expired, key=lambda e: e.index):
+                del pending[entry.fut]
+                self._handle_timeout(entry, pending, budget, obs)
+
+    @staticmethod
+    def _cancel_all(pending: Dict) -> None:
+        """Best-effort cancel before propagating a raise-policy error."""
+        for fut in pending:
+            fut.cancel()
+
+    def _fail_entry(self, entry: _TaskEntry,
+                    budget: Optional[WindowBudget], obs) -> None:
+        """A task with no usable worker result (crash/schedule failure)."""
+        if self.on_error == "skip":
+            entry.skipped = True
+            return
+        if (self.on_error == "degrade" and budget is not None
+                and budget.expired):
+            # no budget left to re-run it inline; shed instead
+            self._shed_entry(entry, obs)
+            return
+        entry.outcome = self._run_inline(entry.task)
+        entry.fallback_reason = "crash"
+
+    def _shed_entry(self, entry: _TaskEntry, obs) -> None:
+        """Drop a task's ranges to hold the latency budget, counted."""
+        entry.shed = True
+        obs.counter(
+            "rfdump_ranges_shed_total", help=SHED_HELP,
+            protocol=entry.task.protocol,
+        ).inc(max(entry.task.n_ranges, 1))
+
+    def _handle_timeout(self, entry: _TaskEntry, pending: Dict,
+                        budget: Optional[WindowBudget], obs) -> None:
+        """One task blew its absolute deadline; its worker may still run."""
+        task = entry.task
+        assert entry.fut is not None
+        if not entry.fut.cancel():
+            # cancel() on a running future is a no-op: the worker keeps
+            # occupying its pool slot until the abandoned decode returns
+            self._note_leak(entry.fut, obs)
+        per_task = (None if self.timeout_per_range is None
+                    else self.timeout_per_range * max(task.n_ranges, 1))
+        allowed = per_task
+        if allowed is None:
+            allowed = budget.seconds if budget is not None else 0.0
+        if self.on_error == "raise":
+            self._cancel_all(pending)
+            raise DecodeTimeoutError(
+                f"{task.protocol} analysis task exceeded its decode "
+                f"deadline ({allowed:.3f}s)",
+                protocol=task.protocol, budget_seconds=allowed,
+            )
+        self._record_error(task, futures.TimeoutError(
+            f"{task.protocol} task missed its {allowed:.3f}s decode "
+            "deadline; worker abandoned"
+        ), action="timeout")
+        if self.on_error in ("skip", "degrade"):
+            # shed: the budget is already spent, and re-running a decode
+            # that blew it would stall the window exactly the way the
+            # watchdog exists to prevent
+            self._shed_entry(entry, obs)
+            return
+        # legacy policy (on_error=None): the historical contract re-runs
+        # the task inline *in the calling thread*.  Without a window
+        # budget that contract is preserved verbatim; under a budget the
+        # retry is bounded on an abandonable thread instead — the
+        # unbounded calling-thread retry was the bug that let one stuck
+        # demodulator stall the whole window
+        if budget is None:
+            entry.outcome = self._run_inline(task)
+            entry.fallback_reason = "timeout"
+            return
+        bound = per_task if per_task is not None else float("inf")
+        bound = min(bound, max(budget.remaining(), 0.0))
+        outcome = self._run_inline_bounded(task, bound)
+        if outcome is not None:
+            entry.outcome = outcome
+            entry.fallback_reason = "timeout"
+            return
+        self._record_error(task, futures.TimeoutError(
+            f"bounded inline retry of the {task.protocol} task also "
+            f"exceeded {bound:.3f}s"
+        ), action="shed")
+        self._shed_entry(entry, obs)
+
+    def _run_inline_bounded(self, task: AnalysisTask,
+                            bound: float) -> Optional[TaskOutcome]:
+        """The legacy policy's inline retry, with an actual bound.
+
+        The retry runs on a daemon thread the stage can abandon —
+        blocking the calling thread on an unbounded ``_run_inline`` was
+        the bug that let one stuck demodulator stall the whole window.
+        Returns None when the retry also misses (or crashes; the crash
+        is recorded).
+        """
+        if bound <= 0:
+            return None
+        box: Dict[str, object] = {}
+        finished = threading.Event()
+
+        def _target() -> None:
+            try:
+                box["outcome"] = self._run_inline(task)
+            except Exception as exc:
+                box["error"] = exc
+            finally:
+                finished.set()
+
+        thread = threading.Thread(
+            target=_target, daemon=True,
+            name=f"rfdump-inline-retry-{task.protocol}")
+        thread.start()
+        if not finished.wait(bound):
+            return None
+        error = box.get("error")
+        if error is not None:
+            self._record_error(task, error, action="fallback")  # type: ignore[arg-type]
+            return None
+        outcome = box.get("outcome")
+        return outcome if isinstance(outcome, TaskOutcome) else None
+
+    # -- leaked-slot accounting -----------------------------------------------
+
+    def _note_leak(self, fut: "futures.Future", obs) -> None:
+        """Count a pool slot occupied by an abandoned running worker."""
+        with self._leak_lock:
+            self._leaked += 1
+            generation = self._pool_generation
+            leaked = self._leaked
+        obs.gauge(
+            "rfdump_parallel_leaked_workers", help=_LEAKED_HELP,
+        ).set(leaked)
+
+        def _reclaimed(_fut, stage=self, generation=generation):
+            stage._reclaim_leak(generation)
+
+        fut.add_done_callback(_reclaimed)
+
+    def _reclaim_leak(self, generation: int) -> None:
+        """An abandoned worker finally returned; its slot is usable again."""
+        with self._leak_lock:
+            if generation != self._pool_generation or self._leaked <= 0:
+                return
+            self._leaked -= 1
+            leaked = self._leaked
+        (self.obs or NULL).gauge(
+            "rfdump_parallel_leaked_workers", help=_LEAKED_HELP,
+        ).set(leaked)
+
+    def _rebuild_if_leaks_exhausted(self, obs) -> None:
+        """Degrade mode: rebuild a pool whose every slot is leaked.
+
+        Nothing submitted to such a pool can ever start, so every task
+        would ride its deadline down and be shed; rebuilding outright
+        uses the same restart accounting as the broken-pool path.
+        """
+        with self._leak_lock:
+            leaked = self._leaked
+        if leaked < self.workers:
+            return
+        self._discard_executor()
+        self.leak_rebuilds += 1
+        obs.counter(
+            "rfdump_parallel_pool_restarts_total",
+            help="broken worker pools rebuilt mid-run",
+        ).inc()
 
     @staticmethod
     def _task_sort_key(outcome: TaskOutcome) -> Tuple:

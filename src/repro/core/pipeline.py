@@ -21,6 +21,7 @@ from repro.analysis.decoders import (
 )
 from repro.core.accounting import StageClock
 from repro.core.config import UNSET, MonitorConfig, resolve_monitor_config
+from repro.core.deadline import DeadlineScheduler, WindowBudget
 from repro.core.monitor import Monitor
 from repro.core.detectors import (
     BluetoothTimingDetector,
@@ -105,11 +106,20 @@ class MonitorReport:
     errors: List[ErrorRecord] = field(default_factory=list)
     #: detectors quarantined by the circuit breaker at report time
     quarantined_detectors: Tuple[str, ...] = ()
+    #: end-to-end wall latency of this window's pass through the pipeline
+    latency_seconds: float = 0.0
+    #: True when this window exceeded its configured deadline budget
+    deadline_missed: bool = False
 
     @property
     def last_error(self) -> Optional[ErrorRecord]:
         """The most recent handled fault, or None for a clean window."""
         return self.errors[-1] if self.errors else None
+
+    @property
+    def shed_ranges(self) -> int:
+        """Ranges dropped to hold the latency budget (action="shed")."""
+        return sum(1 for e in self.errors if e.action == "shed")
 
     @property
     def degraded(self) -> bool:
@@ -180,6 +190,12 @@ class RFDumpMonitor(Monitor):
         the monitor as a context manager) to release the pool.
     parallel_backend / parallel_granularity / parallel_timeout:
         Forwarded to :class:`ParallelAnalysisStage`.
+    deadline_ms:
+        Per-window latency budget; enables the deadline/admission layer
+        (:mod:`repro.core.deadline`): analysis runs against absolute
+        deadlines, overruns are counted as misses, and under sustained
+        overload the lowest-confidence ranges are shed (recorded as
+        ``ErrorRecord(action="shed")``) before demodulation.
     range_filter:
         ``f(protocol, dispatched_range, buffer) -> bool`` deciding which
         dispatched ranges this monitor demodulates; ranges it declines
@@ -209,6 +225,7 @@ class RFDumpMonitor(Monitor):
         parallel_granularity: str = UNSET,
         parallel_timeout: Optional[float] = UNSET,
         on_error: Optional[str] = UNSET,
+        deadline_ms: Optional[float] = UNSET,
         range_filter: Optional[
             Callable[[str, DispatchedRange, SampleBuffer], bool]
         ] = None,
@@ -228,6 +245,7 @@ class RFDumpMonitor(Monitor):
             parallel_granularity=parallel_granularity,
             parallel_timeout=parallel_timeout,
             on_error=on_error,
+            deadline_ms=deadline_ms,
         )
         self.config = cfg
         self.obs = cfg.obs
@@ -257,6 +275,9 @@ class RFDumpMonitor(Monitor):
                 self._decoders[protocol] = self._make_decoder(
                     protocol, cfg.decode_payload
                 )
+        self._deadline: Optional[DeadlineScheduler] = None
+        if cfg.deadline_ms is not None:
+            self._deadline = DeadlineScheduler(cfg.deadline_ms, obs=self.obs)
         self._parallel: Optional[ParallelAnalysisStage] = None
         if cfg.demodulate and self.workers > 1:
             self._parallel = ParallelAnalysisStage(
@@ -386,11 +407,18 @@ class RFDumpMonitor(Monitor):
 
     def process(self, buffer: SampleBuffer) -> MonitorReport:
         """Run the full pipeline over a buffer."""
+        import time as _time
+
         clock = StageClock(obs=self.obs)
         obs = self.obs or NULL
         obs.counter(
             "rfdump_samples_total", help="samples entering the monitor"
         ).inc(len(buffer))
+        t_start = _time.perf_counter()
+        budget: Optional[WindowBudget] = (
+            self._deadline.start_window() if self._deadline is not None
+            else None
+        )
         errors: List[ErrorRecord] = []
         with obs.span("process", start_sample=buffer.start_sample,
                       end_sample=buffer.end_sample):
@@ -420,18 +448,26 @@ class RFDumpMonitor(Monitor):
                              "left to another monitor",
                     ).inc(declined)
 
+            if self._deadline is not None and self.demodulate:
+                # admission control: under sustained overload (or an
+                # already-expired budget) the lowest-confidence ranges
+                # are shed *before* any demodulator sees them
+                demod_ranges, shed_records = self._deadline.admit(
+                    demod_ranges, budget
+                )
+                errors.extend(shed_records)
+
             packets: List[PacketRecord] = []
             demod_by_protocol: Dict[str, float] = {}
             parallel_fallbacks = 0
             if self.demodulate:
                 if self._parallel is not None:
                     packets, demod_by_protocol, parallel_fallbacks = (
-                        self._parallel.run(buffer, demod_ranges, clock)
+                        self._parallel.run(buffer, demod_ranges, clock,
+                                           budget=budget)
                     )
                     errors.extend(self._parallel.take_error_records())
                 else:
-                    import time as _time
-
                     with obs.span("analysis"):
                         for protocol, proto_ranges in demod_ranges.items():
                             decoder = self._decoders.get(protocol)
@@ -442,6 +478,18 @@ class RFDumpMonitor(Monitor):
                                 with clock.stage("demodulation"):
                                     t0 = _time.perf_counter()
                                     for rng in proto_ranges:
+                                        if (budget is not None
+                                                and self._deadline is not None
+                                                and budget.expired):
+                                            # mid-window overrun: shed the
+                                            # rest instead of digging deeper
+                                            errors.append(
+                                                self._deadline.shed_record(
+                                                    protocol, rng,
+                                                    "window budget exhausted "
+                                                    "mid-analysis",
+                                                ))
+                                            continue
                                         sub = buffer.slice(
                                             rng.start_sample, rng.end_sample
                                         )
@@ -473,6 +521,15 @@ class RFDumpMonitor(Monitor):
                         protocol=packet.protocol,
                     ).inc()
 
+        latency = _time.perf_counter() - t_start
+        obs.histogram(
+            "rfdump_window_latency_seconds",
+            help="end-to-end monitor latency per processed window "
+                 "(detection through analysis)",
+        ).observe(latency)
+        deadline_missed = False
+        if self._deadline is not None:
+            deadline_missed = self._deadline.finish_window(latency)
         return MonitorReport(
             total_samples=len(buffer),
             duration=buffer.duration,
@@ -486,6 +543,8 @@ class RFDumpMonitor(Monitor):
             parallel_fallbacks=parallel_fallbacks,
             errors=errors,
             quarantined_detectors=self._breaker.open_components,
+            latency_seconds=latency,
+            deadline_missed=deadline_missed,
         )
 
     # -- lifecycle ------------------------------------------------------------
@@ -494,6 +553,26 @@ class RFDumpMonitor(Monitor):
     def parallel_stage(self) -> Optional[ParallelAnalysisStage]:
         """The worker pool stage, or None when running serially."""
         return self._parallel
+
+    @property
+    def deadline_scheduler(self) -> Optional[DeadlineScheduler]:
+        """The deadline/admission layer, or None with no ``deadline_ms``."""
+        return self._deadline
+
+    @property
+    def deadline_misses(self) -> int:
+        """Lifetime count of windows that exceeded their budget."""
+        return (self._deadline.deadline_misses
+                if self._deadline is not None else 0)
+
+    @property
+    def ranges_shed(self) -> int:
+        """Lifetime count of ranges shed to hold the latency budget
+        (admission-control sheds plus analysis-stage timeout sheds)."""
+        shed = self._deadline.ranges_shed if self._deadline is not None else 0
+        if self._parallel is not None:
+            shed += self._parallel.shed_ranges
+        return shed
 
     @property
     def quarantined_detectors(self) -> Tuple[str, ...]:

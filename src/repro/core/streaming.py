@@ -341,6 +341,24 @@ class StreamingMonitor(Monitor):
     def _classification_key(c):
         return (c.peak.start_sample, c.detector)
 
+    # -- deadline/backpressure surface ---------------------------------------
+    #
+    # The wrapped monitor owns the deadline scheduler; each window this
+    # wrapper feeds it is one budget, so windows that ran over raise the
+    # admission level and the *next* window's admitted range set shrinks
+    # — backpressure from the analyzers to the detection stage without
+    # any coupling in this class.
+
+    @property
+    def deadline_misses(self) -> int:
+        """Windows that exceeded the configured deadline budget so far."""
+        return getattr(self.monitor, "deadline_misses", 0)
+
+    @property
+    def ranges_shed(self) -> int:
+        """Ranges shed to hold the latency budget so far."""
+        return getattr(self.monitor, "ranges_shed", 0)
+
     def flush(self) -> "StreamingMonitor":
         """Release deferred results; idempotent and safe mid-stream.
 

@@ -140,19 +140,38 @@ class PoolKillerDecoder:
 
 class SlowDecoder:
     """An analyzer that stalls for ``delay`` seconds on selected worker
-    calls — the slow-worker fault the per-range timeout exists for."""
+    calls — the slow-worker fault the per-range timeout exists for.
+
+    With ``hang=True`` the stall is *unbounded*: selected calls block
+    until :meth:`release` is called — the permanently-stalled
+    demodulator the deadline layer must shed rather than wait out.
+    Tests must call :meth:`release` during teardown; the abandoned
+    worker thread otherwise blocks pool shutdown and interpreter exit.
+    ``hang`` mode carries a :class:`threading.Event`, so it is
+    thread-backend only (unpicklable); ``hang=False`` instances stay
+    picklable for process pools.
+    """
 
     def __init__(self, wrapped=None, delay: float = 1.0,
                  at: Optional[Sequence[int]] = None,
-                 only_in_worker: bool = True):
+                 only_in_worker: bool = True,
+                 hang: bool = False):
         if delay < 0:
             raise ValueError("delay must be non-negative")
         self.wrapped = wrapped
         self.delay = delay
         self.at = _normalize_at(at)
         self.only_in_worker = only_in_worker
+        self.hang = hang
         self.calls = 0
+        self.stalls = 0
         self._parent_pid = os.getpid()
+        self._release = threading.Event() if hang else None
+
+    def release(self) -> None:
+        """Unblock every hung call (no-op unless ``hang=True``)."""
+        if self._release is not None:
+            self._release.set()
 
     def _in_worker(self) -> bool:
         if os.getpid() != self._parent_pid:
@@ -164,7 +183,11 @@ class SlowDecoder:
         self.calls += 1
         if _hit(self.at, index) and (
                 not self.only_in_worker or self._in_worker()):
-            time.sleep(self.delay)
+            self.stalls += 1
+            if self._release is not None:
+                self._release.wait()
+            else:
+                time.sleep(self.delay)
         if self.wrapped is not None:
             return self.wrapped.scan(buffer, **kwargs)
         return []

@@ -34,10 +34,12 @@ PERF_CLOCKS = (
     "time.process_time",
 )
 
-#: the only modules allowed to read monotonic clocks (stage accounting
-#: and observability — they measure the pipeline, they are not in it)
+#: the only modules allowed to read monotonic clocks (stage accounting,
+#: deadline budgets and observability — they measure the pipeline, they
+#: are not in it)
 PERF_ALLOWED = (
     "repro/core/accounting.py",
+    "repro/core/deadline.py",
     "repro/core/parallel.py",
     "repro/core/pipeline.py",
     "repro/obs/",
@@ -119,7 +121,7 @@ class PerfCounterScopeRule(Rule):
                 yield self.finding(
                     ctx, call,
                     f"{dotted}() outside the accounting/observability "
-                    "modules (core/accounting.py, core/parallel.py, "
-                    "core/pipeline.py, obs/); measured time does not "
-                    "belong on the sample path",
+                    "modules (core/accounting.py, core/deadline.py, "
+                    "core/parallel.py, core/pipeline.py, obs/); measured "
+                    "time does not belong on the sample path",
                 )

@@ -123,6 +123,27 @@ class Histogram(Metric):
             out.append((bound, running))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-quantile observation.
+
+        Conservative in the Prometheus sense: the true quantile is <=
+        the returned bound.  Returns 0.0 when nothing was observed and
+        +Inf when the quantile falls in the implicit overflow bucket
+        (the histogram cannot resolve it — widen the bounds).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        # rank of the target observation, 1-based; ceil so q just above a
+        # bucket boundary moves to the next observation (conservative)
+        exact = q * self.count
+        rank = int(exact) + 1 if exact > int(exact) else max(1, int(exact))
+        for bound, running in self.cumulative():
+            if running >= rank:
+                return bound
+        return float("inf")
+
 
 class MetricsRegistry:
     """A named collection of metrics, the unit of export.

@@ -32,6 +32,7 @@ Ingest faults slot into the :mod:`repro.core.errorpolicy` taxonomy:
 from __future__ import annotations
 
 import json
+import math
 import queue
 import socket
 import threading
@@ -43,6 +44,7 @@ from repro.core.errorpolicy import ErrorRecord
 from repro.core.monitor import make_monitor
 from repro.errors import RFDumpError, ServiceProtocolError
 from repro.obs import Observability, render_prometheus
+from repro.obs.metrics import Histogram
 from repro.sanitize.hooks import new_lock
 from repro.service import protocol
 from repro.service.hub import (
@@ -217,6 +219,35 @@ class RFDumpDaemon:
             "stream_done": self._stream_done.is_set(),
             "stream_error": stream_error,
             "errors": len(self.errors),
+            "latency": self._latency_status(),
+        }
+
+    def _latency_status(self) -> Optional[dict]:
+        """p50/p99 of the window-latency histogram, JSON-safe.
+
+        None until a window has been processed.  Quantiles are the
+        conservative bucket upper bounds; a latency past the last bucket
+        reports None (+Inf has no JSON encoding) rather than a number.
+        """
+        registry = self.obs.registry
+        hist = next(
+            (m for m in registry.series("rfdump_window_latency_seconds")
+             if isinstance(m, Histogram)), None)
+        if hist is None or hist.count == 0:
+            return None
+
+        def _finite(value: float) -> Optional[float]:
+            return value if math.isfinite(value) else None
+
+        shed = sum(
+            m.value for m in registry.series("rfdump_ranges_shed_total"))
+        return {
+            "windows": hist.count,
+            "p50_seconds": _finite(hist.quantile(0.50)),
+            "p99_seconds": _finite(hist.quantile(0.99)),
+            "deadline_misses": int(
+                registry.value("rfdump_deadline_misses_total") or 0),
+            "ranges_shed": int(shed),
         }
 
     # -- internals -------------------------------------------------------------

@@ -71,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "FACTOR (repeatable); same-process pairing cancels "
                           "the host-load noise a two-invocation comparison "
                           "folds in")
+    run.add_argument("--max-p99", action="append", default=[],
+                     metavar="NAME:SECONDS",
+                     help="fail unless NAME's reported p99 window latency "
+                          "stays at or under SECONDS (repeatable); the "
+                          "latency SLO gate — NAME must be a benchmark with "
+                          "a latency report, e.g. window_latency")
 
     compare = sub.add_parser(
         "compare", help="compare a result set against committed baselines")
@@ -110,6 +116,7 @@ def _ci_error(message: str) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     requirements = _parse_speedup_requirements(args.require_speedup)
+    latency_limits = _parse_latency_requirements(args.max_p99)
     names = None
     if args.select:
         names = [n.strip() for n in args.select.split(",") if n.strip()]
@@ -142,7 +149,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"rfbench: {name} same-process speedup "
                   f"{measurement.factor:.2f}x meets the required "
                   f"{factor:.2f}x")
+    for message in _check_latency_requirements(results, latency_limits):
+        print(f"rfbench: {message}", file=sys.stderr)
+        _ci_error(message)
+        failed = True
     return 1 if failed else 0
+
+
+def _parse_latency_requirements(specs: List[str]) -> List[tuple]:
+    out = []
+    for spec in specs:
+        name, sep, seconds = spec.partition(":")
+        if not sep or not name:
+            raise SystemExit(
+                f"rfbench: bad --max-p99 {spec!r} (want NAME:SECONDS)"
+            )
+        try:
+            limit = float(seconds)
+        except ValueError:
+            raise SystemExit(
+                f"rfbench: bad --max-p99 seconds in {spec!r}"
+            ) from None
+        if limit <= 0:
+            raise SystemExit(
+                f"rfbench: --max-p99 seconds must be positive in {spec!r}"
+            )
+        out.append((name, limit))
+    return out
+
+
+def _check_latency_requirements(results, limits: List[tuple]) -> List[str]:
+    """The latency SLO gate: each limit's benchmark must report a p99
+    at or under it.  Returns failure messages (empty = gate passed)."""
+    by_name = {result.name: result for result in results}
+    messages = []
+    for name, limit in limits:
+        result = by_name.get(name)
+        latency = result.meta.get("latency") if result is not None else None
+        if not isinstance(latency, dict) or "p99" not in latency:
+            messages.append(
+                f"required p99 latency for {name!r} but the run produced "
+                "no latency report (was it selected, and does the "
+                "benchmark have a report hook?)"
+            )
+            continue
+        p99 = float(latency["p99"])
+        if p99 > limit:
+            messages.append(
+                f"{name} p99 window latency {p99 * 1e3:.1f}ms exceeds the "
+                f"{limit * 1e3:.1f}ms SLO "
+                f"(p50 {float(latency.get('p50', 0.0)) * 1e3:.1f}ms over "
+                f"{latency.get('windows', 0)} windows)"
+            )
+        else:
+            print(f"rfbench: {name} p99 window latency {p99 * 1e3:.1f}ms "
+                  f"meets the {limit * 1e3:.1f}ms SLO")
+    return messages
 
 
 def _parse_speedup_requirements(specs: List[str]) -> List[tuple]:

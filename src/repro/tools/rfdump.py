@@ -92,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
              "one band-wide report; output is identical to --shards 1)",
     )
     parser.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-window latency budget in milliseconds: dispatched "
+             "ranges are analyzed in deadline-priority order, and under "
+             "overload the lowest-confidence ranges are shed (recorded, "
+             "counted) instead of stalling the stream",
+    )
+    parser.add_argument(
         "--on-error", choices=("raise", "skip", "degrade"), default=None,
         help="fault policy: raise typed errors, skip faulting units, or "
              "degrade gracefully (resync gaps, sanitize NaN bursts, "
@@ -141,6 +148,9 @@ def run(args) -> int:
     if args.shards < 1:
         print("rfdump: --shards must be >= 1", file=sys.stderr)
         return 2
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        print("rfdump: --deadline-ms must be positive", file=sys.stderr)
+        return 2
     if args.shards > 1 and args.monitor != "rfdump":
         print("rfdump: --shards applies to the rfdump monitor only",
               file=sys.stderr)
@@ -159,6 +169,7 @@ def run(args) -> int:
         workers=args.workers,
         backend=args.parallel_backend,
         on_error=args.on_error,
+        deadline_ms=args.deadline_ms,
         shards=args.shards,
         obs=obs,
     )
@@ -219,13 +230,16 @@ def run(args) -> int:
         packets = streaming.packets
         classifications = streaming.classifications
         clock = streaming.clock
-        if streaming.errors or streaming.monitor.quarantined_detectors:
+        if (streaming.errors or streaming.monitor.quarantined_detectors
+                or streaming.ranges_shed or streaming.deadline_misses):
             degradation = (
                 f"degradation: {streaming.gaps} stream gap(s), "
                 f"{streaming.lost_samples} samples lost, "
                 f"{len(streaming.errors)} handled fault(s), "
                 f"{len(streaming.monitor.quarantined_detectors)} "
-                f"detector(s) quarantined"
+                f"detector(s) quarantined, "
+                f"{streaming.ranges_shed} range(s) shed, "
+                f"{streaming.deadline_misses} deadline miss(es)"
             )
     else:
         # baselines have no cross-window state; process windows directly

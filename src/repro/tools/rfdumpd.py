@@ -84,6 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sample rate ingest clients must match")
     serve.add_argument("--center-freq", type=float, default=DEFAULT_CENTER_FREQ)
     serve.add_argument("--workers", type=int, default=1)
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-window latency budget in milliseconds; "
+                            "under overload low-confidence ranges are shed "
+                            "instead of stalling the event stream")
     serve.add_argument("--on-error", choices=("raise", "skip", "degrade"),
                        default=None,
                        help="fault policy; also selects the slow-consumer "
@@ -134,6 +138,7 @@ def _run_serve(args) -> int:
             k.strip() for k in args.detectors.split(",") if k.strip()),
         workers=args.workers,
         on_error=args.on_error,
+        deadline_ms=args.deadline_ms,
         shards=args.shards,
     )
     daemon = RFDumpDaemon(

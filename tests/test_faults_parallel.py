@@ -8,7 +8,7 @@ from repro.core.config import MonitorConfig
 from repro.core.dispatcher import DispatchedRange
 from repro.core.parallel import ParallelAnalysisStage
 from repro.dsp.samples import SampleBuffer
-from repro.errors import RFDumpError, WorkerCrashError
+from repro.errors import DecodeTimeoutError, RFDumpError, WorkerCrashError
 from repro.faults import CrashingDecoder, PoolKillerDecoder, SlowDecoder
 from repro.obs import Observability
 
@@ -110,18 +110,26 @@ class TestDegrade:
         assert records
         assert all(e.action == "fallback" for e in records)
 
-    def test_slow_worker_times_out_and_falls_back(self):
+    def test_slow_worker_times_out_and_is_shed(self):
+        # degrade no longer re-runs a decode that already blew its
+        # budget — that retry was the stall the watchdog exists to
+        # prevent; the task is shed and counted instead
+        obs = Observability()
         buffer, ranges = _fake_inputs(1)
         stage = ParallelAnalysisStage(
             {"wifi": SlowDecoder(wrapped=_EmittingDecoder(), delay=1.0)},
-            workers=2, timeout_per_range=0.05, on_error="degrade",
+            workers=2, timeout_per_range=0.05, on_error="degrade", obs=obs,
         )
         packets, _, fallbacks = stage.run(buffer, ranges)
         stage._discard_executor()  # don't wait out the sleeping worker
-        assert fallbacks == 1
-        assert len(packets) == 1
+        assert fallbacks == 0
+        assert packets == []
+        assert stage.shed_ranges == 1
         (record,) = stage.take_error_records()
         assert record.action == "timeout"
+        assert obs.registry.value(
+            "rfdump_ranges_shed_total", protocol="wifi"
+        ) == 1
 
 
 class TestRaise:
@@ -137,18 +145,20 @@ class TestRaise:
         assert isinstance(excinfo.value, RFDumpError)
         assert excinfo.value.protocol == "wifi"
 
-    def test_timeout_is_a_stall_not_a_crash(self):
-        # a slow worker is abandoned and re-run inline even in raise
-        # mode; only failures raise
+    def test_timeout_raises_typed_deadline_error(self):
+        # raise mode treats a missed decode deadline as what it is: a
+        # deadline fault, surfaced as DecodeTimeoutError (the silent
+        # inline re-run used to hide the stall entirely)
         buffer, ranges = _fake_inputs(1)
         stage = ParallelAnalysisStage(
             {"wifi": SlowDecoder(wrapped=_EmittingDecoder(), delay=1.0)},
             workers=2, timeout_per_range=0.05, on_error="raise",
         )
-        packets, _, fallbacks = stage.run(buffer, ranges)
+        with pytest.raises(DecodeTimeoutError) as excinfo:
+            stage.run(buffer, ranges)
         stage._discard_executor()
-        assert fallbacks == 1
-        assert len(packets) == 1
+        assert isinstance(excinfo.value, RFDumpError)
+        assert excinfo.value.protocol == "wifi"
 
 
 class TestSkip:
